@@ -1,0 +1,109 @@
+// Ablation (ours): what do R-LTF's ingredients buy?
+//   - full R-LTF (Rule 1 merges + chained one-to-one supplier selection)
+//   - Rule 1 disabled (spread placements only)
+//   - one-to-one disabled (all-to-all replication wiring)
+// Reported per granularity: mean stage count, normalized latency bound and
+// remote communications. This quantifies the paper's claim that reducing
+// the stage count should take priority over communication overhead.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streamsched.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace streamsched;
+
+struct Variant {
+  std::string name;
+  bool use_rule1;
+  bool use_one_to_one;
+};
+
+struct Cell {
+  RunningStats stages, latency, comms;
+  std::size_t failures = 0;
+
+  void merge(const Cell& other) {
+    stages.merge(other.stages);
+    latency.merge(other.latency);
+    comms.merge(other.comms);
+    failures += other.failures;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  Cli cli(argc, argv);
+  const auto flags = bench::parse_common(cli);
+  cli.finish();
+
+  const std::vector<Variant> variants{
+      {"R-LTF full", true, true},
+      {"no Rule 1", false, true},
+      {"no one-to-one", true, false},
+  };
+  const std::vector<double> gs{0.4, 1.0, 1.6};
+  const std::size_t graphs = std::max<std::size_t>(4, flags.graphs / 3);
+
+  // cells[g][variant], filled in parallel over instances.
+  std::vector<std::vector<std::vector<Cell>>> partial(
+      gs.size(), std::vector<std::vector<Cell>>(
+                     variants.size(), std::vector<Cell>(graphs)));
+
+  Rng seeder(flags.seed);
+  std::vector<std::uint64_t> seeds(gs.size() * graphs);
+  for (auto& s : seeds) s = seeder();
+
+  parallel_for_indices(seeds.size(), flags.threads, [&](std::size_t idx) {
+    const std::size_t gi = idx / graphs;
+    const std::size_t j = idx % graphs;
+    Rng rng(seeds[idx]);
+    WorkloadParams params;
+    const Instance inst = make_instance(params, gs[gi], 1, rng);
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      SchedulerOptions options;
+      options.eps = 1;
+      options.use_rule1 = variants[vi].use_rule1;
+      options.use_one_to_one = variants[vi].use_one_to_one;
+      // Escalate the period when the variant cannot fit (the all-to-all
+      // ablation needs far more port budget); latency stays normalized by
+      // the actual period.
+      ScheduleResult r;
+      for (double factor : {1.0, 1.3, 1.7, 2.2, 3.0}) {
+        options.period = inst.period * factor;
+        r = rltf_schedule(inst.dag, inst.platform, options);
+        if (r.ok()) break;
+      }
+      Cell& cell = partial[gi][vi][j];
+      if (!r.ok()) {
+        ++cell.failures;
+        continue;
+      }
+      const double norm = normalization_factor(options.period, 1);
+      cell.stages.add(num_stages(*r.schedule));
+      cell.latency.add(latency_upper_bound(*r.schedule) * norm);
+      cell.comms.add(static_cast<double>(num_remote_comms(*r.schedule)));
+    }
+  });
+
+  std::cout << "=== Ablation: R-LTF rules (eps = 1, " << graphs << " graphs/point) ===\n\n";
+  Table t({"granularity", "variant", "stages", "norm. latency bound", "remote comms",
+           "failures"});
+  for (std::size_t gi = 0; gi < gs.size(); ++gi) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+      Cell total;
+      for (const Cell& c : partial[gi][vi]) total.merge(c);
+      t.add_row({Table::fmt(gs[gi], 1), variants[vi].name, Table::fmt(total.stages.mean(), 2),
+                 Table::fmt(total.latency.mean(), 1), Table::fmt(total.comms.mean(), 1),
+                 std::to_string(total.failures)});
+    }
+  }
+  std::cout << t.to_ascii();
+  bench::maybe_write_csv(flags, "ablation_rules", t);
+  return 0;
+}

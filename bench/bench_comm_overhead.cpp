@@ -1,0 +1,71 @@
+// §4.2 claim: with the one-to-one mapping, replication needs only e(ε+1)
+// communications (instead of the naive (ε+1)²·e) on series-parallel
+// graphs in the absence of throughput constraints. This bench measures
+// total supply channels across graph families, ε, and the one-to-one
+// ablation, against both bounds.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streamsched.hpp"
+
+namespace {
+
+using namespace streamsched;
+
+struct Family {
+  std::string name;
+  Dag dag;
+};
+
+std::vector<Family> make_families(Rng& rng) {
+  std::vector<Family> fams;
+  fams.push_back({"chain v=30", make_chain(30, 10.0, 5.0)});
+  fams.push_back({"fork-join b=8", make_fork_join(8, 10.0, 5.0)});
+  fams.push_back({"out-tree d=4 a=2", make_out_tree(4, 2, 10.0, 5.0)});
+  WeightRanges ranges{10.0, 20.0, 5.0, 10.0};
+  fams.push_back({"series-parallel ~40", make_random_series_parallel(rng, 40, ranges)});
+  fams.push_back({"layered v=60", make_random_layered(rng, 60, 8, 0.25, ranges)});
+  return fams;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  Cli cli(argc, argv);
+  const auto flags = bench::parse_common(cli);
+  cli.finish();
+
+  Rng rng(flags.seed);
+  const Platform platform = make_homogeneous(16, 0.5);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  std::cout << "=== Communication overhead of replication (no throughput constraint) ===\n"
+            << "one-to-one target: e*(eps+1); naive scheme: e*(eps+1)^2\n\n";
+
+  Table t({"graph", "eps", "e", "e(eps+1)", "LTF comms", "R-LTF comms",
+           "LTF naive (1-1 off)", "e(eps+1)^2"});
+  for (auto& fam : make_families(rng)) {
+    for (CopyId eps : {1u, 3u}) {
+      SchedulerOptions options;
+      options.eps = eps;
+      options.period = inf;
+      const auto ltf = ltf_schedule(fam.dag, platform, options);
+      const auto rltf = rltf_schedule(fam.dag, platform, options);
+      SchedulerOptions naive = options;
+      naive.use_one_to_one = false;
+      const auto ltf_naive = ltf_schedule(fam.dag, platform, naive);
+      const auto e = fam.dag.num_edges();
+      t.add_row({fam.name, std::to_string(eps), std::to_string(e),
+                 std::to_string(e * (eps + 1)),
+                 ltf.ok() ? std::to_string(num_total_comms(*ltf.schedule)) : "FAIL",
+                 rltf.ok() ? std::to_string(num_total_comms(*rltf.schedule)) : "FAIL",
+                 ltf_naive.ok() ? std::to_string(num_total_comms(*ltf_naive.schedule))
+                                : "FAIL",
+                 std::to_string(e * (eps + 1) * (eps + 1))});
+    }
+  }
+  std::cout << t.to_ascii();
+  bench::maybe_write_csv(flags, "comm_overhead", t);
+  return 0;
+}

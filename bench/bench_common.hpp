@@ -1,0 +1,58 @@
+// Shared plumbing for the figure-regeneration benches: flag parsing with
+// environment overrides and optional CSV dumps.
+//
+// Every binary accepts:
+//   --graphs N      instances per granularity point (env STREAMSCHED_GRAPHS)
+//   --threads N     sweep worker threads, 0 = hardware (env STREAMSCHED_THREADS)
+//   --seed S        master seed (env STREAMSCHED_SEED)
+//   --csv PREFIX    write <PREFIX><name>.csv next to the printed tables
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "exp/sweep.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace streamsched::bench {
+
+struct CommonFlags {
+  std::size_t graphs = 60;
+  std::size_t threads = 0;
+  std::uint64_t seed = 42;
+  std::string csv_prefix;
+};
+
+inline CommonFlags parse_common(Cli& cli) {
+  CommonFlags flags;
+  flags.graphs = static_cast<std::size_t>(
+      cli.get_int("graphs", static_cast<std::int64_t>(flags.graphs), "STREAMSCHED_GRAPHS"));
+  flags.threads = static_cast<std::size_t>(
+      cli.get_int("threads", 0, "STREAMSCHED_THREADS"));
+  flags.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(flags.seed), "STREAMSCHED_SEED"));
+  flags.csv_prefix = cli.get_string("csv", "", "STREAMSCHED_CSV_PREFIX");
+  return flags;
+}
+
+inline SweepConfig sweep_config(const CommonFlags& flags, CopyId eps, std::uint32_t crashes) {
+  SweepConfig config;
+  config.eps = eps;
+  config.crashes = crashes;
+  config.graphs_per_point = flags.graphs;
+  config.seed = flags.seed;
+  config.threads = flags.threads;
+  return config;
+}
+
+inline void maybe_write_csv(const CommonFlags& flags, const std::string& name,
+                            const Table& table) {
+  if (flags.csv_prefix.empty()) return;
+  const std::string path = flags.csv_prefix + name + ".csv";
+  table.write_csv(path);
+  std::cout << "(wrote " << path << ")\n";
+}
+
+}  // namespace streamsched::bench

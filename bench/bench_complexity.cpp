@@ -1,0 +1,76 @@
+// Theorem 1: LTF/R-LTF complexity O(e·m·(ε+1)²·log(ε+1) + v·log ω).
+// google-benchmark timings of both schedulers as v, m and ε scale —
+// runtimes should grow roughly linearly in e·m and quadratically in ε+1.
+#include <benchmark/benchmark.h>
+
+#include "core/ltf.hpp"
+#include "core/rltf.hpp"
+#include "exp/workload.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+
+namespace {
+
+using namespace streamsched;
+
+struct Setup {
+  Dag dag;
+  Platform platform;
+  SchedulerOptions options;
+};
+
+Setup make_setup(std::size_t v, std::size_t m, CopyId eps) {
+  Rng rng(0xC0FFEE ^ (v * 1000003 + m * 101 + eps));
+  Setup s{make_random_layered(rng, v, std::max<std::size_t>(3, v / 8), 0.25, WeightRanges{}),
+          make_comm_heterogeneous(rng, m), {}};
+  s.options.eps = eps;
+  // Generous period so the runs measure algorithm cost, not failure paths.
+  s.options.period = calibrate_period(s.dag, s.platform, eps, 4.0, 1.0);
+  return s;
+}
+
+void BM_Ltf(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto eps = static_cast<CopyId>(state.range(2));
+  const Setup s = make_setup(v, m, eps);
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    auto r = ltf_schedule(s.dag, s.platform, s.options);
+    if (!r.ok()) ++failures;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["edges"] = static_cast<double>(s.dag.num_edges());
+  state.counters["fail"] = static_cast<double>(failures);
+}
+
+void BM_Rltf(benchmark::State& state) {
+  const auto v = static_cast<std::size_t>(state.range(0));
+  const auto m = static_cast<std::size_t>(state.range(1));
+  const auto eps = static_cast<CopyId>(state.range(2));
+  const Setup s = make_setup(v, m, eps);
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    auto r = rltf_schedule(s.dag, s.platform, s.options);
+    if (!r.ok()) ++failures;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["edges"] = static_cast<double>(s.dag.num_edges());
+  state.counters["fail"] = static_cast<double>(failures);
+}
+
+void scaling_args(benchmark::internal::Benchmark* b) {
+  // Scale v at fixed m, eps.
+  for (int v : {50, 100, 200, 400}) b->Args({v, 20, 1});
+  // Scale m at fixed v, eps.
+  for (int m : {10, 20, 40}) b->Args({100, m, 1});
+  // Scale eps at fixed v, m.
+  for (int eps : {0, 1, 3}) b->Args({100, 20, eps});
+}
+
+BENCHMARK(BM_Ltf)->Apply(scaling_args)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Rltf)->Apply(scaling_args)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Extension of Figures 3(b)/4(b): simulated latency as a function of the
+// actual crash count c = 0..ε at ε = 3 — how much of the replication
+// headroom each additional failure consumes (the paper only contrasts
+// c = 0 with c = 2).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streamsched.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  Cli cli(argc, argv);
+  const auto flags = bench::parse_common(cli);
+  cli.finish();
+
+  const CopyId eps = 3;
+  const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 3);
+  const std::size_t trials = 4;
+
+  struct Row {
+    RunningStats ltf, rltf;
+    RunningStats rltf_self_timed;  // the more realistic execution model
+    std::size_t starved = 0;
+  };
+  std::vector<std::vector<Row>> partial(eps + 1, std::vector<Row>(graphs));
+
+  Rng seeder(flags.seed);
+  std::vector<std::uint64_t> seeds(graphs);
+  for (auto& s : seeds) s = seeder();
+
+  parallel_for_indices(graphs, flags.threads, [&](std::size_t j) {
+    Rng rng(seeds[j]);
+    Rng crash_rng = rng.fork(1);
+    WorkloadParams params;
+    const Instance inst = make_instance(params, 1.0, eps, rng);
+
+    SchedulerOptions options;
+    options.eps = eps;
+    options.repair = true;
+    // Escalate the period until both algorithms fit (see exp/sweep.cpp).
+    ScheduleResult ltf, rltf;
+    for (double factor : {1.0, 1.3, 1.7, 2.2, 3.0}) {
+      options.period = inst.period * factor;
+      ltf = ltf_schedule(inst.dag, inst.platform, options);
+      rltf = rltf_schedule(inst.dag, inst.platform, options);
+      if (ltf.ok() && rltf.ok()) break;
+    }
+    if (!ltf.ok() || !rltf.ok()) return;
+    const double norm_actual = normalization_factor(options.period, eps);
+
+    for (std::uint32_t c = 0; c <= eps; ++c) {
+      for (std::size_t trial = 0; trial < (c == 0 ? 1 : trials); ++trial) {
+        SimOptions o;
+        o.num_items = 30;
+        o.warmup_items = 10;
+        if (c > 0) {
+          const auto set = crash_rng.sample_without_replacement(
+              static_cast<std::uint32_t>(inst.platform.num_procs()), c);
+          o.failed.assign(set.begin(), set.end());
+        }
+        const SimResult ls = simulate(*ltf.schedule, o);
+        const SimResult rs = simulate(*rltf.schedule, o);
+        Row& row = partial[c][j];
+        if (!ls.complete || !rs.complete) {
+          ++row.starved;
+          continue;
+        }
+        row.ltf.add(ls.mean_latency * norm_actual);
+        row.rltf.add(rs.mean_latency * norm_actual);
+        // Self-timed execution shows the crash effect more vividly: losing
+        // a fast replica chain directly lengthens the earliest-arrival
+        // path instead of being absorbed by the stage windows.
+        SimOptions st = o;
+        st.discipline = SimDiscipline::kSelfTimed;
+        const SimResult rst = simulate(*rltf.schedule, st);
+        if (rst.complete) row.rltf_self_timed.add(rst.mean_latency * norm_actual);
+      }
+    }
+  });
+
+  std::cout << "=== Crash sensitivity: normalized latency vs crash count (eps = 3, "
+            << graphs << " graphs) ===\n\n";
+  Table t({"crashes c", "R-LTF latency", "LTF latency", "R-LTF self-timed",
+           "starved runs"});
+  for (std::uint32_t c = 0; c <= eps; ++c) {
+    RunningStats ltf, rltf, rst;
+    std::size_t starved = 0;
+    for (const Row& row : partial[c]) {
+      ltf.merge(row.ltf);
+      rltf.merge(row.rltf);
+      rst.merge(row.rltf_self_timed);
+      starved += row.starved;
+    }
+    t.add_row({std::to_string(c), Table::fmt(rltf.mean(), 1), Table::fmt(ltf.mean(), 1),
+               Table::fmt(rst.mean(), 1), std::to_string(starved)});
+  }
+  std::cout << t.to_ascii();
+  std::cout << "\n(A schedule repaired for eps = 3 must never starve for c <= 3.)\n";
+  bench::maybe_write_csv(flags, "crash_sensitivity", t);
+  return 0;
+}

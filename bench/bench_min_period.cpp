@@ -1,0 +1,78 @@
+// Extension (paper §6, "symmetric problems"): the minimal sustainable
+// period per scheduler — maximize throughput for a given failure count.
+// Binary search over Δ for LTF, R-LTF, HEFT (period-aware) and the
+// lane-replicated stage packer, reported relative to the analytic lower
+// bound (ε+1)·W / Σs.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streamsched.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  Cli cli(argc, argv);
+  const auto flags = bench::parse_common(cli);
+  cli.finish();
+
+  struct Algo {
+    std::string name;
+    SchedulerFn fn;
+  };
+  const std::vector<Algo> algos{
+      {"LTF", ltf_schedule},
+      {"R-LTF", rltf_schedule},
+      {"HEFT(+naive repl.)", heft_schedule},
+      {"stage-pack (lanes)", stage_pack_schedule},
+  };
+
+  const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 4);
+  const CopyId eps = 1;
+
+  std::vector<std::vector<double>> ratios(algos.size(), std::vector<double>(graphs, -1.0));
+  std::vector<std::vector<double>> stages(algos.size(), std::vector<double>(graphs, 0.0));
+
+  Rng seeder(flags.seed);
+  std::vector<std::uint64_t> seeds(graphs);
+  for (auto& s : seeds) s = seeder();
+
+  parallel_for_indices(graphs, flags.threads, [&](std::size_t j) {
+    Rng rng(seeds[j]);
+    WorkloadParams params;
+    params.v_min = 40;
+    params.v_max = 80;
+    const Instance inst = make_instance(params, 1.0, eps, rng);
+    const double lb = period_lower_bound(inst.dag, inst.platform, eps);
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      SchedulerOptions base;
+      base.eps = eps;
+      const auto r = find_min_period(inst.dag, inst.platform, base, algos[a].fn, 1e-2);
+      if (!r.found) continue;
+      ratios[a][j] = r.period / lb;
+      stages[a][j] = num_stages(*r.schedule);
+    }
+  });
+
+  std::cout << "=== Minimal sustainable period (eps = 1, " << graphs
+            << " graphs, period relative to the analytic lower bound) ===\n\n";
+  Table t({"algorithm", "min period / LB (mean)", "min period / LB (max)",
+           "stages at frontier", "infeasible"});
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    RunningStats ratio, stage;
+    std::size_t infeasible = 0;
+    for (std::size_t j = 0; j < graphs; ++j) {
+      if (ratios[a][j] < 0) {
+        ++infeasible;
+        continue;
+      }
+      ratio.add(ratios[a][j]);
+      stage.add(stages[a][j]);
+    }
+    t.add_row({algos[a].name, Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
+               Table::fmt(stage.mean(), 2), std::to_string(infeasible)});
+  }
+  std::cout << t.to_ascii();
+  bench::maybe_write_csv(flags, "min_period", t);
+  return 0;
+}

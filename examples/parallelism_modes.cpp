@@ -1,0 +1,68 @@
+// Figure 1 tutorial: the three ways to run a streaming workflow
+// (task parallelism, data parallelism, pipelined execution), computed with
+// the library's own machinery on the paper's 4-task example.
+//
+//   ./examples/parallelism_modes
+#include <iostream>
+
+#include "core/streamsched.hpp"
+
+using namespace streamsched;
+
+int main() {
+  const Dag dag = make_paper_figure1();
+  const Platform platform = make_paper_figure1_platform();
+
+  std::cout << "Workflow (Figure 1(a)): 4 tasks of work 15, edges of volume 2.\n"
+            << "Platform: P1..P4 with speeds {1.5, 1, 1.5, 1}, unit bandwidth.\n\n";
+
+  // --- (i) task parallelism: minimize the makespan of one data item. ----
+  {
+    SchedulerOptions options;  // no period constraint, no replication
+    const auto r = heft_schedule(dag, platform, options);
+    SimOptions o;
+    o.discipline = SimDiscipline::kSelfTimed;
+    o.num_items = 1;
+    o.warmup_items = 0;
+    o.period = 1e9;
+    const SimResult sim = simulate(*r.schedule, o);
+    std::cout << "(i) task parallelism (HEFT makespan schedule)\n"
+              << "    latency " << sim.mean_latency << " (paper's hand schedule: 39);"
+              << " streaming throughput 1/" << sim.mean_latency
+              << " (the graph repeats back to back)\n\n";
+  }
+
+  // --- (ii) data parallelism: whole graph per processor, round robin. ---
+  {
+    // One 'virtual task' carrying the whole graph, replicated on all four
+    // processors; consecutive items round-robin across them.
+    const double total = dag.total_work();
+    double aggregate = 0.0;
+    for (ProcId u = 0; u < platform.num_procs(); ++u) {
+      aggregate += platform.speed(u) / total;
+    }
+    std::cout << "(ii) data parallelism (whole graph per processor, round robin)\n"
+              << "    aggregate throughput " << aggregate << " = 1/" << 1.0 / aggregate
+              << " (paper counts the two fast replicas: 2/40 = 1/20);\n"
+              << "    requires item-independence the streaming model does not assume.\n\n";
+  }
+
+  // --- (iii) pipelined execution: the model this library optimizes. -----
+  {
+    SchedulerOptions options;
+    options.period = 30.0;  // the paper's scenario: throughput 1/30
+    const auto r = rltf_schedule(dag, platform, options);
+    if (r.ok()) {
+      SimOptions o;
+      o.num_items = 25;
+      o.warmup_items = 8;
+      const SimResult sim = simulate(*r.schedule, o);
+      std::cout << "(iii) pipelined execution (R-LTF at period 30)\n"
+                << "    stages S = " << num_stages(*r.schedule) << ", latency bound "
+                << latency_upper_bound(*r.schedule) << " (paper: S = 2, L = 90)\n"
+                << "    simulated latency " << sim.mean_latency << ", achieved period "
+                << sim.achieved_period << '\n';
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// A realistic streaming scenario from the paper's motivation: a video
+// analytics pipeline (decode, split into tiles, per-tile detection,
+// tracking, annotation, encode) running on a heterogeneous cluster with a
+// frame-rate requirement and single-failure tolerance.
+//
+// Compares LTF, R-LTF and the lane-replicated stage packer on the same
+// instance, then stress-tests the chosen schedule against every possible
+// single-processor failure.
+//
+//   ./examples/video_pipeline
+#include <iostream>
+
+#include "core/streamsched.hpp"
+
+using namespace streamsched;
+
+namespace {
+
+Dag make_video_pipeline(std::size_t tiles) {
+  Dag dag;
+  const TaskId decode = dag.add_task("decode", 30.0);
+  const TaskId split = dag.add_task("split", 6.0);
+  dag.add_edge(decode, split, 40.0);
+  std::vector<TaskId> trackers;
+  for (std::size_t i = 0; i < tiles; ++i) {
+    const TaskId detect = dag.add_task("detect" + std::to_string(i), 22.0);
+    const TaskId track = dag.add_task("track" + std::to_string(i), 9.0);
+    dag.add_edge(split, detect, 12.0);
+    dag.add_edge(detect, track, 5.0);
+    trackers.push_back(track);
+  }
+  const TaskId fuse = dag.add_task("fuse", 8.0);
+  for (TaskId t : trackers) dag.add_edge(t, fuse, 4.0);
+  const TaskId annotate = dag.add_task("annotate", 12.0);
+  dag.add_edge(fuse, annotate, 10.0);
+  const TaskId encode = dag.add_task("encode", 26.0);
+  dag.add_edge(annotate, encode, 30.0);
+  return dag;
+}
+
+void evaluate(const std::string& name, const ScheduleResult& result, double period) {
+  std::cout << "--- " << name << " ---\n";
+  if (!result.ok()) {
+    std::cout << "  failed: " << result.error << "\n\n";
+    return;
+  }
+  const Schedule& s = *result.schedule;
+  SimOptions o;
+  o.num_items = 40;
+  o.warmup_items = 15;
+  const SimResult sim = simulate(s, o);
+  std::cout << "  stages: " << num_stages(s) << ", latency bound: " << latency_upper_bound(s)
+            << ", simulated latency: " << sim.mean_latency
+            << " (frame period " << period << ")\n"
+            << "  processors used: " << num_procs_used(s)
+            << ", remote transfers per frame: " << num_remote_comms(s) << '\n';
+
+  // Exhaustive single-failure stress test.
+  std::size_t survived = 0;
+  double worst_latency = 0.0;
+  for (ProcId u = 0; u < s.platform().num_procs(); ++u) {
+    SimOptions crash = o;
+    crash.failed = {u};
+    const SimResult r = simulate(s, crash);
+    if (r.complete) {
+      ++survived;
+      worst_latency = std::max(worst_latency, r.mean_latency);
+    }
+  }
+  std::cout << "  single-failure stress: " << survived << '/' << s.platform().num_procs()
+            << " crash scenarios survived, worst degraded latency: " << worst_latency
+            << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const Dag dag = make_video_pipeline(/*tiles=*/4);
+
+  // A 12-node cluster: 4 fast GPUs-ish nodes (speed 2), 8 standard nodes.
+  std::vector<double> speeds{2.0, 2.0, 2.0, 2.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+  Rng rng(2026);
+  Matrix<double> delays(speeds.size(), speeds.size(), 0.0);
+  for (std::size_t a = 0; a < speeds.size(); ++a) {
+    for (std::size_t b = a + 1; b < speeds.size(); ++b) {
+      const double d = rng.uniform(0.1, 0.3);
+      delays(a, b) = d;
+      delays(b, a) = d;
+    }
+  }
+  const Platform platform(speeds, delays);
+
+  std::cout << "Video pipeline: " << dag.num_tasks() << " tasks, " << dag.num_edges()
+            << " edges, width " << graph_width(dag) << ", granularity "
+            << granularity(dag, platform) << "\n\n";
+
+  // Frame-rate requirement: a frame every 40 time units; survive 1 failure.
+  SchedulerOptions options;
+  options.eps = 1;
+  options.period = 40.0;
+  options.repair = true;
+
+  evaluate("R-LTF", rltf_schedule(dag, platform, options), options.period);
+  evaluate("LTF", ltf_schedule(dag, platform, options), options.period);
+  evaluate("stage-pack (lane replication)", stage_pack_schedule(dag, platform, options),
+           options.period);
+
+  // How fast could we go? The throughput frontier per algorithm.
+  SchedulerOptions base;
+  base.eps = 1;
+  for (const auto& [name, fn] :
+       {std::pair<std::string, SchedulerFn>{"R-LTF", rltf_schedule},
+        std::pair<std::string, SchedulerFn>{"LTF", ltf_schedule}}) {
+    const auto frontier = find_min_period(dag, platform, base, fn, 1e-3);
+    if (frontier.found) {
+      std::cout << name << " minimal sustainable frame period: " << frontier.period
+                << " (stages at the frontier: " << num_stages(*frontier.schedule) << ")\n";
+    }
+  }
+  return 0;
+}

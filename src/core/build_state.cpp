@@ -1,0 +1,158 @@
+#include "core/build_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+BuildState::BuildState(const Dag& dag, const Platform& platform, CopyId eps, double period)
+    : dag_(&dag),
+      platform_(&platform),
+      schedule_(dag, platform, eps, period),
+      proc_free_(platform.num_procs(), 0.0),
+      send_free_(platform.num_procs(), 0.0),
+      recv_free_(platform.num_procs(), 0.0) {}
+
+double BuildState::arrival_estimate(ReplicaRef src, EdgeId edge, ProcId dst) const {
+  const PlacedReplica& p = schedule_.placed(src);
+  return p.finish + platform_->comm_time(dag_->edge(edge).volume, p.proc, dst);
+}
+
+BuildState::Candidate BuildState::evaluate(
+    TaskId task, ProcId u, const std::vector<std::vector<ReplicaRef>>& suppliers) const {
+  const auto preds = dag_->predecessors(task);
+  SS_REQUIRE(suppliers.size() == preds.size(),
+             "need one supplier set per predecessor, in predecessor order");
+
+  Candidate cand;
+  cand.proc = u;
+
+  const double period = schedule_.period();
+  const double exec = platform_->exec_time(dag_->work(task), u);
+
+  // Compute-load part of condition (1).
+  bool loads_ok = schedule_.sigma(u) + exec <= period;
+
+  // Plan every supplier communication under greedy FCFS port reservation,
+  // using scratch copies of the cursors (commit re-runs this plan).
+  struct Planned {
+    std::size_t pred_index;
+    SupplierUse use;
+    std::uint32_t src_stage;
+  };
+  std::vector<Planned> planned;
+  double recv_cursor = recv_free_[u];
+  std::vector<double> send_cursor = send_free_;  // m is small; copying is fine
+  double added_cin = 0.0;
+  std::vector<double> added_cout(platform_->num_procs(), 0.0);
+
+  // Reserve ports in increasing source-finish order (FCFS by data-ready
+  // time), deterministic tie-break by replica identity.
+  std::vector<std::pair<std::size_t, ReplicaRef>> order;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    SS_REQUIRE(!suppliers[i].empty(), "empty supplier set for a predecessor");
+    for (ReplicaRef src : suppliers[i]) {
+      SS_REQUIRE(src.task == preds[i], "supplier does not belong to the right predecessor");
+      order.emplace_back(i, src);
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [&](const auto& a, const auto& b) {
+              const double fa = schedule_.placed(a.second).finish;
+              const double fb = schedule_.placed(b.second).finish;
+              if (fa != fb) return fa < fb;
+              return a.second < b.second;
+            });
+
+  for (const auto& [pred_index, src] : order) {
+    const PlacedReplica& sp = schedule_.placed(src);
+    Planned item;
+    item.pred_index = pred_index;
+    item.use.src = src;
+    item.use.edge = dag_->find_edge(preds[pred_index], task);
+    item.src_stage = sp.stage;
+    if (sp.proc == u) {
+      item.use.remote = false;
+      item.use.comm_start = sp.finish;
+      item.use.arrival = sp.finish;
+    } else {
+      const double duration =
+          platform_->comm_time(dag_->edge(item.use.edge).volume, sp.proc, u);
+      const double start = std::max({sp.finish, send_cursor[sp.proc], recv_cursor});
+      item.use.remote = true;
+      item.use.comm_start = start;
+      item.use.arrival = start + duration;
+      send_cursor[sp.proc] = item.use.arrival;
+      recv_cursor = item.use.arrival;
+      added_cin += duration;
+      added_cout[sp.proc] += duration;
+    }
+    planned.push_back(item);
+  }
+
+  // Port-load parts of condition (1).
+  if (schedule_.cin(u) + added_cin > period) loads_ok = false;
+  for (ProcId h = 0; h < platform_->num_procs(); ++h) {
+    if (added_cout[h] > 0.0 && schedule_.cout(h) + added_cout[h] > period) loads_ok = false;
+  }
+
+  // Readiness: earliest arrival per predecessor (ANY-of), latest over
+  // predecessors overall.
+  double ready = 0.0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    double earliest = std::numeric_limits<double>::infinity();
+    for (const Planned& item : planned) {
+      if (item.pred_index == i) earliest = std::min(earliest, item.use.arrival);
+    }
+    ready = std::max(ready, earliest);
+  }
+
+  cand.start = std::max(ready, proc_free_[u]);
+  cand.finish = cand.start + exec;
+
+  // Paper stage rule: max over communicating suppliers of stage + η.
+  cand.stage = 1;
+  for (const Planned& item : planned) {
+    cand.stage = std::max(cand.stage, item.src_stage + (item.use.remote ? 1u : 0u));
+  }
+
+  cand.suppliers.reserve(planned.size());
+  for (const Planned& item : planned) cand.suppliers.push_back(item.use);
+  cand.valid = loads_ok;
+  return cand;
+}
+
+void BuildState::commit(TaskId task, CopyId copy, const Candidate& candidate) {
+  SS_REQUIRE(candidate.proc != kInvalidProc, "cannot commit an empty candidate");
+  const ProcId u = candidate.proc;
+  schedule_.place(ReplicaRef{task, copy}, u, candidate.start, candidate.finish,
+                  candidate.stage);
+  proc_free_[u] = std::max(proc_free_[u], candidate.finish);
+  for (const SupplierUse& use : candidate.suppliers) {
+    CommRecord comm;
+    comm.edge = use.edge;
+    comm.src = use.src;
+    comm.dst = ReplicaRef{task, copy};
+    comm.start = use.comm_start;
+    comm.finish = use.arrival;
+    schedule_.add_comm(comm);
+    if (use.remote) {
+      const ProcId from = schedule_.placed(use.src).proc;
+      send_free_[from] = std::max(send_free_[from], use.arrival);
+      recv_free_[u] = std::max(recv_free_[u], use.arrival);
+    }
+  }
+}
+
+bool BuildState::hosts_copy_of(TaskId task, ProcId u) const {
+  for (CopyId c = 0; c < schedule_.copies(); ++c) {
+    const ReplicaRef r{task, c};
+    if (schedule_.is_placed(r) && schedule_.placed(r).proc == u) return true;
+  }
+  return false;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,87 @@
+// Shared greedy construction machinery for the list schedulers.
+//
+// BuildState owns the schedule under construction plus the virtual
+// timeline cursors (per-processor compute availability and one-port
+// send/receive availability). Schedulers ask it to *evaluate* a candidate
+// placement — which simulates the induced communications under greedy
+// FCFS port reservation and checks the throughput condition (1) of the
+// paper — and then *commit* the best candidate.
+//
+// Condition (1), for task t placed on P_u with period Δ:
+//   Σ_u + E(t)/s_u <= Δ   (compute load)
+//   C^I_u + Σ incoming    <= Δ   (receive port load)
+//   C^O_h + outgoing_h    <= Δ   for every supplier processor h != u
+// The lock-set part of condition (1) is enforced by the callers, who own
+// the per-task locked processor sets.
+#pragma once
+
+#include <vector>
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+class BuildState {
+ public:
+  BuildState(const Dag& dag, const Platform& platform, CopyId eps, double period);
+
+  /// One planned supplier communication.
+  struct SupplierUse {
+    ReplicaRef src;
+    EdgeId edge = kInvalidEdge;
+    double comm_start = 0.0;
+    double arrival = 0.0;  ///< src.finish for colocated suppliers
+    bool remote = false;
+  };
+
+  /// A fully planned placement of one replica on one processor.
+  struct Candidate {
+    bool valid = false;  ///< loads satisfy condition (1)
+    ProcId proc = kInvalidProc;
+    double start = 0.0;
+    double finish = 0.0;
+    std::uint32_t stage = 1;
+    std::vector<SupplierUse> suppliers;
+  };
+
+  /// Plans placing a fresh replica of `task` on `u`, supplied by
+  /// `suppliers[i]` (a non-empty set of placed replicas of the i-th
+  /// predecessor, in dag.predecessors(task) order). ANY-of semantics: the
+  /// replica may start at the earliest arrival per predecessor; every
+  /// listed communication is reserved on the ports and counted against the
+  /// period budget.
+  [[nodiscard]] Candidate evaluate(TaskId task, ProcId u,
+                                   const std::vector<std::vector<ReplicaRef>>& suppliers) const;
+
+  /// Applies a valid candidate: places (task, copy), records the supplier
+  /// communications and advances the timeline cursors and load counters.
+  void commit(TaskId task, CopyId copy, const Candidate& candidate);
+
+  [[nodiscard]] bool hosts_copy_of(TaskId task, ProcId u) const;
+
+  [[nodiscard]] const Schedule& schedule() const { return schedule_; }
+  [[nodiscard]] Schedule take() && { return std::move(schedule_); }
+
+  [[nodiscard]] const Dag& dag() const { return *dag_; }
+  [[nodiscard]] const Platform& platform() const { return *platform_; }
+  [[nodiscard]] double period() const { return schedule_.period(); }
+  [[nodiscard]] std::size_t num_procs() const { return platform_->num_procs(); }
+
+  /// Arrival-time estimate used to sort supplier replicas (the paper sorts
+  /// B(t_i) by communication finish times on the links): source finish plus
+  /// raw transfer time, ignoring port queueing.
+  [[nodiscard]] double arrival_estimate(ReplicaRef src, EdgeId edge, ProcId dst) const;
+
+ private:
+  const Dag* dag_;
+  const Platform* platform_;
+  Schedule schedule_;
+  std::vector<double> proc_free_;
+  std::vector<double> send_free_;
+  std::vector<double> recv_free_;
+};
+
+}  // namespace streamsched

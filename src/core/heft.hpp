@@ -1,0 +1,28 @@
+// HEFT baseline (Topcuoglu et al. [9]) adapted to the one-port model.
+//
+// Classic list scheduling by descending upward rank (bottom level) with
+// earliest-finish-time processor selection — no replication and, by
+// default, no throughput constraint. Included as the reference
+// makespan-oriented scheduler: it shows what happens to the period and the
+// pipelined latency when a scheduler optimizes the critical path only
+// (the paper's motivation for stage-aware mapping). When a finite period
+// is supplied in the options, processors violating condition (1) are
+// skipped, turning it into a throughput-feasible list scheduler.
+//
+// Differences from the original HEFT: no insertion-based backfilling (the
+// one-port builder appends greedily, like the other schedulers here), and
+// eps > 0 simply replicates the EFT choice onto the next-best processors
+// with all-to-all supplier wiring (naive active replication) — useful as
+// an ablation against the one-to-one scheme.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+[[nodiscard]] ScheduleResult heft_schedule(const Dag& dag, const Platform& platform,
+                                           const SchedulerOptions& options);
+
+}  // namespace streamsched

@@ -1,0 +1,157 @@
+#include "core/ltf.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "core/build_state.hpp"
+#include "core/one_to_one.hpp"
+#include "graph/levels.hpp"
+#include "schedule/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+namespace {
+
+// Ready list ordered by priority (descending), ties by task id (ascending)
+// for determinism. H(α) pops the head.
+struct ReadyEntry {
+  double priority;
+  TaskId task;
+
+  bool operator<(const ReadyEntry& other) const {
+    if (priority != other.priority) return priority < other.priority;
+    return task > other.task;
+  }
+};
+using ReadyList = std::priority_queue<ReadyEntry>;
+
+// Minimum-finish-time placement over feasible processors; `allowed`
+// filters candidate processors. Returns an invalid candidate if none fits.
+BuildState::Candidate best_feasible(const BuildState& state, TaskId task,
+                                    const std::vector<std::vector<ReplicaRef>>& suppliers,
+                                    const std::vector<bool>& allowed) {
+  BuildState::Candidate best;
+  for (ProcId u = 0; u < state.num_procs(); ++u) {
+    if (!allowed[u]) continue;
+    if (state.hosts_copy_of(task, u)) continue;
+    const BuildState::Candidate cand = state.evaluate(task, u, suppliers);
+    if (!cand.valid) continue;
+    if (!best.valid || cand.finish < best.finish) best = cand;
+  }
+  return best;
+}
+
+}  // namespace
+
+ScheduleResult ltf_schedule(const Dag& dag, const Platform& platform,
+                            const SchedulerOptions& options) {
+  SS_REQUIRE(dag.num_tasks() > 0, "cannot schedule an empty graph");
+  SS_REQUIRE(options.eps < platform.num_procs(),
+             "eps must be smaller than the processor count");
+
+  const std::size_t m = platform.num_procs();
+  const CopyId copies = options.eps + 1;
+  const std::uint32_t chunk = options.chunk > 0 ? options.chunk : static_cast<std::uint32_t>(m);
+
+  BuildState state(dag, platform, options.eps, options.period);
+
+  const auto prio = priorities(dag, platform);
+  std::vector<std::size_t> waiting(dag.num_tasks());
+  ReadyList ready;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    waiting[t] = dag.in_degree(t);
+    if (waiting[t] == 0) ready.push(ReadyEntry{prio[t], t});
+  }
+
+  std::size_t scheduled = 0;
+  while (scheduled < dag.num_tasks()) {
+    SS_CHECK(!ready.empty(), "ready list empty although tasks remain (cycle?)");
+
+    // Select the chunk β of critical tasks.
+    std::vector<TaskId> beta;
+    while (beta.size() < chunk && !ready.empty()) {
+      beta.push_back(ready.top().task);
+      ready.pop();
+    }
+
+    std::vector<OneToOneContext> contexts(beta.size());
+    std::vector<std::vector<bool>> locked(beta.size(), std::vector<bool>(m, false));
+    for (std::size_t k = 0; k < beta.size(); ++k) {
+      if (options.use_one_to_one) {
+        contexts[k] = make_one_to_one_context(state, beta[k]);
+      }  // else θ stays 0: every replica takes the fallback path
+    }
+
+    // Replica-major (iso-level) placement.
+    for (CopyId n = 0; n < copies; ++n) {
+      for (std::size_t k = 0; k < beta.size(); ++k) {
+        const TaskId t = beta[k];
+        bool placed = false;
+
+        if (contexts[k].available()) {
+          if (auto choice = plan_one_to_one(state, t, contexts[k], locked[k])) {
+            state.commit(t, n, choice->candidate);
+            locked[k][choice->candidate.proc] = true;
+            for (ReplicaRef head : choice->heads) {
+              locked[k][state.schedule().placed(head).proc] = true;
+            }
+            consume_heads(contexts[k], choice->heads);
+            placed = true;
+          } else {
+            // No unlocked feasible processor for a one-to-one placement:
+            // stop the procedure for this task (Z stays where it is).
+            contexts[k].theta = contexts[k].used;
+          }
+        }
+
+        if (!placed) {
+          // Fallback: receive from all replicas of every predecessor.
+          const auto preds = dag.predecessors(t);
+          std::vector<std::vector<ReplicaRef>> suppliers(preds.size());
+          for (std::size_t i = 0; i < preds.size(); ++i) {
+            for (CopyId c = 0; c < copies; ++c) suppliers[i].push_back({preds[i], c});
+          }
+
+          std::vector<bool> allowed(m);
+          for (ProcId u = 0; u < m; ++u) allowed[u] = !locked[k][u];
+          BuildState::Candidate best = best_feasible(state, t, suppliers, allowed);
+          if (!best.valid) {
+            // Relax the lock constraint ("use other processors"), never the
+            // throughput constraint.
+            std::fill(allowed.begin(), allowed.end(), true);
+            best = best_feasible(state, t, suppliers, allowed);
+          }
+          if (!best.valid) {
+            return ScheduleResult::failure(
+                "LTF: no processor can host task '" + dag.name(t) + "' replica " +
+                std::to_string(n) + " within period " + std::to_string(options.period));
+          }
+          state.commit(t, n, best);
+          locked[k][best.proc] = true;
+        }
+      }
+    }
+
+    // Chunk done: release successors.
+    for (TaskId t : beta) {
+      ++scheduled;
+      for (EdgeId e : dag.out_edges(t)) {
+        const TaskId s = dag.edge(e).dst;
+        if (--waiting[s] == 0) ready.push(ReadyEntry{prio[s], s});
+      }
+    }
+  }
+
+  Schedule schedule = std::move(state).take();
+  recompute_stages(schedule);
+
+  ScheduleResult result;
+  if (options.repair) {
+    result.repair = repair_fault_tolerance(schedule, options.eps);
+  }
+  result.schedule.emplace(std::move(schedule));
+  return result;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,28 @@
+// LTF — Latency, Throughput, Failures (paper Algorithm 4.1).
+//
+// Top-down iso-level list scheduling: repeatedly selects a chunk β of up to
+// B ready tasks with the highest priorities tl + bl, then places replica
+// levels N = 0..ε across the chunk (replica-major order, for load balance,
+// as in Iso-Level CAFT [1]). Each replica is placed either by the
+// one-to-one mapping procedure (while singleton supplier replicas remain)
+// or by a fallback that picks the feasible processor with minimum finish
+// time; fallback replicas receive from *all* replicas of each predecessor.
+//
+// Processor selection respects condition (1): the compute load and both
+// port loads must stay within the period, and the processor must not be
+// locked for the current task. When no unlocked processor qualifies, the
+// lock constraint is relaxed (at the price of extra communications); when
+// the throughput constraint itself cannot be met, LTF *fails* — which the
+// paper observes on the Figure 2 example with m = 8.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+[[nodiscard]] ScheduleResult ltf_schedule(const Dag& dag, const Platform& platform,
+                                          const SchedulerOptions& options);
+
+}  // namespace streamsched

@@ -1,0 +1,105 @@
+#include "core/one_to_one.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+OneToOneContext make_one_to_one_context(const BuildState& state, TaskId task) {
+  const Dag& dag = state.dag();
+  const Schedule& schedule = state.schedule();
+  const auto preds = dag.predecessors(task);
+
+  OneToOneContext ctx;
+  if (preds.empty()) {
+    // Entry task: no communications to pair up; every replica can be
+    // "one-to-one" placed (distinct processors enforced via locking).
+    ctx.theta = schedule.copies();
+    return ctx;
+  }
+
+  // Count predecessor replicas per processor to find singletons.
+  std::vector<std::uint32_t> replicas_on_proc(state.num_procs(), 0);
+  for (TaskId pred : preds) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{pred, c};
+      SS_CHECK(schedule.is_placed(r), "predecessor replica not placed yet");
+      ++replicas_on_proc[schedule.placed(r).proc];
+    }
+  }
+
+  ctx.remaining.resize(preds.size());
+  std::uint32_t theta = std::numeric_limits<std::uint32_t>::max();
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{preds[i], c};
+      if (replicas_on_proc[schedule.placed(r).proc] == 1) {
+        ctx.remaining[i].push_back(r);
+      }
+    }
+    theta = std::min(theta, static_cast<std::uint32_t>(ctx.remaining[i].size()));
+  }
+  ctx.theta = theta;
+  return ctx;
+}
+
+std::optional<OneToOneChoice> plan_one_to_one(const BuildState& state, TaskId task,
+                                              const OneToOneContext& context,
+                                              const std::vector<bool>& locked) {
+  const Dag& dag = state.dag();
+  const auto preds = dag.predecessors(task);
+
+  std::optional<OneToOneChoice> best;
+  for (ProcId u = 0; u < state.num_procs(); ++u) {
+    if (locked[u]) continue;
+    if (state.hosts_copy_of(task, u)) continue;
+
+    // Head per predecessor: the remaining replica whose data can reach u
+    // the earliest (paper: sort B(t_i) by communication finish times).
+    std::vector<std::vector<ReplicaRef>> suppliers(preds.size());
+    std::vector<ReplicaRef> heads(preds.size());
+    bool feasible = true;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (context.remaining[i].empty()) {
+        feasible = false;
+        break;
+      }
+      const EdgeId edge = dag.find_edge(preds[i], task);
+      ReplicaRef head = context.remaining[i].front();
+      double best_arrival = state.arrival_estimate(head, edge, u);
+      for (ReplicaRef cand : context.remaining[i]) {
+        const double arrival = state.arrival_estimate(cand, edge, u);
+        if (arrival < best_arrival || (arrival == best_arrival && cand < head)) {
+          best_arrival = arrival;
+          head = cand;
+        }
+      }
+      heads[i] = head;
+      suppliers[i] = {head};
+    }
+    if (!feasible) break;
+
+    const BuildState::Candidate cand = state.evaluate(task, u, suppliers);
+    if (!cand.valid) continue;
+    if (!best || cand.finish < best->candidate.finish) {
+      best = OneToOneChoice{cand, heads};
+    }
+  }
+  return best;
+}
+
+void consume_heads(OneToOneContext& context, const std::vector<ReplicaRef>& heads) {
+  SS_REQUIRE(heads.size() == context.remaining.size(),
+             "need exactly one head per predecessor");
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    auto& list = context.remaining[i];
+    const auto it = std::find(list.begin(), list.end(), heads[i]);
+    SS_CHECK(it != list.end(), "head is not in the remaining list");
+    list.erase(it);
+  }
+  ++context.used;
+}
+
+}  // namespace streamsched

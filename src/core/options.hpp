@@ -1,0 +1,56 @@
+// Scheduler configuration and result types shared by every algorithm in
+// core/ (LTF, R-LTF, HEFT, stage packing).
+#pragma once
+
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+struct SchedulerOptions {
+  /// ε: number of processor failures to tolerate (ε + 1 replicas per task).
+  CopyId eps = 0;
+
+  /// Δ = 1/T: desired iteration period. Infinity disables the throughput
+  /// constraint.
+  double period = std::numeric_limits<double>::infinity();
+
+  /// Chunk size B of the iso-level selection (paper: B = m). 0 means "use
+  /// the number of processors".
+  std::uint32_t chunk = 0;
+
+  /// Enable the one-to-one mapping procedure (LTF) / chained supplier
+  /// selection (R-LTF). Disabling forces every replica to receive from all
+  /// predecessor replicas — the (ε+1)² communication regime. Ablation knob.
+  bool use_one_to_one = true;
+
+  /// Run the fault-tolerance repair pass on the finished schedule so the
+  /// ε-failure guarantee provably holds (see schedule/fault_tolerance.hpp).
+  bool repair = false;
+
+  /// R-LTF only: enable Rule 1 (stage-preserving merges). Ablation knob.
+  bool use_rule1 = true;
+};
+
+/// Outcome of a scheduling attempt. LTF legitimately fails when the
+/// throughput constraint cannot be met (paper §4.1) — that is a result,
+/// not an exception.
+struct ScheduleResult {
+  std::optional<Schedule> schedule;
+  std::string error;
+  RepairStats repair;
+
+  [[nodiscard]] bool ok() const { return schedule.has_value(); }
+
+  static ScheduleResult failure(std::string why) {
+    ScheduleResult r;
+    r.error = std::move(why);
+    return r;
+  }
+};
+
+}  // namespace streamsched

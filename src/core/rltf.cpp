@@ -1,0 +1,279 @@
+#include "core/rltf.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/build_state.hpp"
+#include "graph/levels.hpp"
+#include "schedule/metrics.hpp"
+#include "schedule/mirror.hpp"
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+namespace {
+
+struct ReadyEntry {
+  double priority;
+  TaskId task;
+
+  bool operator<(const ReadyEntry& other) const {
+    if (priority != other.priority) return priority < other.priority;
+    return task > other.task;
+  }
+};
+
+// Per-task coverage bookkeeping: uncovered[i][c] is true while copy c of
+// the i-th (reversed-graph) predecessor — an original successor — has not
+// yet been wired to any replica of the current task.
+struct Coverage {
+  std::vector<std::vector<bool>> uncovered;
+
+  [[nodiscard]] std::vector<CopyId> uncovered_copies(std::size_t pred_index) const {
+    std::vector<CopyId> out;
+    for (CopyId c = 0; c < uncovered[pred_index].size(); ++c) {
+      if (uncovered[pred_index][c]) out.push_back(c);
+    }
+    return out;
+  }
+};
+
+class RltfPass {
+ public:
+  RltfPass(const Dag& rdag, const Platform& platform, const SchedulerOptions& options)
+      : rdag_(rdag),
+        options_(options),
+        copies_(options.eps + 1),
+        m_(platform.num_procs()),
+        state_(rdag, platform, options.eps, options.period) {}
+
+  /// Runs the reverse pass; returns an error message on failure, empty on
+  /// success (schedule available via take()).
+  std::string run() {
+    const auto prio = priorities(rdag_, state_.platform());
+    std::vector<std::size_t> waiting(rdag_.num_tasks());
+    std::priority_queue<ReadyEntry> ready;
+    for (TaskId t = 0; t < rdag_.num_tasks(); ++t) {
+      waiting[t] = rdag_.in_degree(t);
+      if (waiting[t] == 0) ready.push(ReadyEntry{prio[t], t});
+    }
+    const std::uint32_t chunk =
+        options_.chunk > 0 ? options_.chunk : static_cast<std::uint32_t>(m_);
+
+    std::size_t scheduled = 0;
+    while (scheduled < rdag_.num_tasks()) {
+      SS_CHECK(!ready.empty(), "ready list empty although tasks remain");
+      std::vector<TaskId> beta;
+      while (beta.size() < chunk && !ready.empty()) {
+        beta.push_back(ready.top().task);
+        ready.pop();
+      }
+
+      std::vector<Coverage> coverage(beta.size());
+      std::vector<std::vector<bool>> locked(beta.size(), std::vector<bool>(m_, false));
+      for (std::size_t k = 0; k < beta.size(); ++k) {
+        coverage[k].uncovered.assign(rdag_.in_degree(beta[k]),
+                                     std::vector<bool>(copies_, true));
+      }
+
+      for (CopyId n = 0; n < copies_; ++n) {
+        for (std::size_t k = 0; k < beta.size(); ++k) {
+          const std::string err = place_copy(beta[k], n, coverage[k], locked[k]);
+          if (!err.empty()) return err;
+        }
+      }
+
+      for (TaskId t : beta) {
+        ++scheduled;
+        for (EdgeId e : rdag_.out_edges(t)) {
+          const TaskId s = rdag_.edge(e).dst;
+          if (--waiting[s] == 0) ready.push(ReadyEntry{prio[s], s});
+        }
+      }
+    }
+    return {};
+  }
+
+  [[nodiscard]] Schedule take() && { return std::move(state_).take(); }
+
+ private:
+  // Supplier selection for one replica of `task` targeting processor u.
+  // Chained (Rule-2 style) selection: one supplier per predecessor,
+  // uncovered copies first; the last replica picks up all still-uncovered
+  // copies so every successor replica ends with a supplier. `stage_aware`
+  // minimizes the stage contribution first (used for Rule-1 attempts).
+  std::vector<std::vector<ReplicaRef>> choose_suppliers(TaskId task, ProcId u, bool last,
+                                                        const Coverage& coverage,
+                                                        bool stage_aware) const {
+    const auto preds = rdag_.predecessors(task);
+    std::vector<std::vector<ReplicaRef>> suppliers(preds.size());
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      if (!options_.use_one_to_one) {
+        for (CopyId c = 0; c < copies_; ++c) suppliers[i].push_back({preds[i], c});
+        continue;
+      }
+      const auto uncovered = coverage.uncovered_copies(i);
+      if (last && !uncovered.empty()) {
+        for (CopyId c : uncovered) suppliers[i].push_back({preds[i], c});
+        continue;
+      }
+      // Candidate pool: uncovered copies if any remain, otherwise all.
+      std::vector<CopyId> pool = uncovered;
+      if (pool.empty()) {
+        for (CopyId c = 0; c < copies_; ++c) pool.push_back(c);
+      }
+      const EdgeId edge = rdag_.find_edge(preds[i], task);
+      ReplicaRef best{preds[i], pool.front()};
+      double best_arrival = state_.arrival_estimate(best, edge, u);
+      std::uint32_t best_contrib = contribution(best, u);
+      for (CopyId c : pool) {
+        const ReplicaRef cand{preds[i], c};
+        const double arrival = state_.arrival_estimate(cand, edge, u);
+        const std::uint32_t contrib = contribution(cand, u);
+        bool better;
+        if (stage_aware) {
+          better = contrib < best_contrib ||
+                   (contrib == best_contrib && arrival < best_arrival) ||
+                   (contrib == best_contrib && arrival == best_arrival && cand < best);
+        } else {
+          better = arrival < best_arrival || (arrival == best_arrival && cand < best);
+        }
+        if (better) {
+          best = cand;
+          best_arrival = arrival;
+          best_contrib = contrib;
+        }
+      }
+      suppliers[i] = {best};
+    }
+    return suppliers;
+  }
+
+  // Stage contribution of wiring supplier `src` from processor u's view.
+  [[nodiscard]] std::uint32_t contribution(ReplicaRef src, ProcId u) const {
+    const PlacedReplica& p = state_.schedule().placed(src);
+    return p.stage + (p.proc == u ? 0u : 1u);
+  }
+
+  // Max stage over the chosen suppliers — Rule 1 accepts a candidate only
+  // when its stage does not exceed this.
+  [[nodiscard]] std::uint32_t supplier_stage_max(
+      const std::vector<std::vector<ReplicaRef>>& suppliers) const {
+    std::uint32_t best = 1;
+    for (const auto& group : suppliers) {
+      for (ReplicaRef src : group) {
+        best = std::max(best, state_.schedule().placed(src).stage);
+      }
+    }
+    return best;
+  }
+
+  void commit_copy(TaskId task, CopyId n, const BuildState::Candidate& cand,
+                   Coverage& coverage, std::vector<bool>& locked) {
+    state_.commit(task, n, cand);
+    locked[cand.proc] = true;
+    // Map supplier tasks back to predecessor slots for coverage updates,
+    // and lock supplier processors (one-to-one locking discipline).
+    const auto preds = rdag_.predecessors(task);
+    for (const BuildState::SupplierUse& use : cand.suppliers) {
+      locked[state_.schedule().placed(use.src).proc] = true;
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        if (preds[i] == use.src.task) {
+          coverage.uncovered[i][use.src.copy] = false;
+          break;
+        }
+      }
+    }
+  }
+
+  std::string place_copy(TaskId task, CopyId n, Coverage& coverage,
+                         std::vector<bool>& locked) {
+    const bool last = (n + 1 == copies_);
+    const auto preds = rdag_.predecessors(task);
+
+    // ---- Rule 1: stage-preserving merge --------------------------------
+    if (options_.use_rule1 && !preds.empty()) {
+      std::vector<bool> tried(m_, false);
+      BuildState::Candidate best;
+      for (std::size_t i = 0; i < preds.size(); ++i) {
+        std::vector<CopyId> pool = coverage.uncovered_copies(i);
+        if (pool.empty()) {
+          for (CopyId c = 0; c < copies_; ++c) pool.push_back(c);
+        }
+        for (CopyId c : pool) {
+          const ProcId u = state_.schedule().placed(ReplicaRef{preds[i], c}).proc;
+          if (tried[u] || locked[u] || state_.hosts_copy_of(task, u)) continue;
+          tried[u] = true;
+          const auto suppliers = choose_suppliers(task, u, last, coverage, true);
+          const BuildState::Candidate cand = state_.evaluate(task, u, suppliers);
+          if (!cand.valid) continue;
+          if (cand.stage > supplier_stage_max(suppliers)) continue;  // stage grew
+          if (!best.valid || cand.finish < best.finish) best = cand;
+        }
+      }
+      if (best.valid) {
+        commit_copy(task, n, best, coverage, locked);
+        return {};
+      }
+    }
+
+    // ---- Rule 2 / general spread placement ------------------------------
+    for (const bool respect_locks : {true, false}) {
+      BuildState::Candidate best;
+      for (ProcId u = 0; u < m_; ++u) {
+        if (respect_locks && locked[u]) continue;
+        if (state_.hosts_copy_of(task, u)) continue;
+        const auto suppliers = choose_suppliers(task, u, last, coverage, false);
+        const BuildState::Candidate cand = state_.evaluate(task, u, suppliers);
+        if (!cand.valid) continue;
+        if (!best.valid || cand.finish < best.finish) best = cand;
+      }
+      if (best.valid) {
+        commit_copy(task, n, best, coverage, locked);
+        return {};
+      }
+    }
+    return "R-LTF: no processor can host task '" + rdag_.name(task) + "' replica " +
+           std::to_string(n) + " within period " + std::to_string(options_.period);
+  }
+
+  const Dag& rdag_;
+  const SchedulerOptions& options_;
+  CopyId copies_;
+  std::size_t m_;
+  BuildState state_;
+};
+
+}  // namespace
+
+ScheduleResult rltf_schedule(const Dag& dag, const Platform& platform,
+                             const SchedulerOptions& options) {
+  SS_REQUIRE(dag.num_tasks() > 0, "cannot schedule an empty graph");
+  SS_REQUIRE(options.eps < platform.num_procs(),
+             "eps must be smaller than the processor count");
+
+  const Dag rdag = dag.reversed();
+  RltfPass pass(rdag, platform, options);
+  const std::string err = pass.run();
+  if (!err.empty()) return ScheduleResult::failure(err);
+
+  Schedule reversed = std::move(pass).take();
+  Schedule schedule = mirror_schedule(reversed, dag);
+
+  ScheduleResult result;
+  if (options.repair) {
+    result.repair = repair_fault_tolerance(schedule, options.eps);
+  }
+  result.schedule.emplace(std::move(schedule));
+  return result;
+}
+
+ScheduleResult fault_free_schedule(const Dag& dag, const Platform& platform, double period) {
+  SchedulerOptions options;
+  options.eps = 0;
+  options.period = period;
+  return rltf_schedule(dag, platform, options);
+}
+
+}  // namespace streamsched

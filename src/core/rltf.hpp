@@ -1,0 +1,40 @@
+// R-LTF — Reverse LTF (paper §4.2).
+//
+// Bottom-up topological traversal from the sink nodes, implemented as a
+// forward pass over the reversed DAG followed by schedule mirroring
+// (schedule/mirror.hpp). Placement of each replica is guided by, in order:
+//
+//   Rule 1  The replica's pipeline stage (max over the successor replicas
+//           it feeds) must not increase: try the processors of the
+//           stage-critical successor replicas first and accept a placement
+//           only if the resulting stage equals the unavoidable floor.
+//
+//   Rule 2  Communications induced by replication are kept minimal: each
+//           replica feeds exactly one replica of each successor (chained,
+//           uncovered-first supplier selection — the generalization of the
+//           paper's one-to-one spread, which it reduces to under the
+//           paper's Rule-2 condition |Γ+(t)| = 1 with out-degree-1
+//           siblings). The last replica of a task additionally picks up
+//           every not-yet-covered successor replica so that no successor
+//           replica is left without a supplier.
+//
+// Processor selection still enforces condition (1); like LTF, R-LTF fails
+// when the throughput constraint cannot be met.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+[[nodiscard]] ScheduleResult rltf_schedule(const Dag& dag, const Platform& platform,
+                                           const SchedulerOptions& options);
+
+/// The paper's fault-free reference schedule: R-LTF without replication
+/// (ε = 0), assuming a completely safe system. The overhead metric of §5
+/// compares every algorithm's latency against this schedule's.
+[[nodiscard]] ScheduleResult fault_free_schedule(const Dag& dag, const Platform& platform,
+                                                 double period);
+
+}  // namespace streamsched

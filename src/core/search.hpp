@@ -1,0 +1,57 @@
+// Bicriteria search extensions (paper §6, "symmetric problems").
+//
+// The paper's algorithms take the period as an input; these helpers invert
+// the problem: find the minimal feasible period for a given ε (binary
+// search over Δ, exploiting that feasibility is monotone in Δ), and find
+// the maximal supported failure count for a given period and latency
+// budget (linear scan over ε, which is small).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+/// Any scheduler with the common signature (ltf_schedule, rltf_schedule,
+/// heft_schedule, stage_pack_schedule).
+using SchedulerFn =
+    std::function<ScheduleResult(const Dag&, const Platform&, const SchedulerOptions&)>;
+
+struct MinPeriodResult {
+  bool found = false;
+  double period = 0.0;
+  std::optional<Schedule> schedule;
+  std::uint32_t evaluations = 0;  ///< scheduler invocations spent
+};
+
+/// Analytic period lower bound: every task must fit on the fastest
+/// processor and the replicated total work must fit the platform.
+[[nodiscard]] double period_lower_bound(const Dag& dag, const Platform& platform, CopyId eps);
+
+/// Binary search for the smallest period at which `scheduler` succeeds,
+/// to relative tolerance `rel_tol`. `base` supplies ε and the remaining
+/// options; its period field is ignored.
+[[nodiscard]] MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
+                                              const SchedulerOptions& base,
+                                              const SchedulerFn& scheduler,
+                                              double rel_tol = 1e-3);
+
+struct MaxFailuresResult {
+  bool found = false;   ///< at least ε = 0 feasible
+  CopyId eps = 0;       ///< largest feasible ε
+  std::optional<Schedule> schedule;
+};
+
+/// Largest ε (up to m−1) for which `scheduler` succeeds at the given
+/// period with latency bound (2S−1)Δ <= latency_cap (use infinity for no
+/// latency requirement).
+[[nodiscard]] MaxFailuresResult find_max_failures(const Dag& dag, const Platform& platform,
+                                                  double period, double latency_cap,
+                                                  const SchedulerOptions& base,
+                                                  const SchedulerFn& scheduler);
+
+}  // namespace streamsched

@@ -1,0 +1,29 @@
+// Lane-replicated stage-packing baseline.
+//
+// A simple representative of the stage-partitioning heuristics the paper
+// surveys (Hary/Ozguner [4], TDA [11], and the top-down partitioners of
+// [5, 8]): a topological traversal packs tasks into consecutive pipeline
+// stages, opening a new stage whenever the current one cannot take the
+// task without either exceeding the period or splitting a dependence
+// across processors within the stage.
+//
+// Reliability is handled by *lane replication*: the processors are split
+// into ε+1 disjoint lanes and copy g of every task runs in lane g, fed
+// only by lane-g copies of its predecessors. Lanes never mix, so any ε
+// failures kill at most ε lanes and one complete lane always survives —
+// the schedule is ε-fault-tolerant by construction, with exactly e·(ε+1)
+// edge communications, at the price of using only 1/(ε+1) of the platform
+// per lane. This is the natural "naive but provably safe" counterpoint to
+// the one-to-one scheme.
+#pragma once
+
+#include "core/options.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+[[nodiscard]] ScheduleResult stage_pack_schedule(const Dag& dag, const Platform& platform,
+                                                 const SchedulerOptions& options);
+
+}  // namespace streamsched

@@ -1,0 +1,52 @@
+// Umbrella header: the full public API of streamsched.
+//
+// Typical use:
+//
+//   #include "core/streamsched.hpp"
+//   using namespace streamsched;
+//
+//   Dag dag = make_paper_figure2();
+//   Platform platform = make_homogeneous(8, /*unit_delay=*/1.0);
+//   SchedulerOptions options;
+//   options.eps = 1;          // tolerate one processor failure
+//   options.period = 22.0;    // desired throughput 1/22
+//   ScheduleResult r = rltf_schedule(dag, platform, options);
+//   if (r.ok()) {
+//     std::cout << "stages: " << num_stages(*r.schedule)
+//               << " latency bound: " << latency_upper_bound(*r.schedule) << '\n';
+//     SimResult sim = simulate(*r.schedule);
+//     std::cout << "measured latency: " << sim.max_latency << '\n';
+//   }
+#pragma once
+
+#include "core/build_state.hpp"   // IWYU pragma: export
+#include "core/heft.hpp"          // IWYU pragma: export
+#include "core/ltf.hpp"           // IWYU pragma: export
+#include "core/one_to_one.hpp"    // IWYU pragma: export
+#include "core/options.hpp"       // IWYU pragma: export
+#include "core/rltf.hpp"          // IWYU pragma: export
+#include "core/search.hpp"        // IWYU pragma: export
+#include "core/stage_pack.hpp"    // IWYU pragma: export
+#include "exp/figures.hpp"        // IWYU pragma: export
+#include "exp/sweep.hpp"          // IWYU pragma: export
+#include "exp/workload.hpp"       // IWYU pragma: export
+#include "graph/analysis.hpp"     // IWYU pragma: export
+#include "graph/dag.hpp"          // IWYU pragma: export
+#include "graph/dot.hpp"          // IWYU pragma: export
+#include "graph/generators.hpp"   // IWYU pragma: export
+#include "graph/granularity.hpp"  // IWYU pragma: export
+#include "graph/levels.hpp"       // IWYU pragma: export
+#include "graph/width.hpp"        // IWYU pragma: export
+#include "platform/generators.hpp"  // IWYU pragma: export
+#include "platform/platform.hpp"    // IWYU pragma: export
+#include "schedule/fault_tolerance.hpp"  // IWYU pragma: export
+#include "schedule/metrics.hpp"          // IWYU pragma: export
+#include "schedule/mirror.hpp"           // IWYU pragma: export
+#include "schedule/printer.hpp"          // IWYU pragma: export
+#include "schedule/schedule.hpp"         // IWYU pragma: export
+#include "schedule/validate.hpp"         // IWYU pragma: export
+#include "sim/engine.hpp"                // IWYU pragma: export
+#include "sim/trace.hpp"                 // IWYU pragma: export
+#include "util/rng.hpp"                  // IWYU pragma: export
+#include "util/stats.hpp"                // IWYU pragma: export
+#include "util/table.hpp"                // IWYU pragma: export

@@ -1,0 +1,67 @@
+#include "exp/figures.hpp"
+
+#include <sstream>
+
+namespace streamsched {
+
+Table figure_latency_bounds(const std::vector<PointStats>& points) {
+  Table t({"granularity", "R-LTF 0-crash", "R-LTF UpperBound", "LTF 0-crash",
+           "LTF UpperBound"});
+  for (const PointStats& p : points) {
+    t.add_row({p.granularity, p.rltf_sim0, p.rltf_ub, p.ltf_sim0, p.ltf_ub});
+  }
+  return t;
+}
+
+Table figure_latency_crash(const std::vector<PointStats>& points, std::uint32_t crashes) {
+  const std::string c = std::to_string(crashes);
+  Table t({"granularity", "R-LTF 0-crash", "R-LTF " + c + "-crash", "LTF 0-crash",
+           "LTF " + c + "-crash"});
+  for (const PointStats& p : points) {
+    t.add_row({p.granularity, p.rltf_sim0, p.rltf_simc, p.ltf_sim0, p.ltf_simc});
+  }
+  return t;
+}
+
+Table figure_overhead(const std::vector<PointStats>& points, std::uint32_t crashes) {
+  const std::string c = std::to_string(crashes);
+  Table t({"granularity", "R-LTF 0-crash %", "R-LTF " + c + "-crash %", "LTF 0-crash %",
+           "LTF " + c + "-crash %"});
+  for (const PointStats& p : points) {
+    t.add_row({p.granularity, p.rltf_overhead0, p.rltf_overheadc, p.ltf_overhead0,
+               p.ltf_overheadc});
+  }
+  return t;
+}
+
+Table figure_diagnostics(const std::vector<PointStats>& points) {
+  Table t({"granularity", "instances", "FF latency", "R-LTF stages", "LTF stages",
+           "R-LTF comms", "LTF comms", "R-LTF repairs", "LTF repairs", "R-LTF dT",
+           "LTF dT", "R-LTF fail", "LTF fail", "starved"});
+  for (const PointStats& p : points) {
+    t.add_row({Table::fmt(p.granularity, 2), std::to_string(p.instances),
+               Table::fmt(p.ff_sim0, 1), Table::fmt(p.rltf_stages, 2),
+               Table::fmt(p.ltf_stages, 2), Table::fmt(p.rltf_comms, 1),
+               Table::fmt(p.ltf_comms, 1), Table::fmt(p.rltf_repairs, 2),
+               Table::fmt(p.ltf_repairs, 2), Table::fmt(p.rltf_period_factor, 2),
+               Table::fmt(p.ltf_period_factor, 2), std::to_string(p.rltf_failures),
+               std::to_string(p.ltf_failures), std::to_string(p.starved)});
+  }
+  return t;
+}
+
+std::string render_figure(const std::vector<PointStats>& points, const std::string& title,
+                          std::uint32_t crashes) {
+  std::ostringstream os;
+  os << "=== " << title << " ===\n\n";
+  os << "(a) Normalized latency: bounds vs. simulated, no failures\n"
+     << figure_latency_bounds(points).to_ascii() << '\n';
+  os << "(b) Normalized latency with " << crashes << " crash(es)\n"
+     << figure_latency_crash(points, crashes).to_ascii() << '\n';
+  os << "(c) Fault-tolerance overhead (%) vs. fault-free schedule\n"
+     << figure_overhead(points, crashes).to_ascii() << '\n';
+  os << "(d) Diagnostics\n" << figure_diagnostics(points).to_ascii();
+  return os.str();
+}
+
+}  // namespace streamsched

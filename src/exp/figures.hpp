@@ -1,0 +1,35 @@
+// Assembly of the paper's figure panels from sweep results, in the exact
+// series layout of Figures 3 and 4 (three panels: latency bounds, latency
+// with crash, fault-tolerance overhead), plus a diagnostics table.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+#include "util/table.hpp"
+
+namespace streamsched {
+
+/// Panel (a): granularity | R-LTF sim-0-crash | R-LTF upper bound |
+/// LTF sim-0-crash | LTF upper bound.
+[[nodiscard]] Table figure_latency_bounds(const std::vector<PointStats>& points);
+
+/// Panel (b): granularity | R-LTF 0 crash | R-LTF c crash | LTF 0 crash |
+/// LTF c crash.
+[[nodiscard]] Table figure_latency_crash(const std::vector<PointStats>& points,
+                                         std::uint32_t crashes);
+
+/// Panel (c): overhead (%) versus the fault-free schedule, same series.
+[[nodiscard]] Table figure_overhead(const std::vector<PointStats>& points,
+                                    std::uint32_t crashes);
+
+/// Extra diagnostics: stage counts, remote communications, repair volume,
+/// scheduling failures, fault-free baseline.
+[[nodiscard]] Table figure_diagnostics(const std::vector<PointStats>& points);
+
+/// Renders all panels with captions, ready to print.
+[[nodiscard]] std::string render_figure(const std::vector<PointStats>& points,
+                                        const std::string& title, std::uint32_t crashes);
+
+}  // namespace streamsched

@@ -1,0 +1,95 @@
+// The paper's granularity sweep (§5): for each granularity point, generate
+// random instances, schedule them with the fault-free reference, LTF and
+// R-LTF, measure bound and simulated latencies (with and without crashes)
+// and aggregate the series of Figures 3 and 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "exp/workload.hpp"
+
+namespace streamsched {
+
+struct SweepConfig {
+  WorkloadParams workload;
+  CopyId eps = 1;
+  /// Number of crashed processors in the "with crash" series (c <= eps).
+  std::uint32_t crashes = 1;
+  std::size_t graphs_per_point = 60;
+  /// Random failure sets sampled per instance for the crash series.
+  std::size_t crash_trials = 5;
+  double g_min = 0.2;
+  double g_max = 2.0;
+  double g_step = 0.2;
+  std::uint64_t seed = 42;
+  /// Worker threads for the sweep (0 = hardware concurrency, 1 = serial).
+  std::size_t threads = 0;
+  std::size_t sim_items = 40;
+  std::size_t sim_warmup = 10;
+};
+
+/// Results for a single (algorithm, instance) pair. Latencies are
+/// normalized to the paper's reporting scale (see workload.hpp).
+struct AlgoOutcome {
+  bool scheduled = false;
+  double ub = 0.0;          ///< (2S−1)Δ, normalized
+  double sim0 = 0.0;        ///< simulated latency, no crash, normalized
+  double simc = 0.0;        ///< simulated latency, c crashes (mean), normalized
+  std::uint32_t stages = 0;
+  std::size_t remote_comms = 0;
+  std::uint32_t repair_added = 0;
+  bool starved = false;     ///< any crash trial starved (must not happen)
+  /// Period inflation the algorithm needed over the instance period (1.0 =
+  /// scheduled at the nominal Δ; LTF frequently needs more at low
+  /// granularity — the analogue of "LTF needs two more processors" in the
+  /// paper's worked example). Latencies stay normalized by the *actual*
+  /// period, so the series remain on the paper's scale.
+  double period_factor = 1.0;
+};
+
+struct InstanceRecord {
+  bool usable = false;      ///< fault-free reference scheduled successfully
+  double granularity = 0.0;
+  double period = 0.0;      ///< nominal Δ for the requested ε
+  double ff_period = 0.0;   ///< the fault-free reference's own ε=0 period
+  double ff_sim0 = 0.0;     ///< fault-free latency, normalized
+  AlgoOutcome ltf;
+  AlgoOutcome rltf;
+};
+
+/// Aggregated series for one granularity point (means over the instances
+/// where the respective algorithm succeeded).
+struct PointStats {
+  double granularity = 0.0;
+  std::size_t instances = 0;
+
+  double ff_sim0 = 0.0;
+
+  double ltf_ub = 0.0, rltf_ub = 0.0;
+  double ltf_sim0 = 0.0, rltf_sim0 = 0.0;
+  double ltf_simc = 0.0, rltf_simc = 0.0;
+
+  /// Fault-tolerance overhead in % versus the fault-free schedule.
+  double ltf_overhead0 = 0.0, rltf_overhead0 = 0.0;
+  double ltf_overheadc = 0.0, rltf_overheadc = 0.0;
+
+  double ltf_stages = 0.0, rltf_stages = 0.0;
+  double ltf_comms = 0.0, rltf_comms = 0.0;
+  double ltf_repairs = 0.0, rltf_repairs = 0.0;
+  double ltf_period_factor = 0.0, rltf_period_factor = 0.0;
+
+  std::size_t ltf_failures = 0;
+  std::size_t rltf_failures = 0;
+  std::size_t starved = 0;
+};
+
+/// Runs a single instance (exposed for tests and ablation benches).
+[[nodiscard]] InstanceRecord run_instance(const SweepConfig& config, double granularity,
+                                          std::uint64_t instance_seed);
+
+/// Runs the full sweep, parallelized over instances; deterministic in the
+/// seed regardless of thread count.
+[[nodiscard]] std::vector<PointStats> run_granularity_sweep(const SweepConfig& config);
+
+}  // namespace streamsched

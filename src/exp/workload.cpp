@@ -1,0 +1,80 @@
+#include "exp/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/granularity.hpp"
+#include "graph/levels.hpp"
+#include "platform/generators.hpp"
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+double calibrate_period(const Dag& dag, const Platform& platform, CopyId eps,
+                        double headroom, double comm_share) {
+  const double m = static_cast<double>(platform.num_procs());
+  double total_work_time = 0.0;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    total_work_time += dag.work(t) * platform.mean_inverse_speed();
+  }
+  const double total_comm_time = dag.total_volume() * platform.mean_unit_delay();
+  const double compute_bound = total_work_time / m;
+  const double comm_bound = comm_share * total_comm_time / m;
+  double period = headroom * (eps + 1.0) * std::max(compute_bound, comm_bound);
+  // Per-task feasibility floor: any single replica — including a fallback
+  // replica receiving from all ε+1 copies of each predecessor and feeding
+  // all ε+1 copies of each successor — must fit on an otherwise empty
+  // processor (compute + receive-port + send-port budgets).
+  const double copies = eps + 1.0;
+  const double delay = platform.mean_unit_delay();
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    double in_volume = 0.0, out_volume = 0.0;
+    for (EdgeId e : dag.in_edges(t)) in_volume += dag.edge(e).volume;
+    for (EdgeId e : dag.out_edges(t)) out_volume += dag.edge(e).volume;
+    const double exec = dag.work(t) / platform.max_speed();
+    const double floor = std::max({exec + copies * in_volume * delay,
+                                   copies * out_volume * delay, exec});
+    period = std::max(period, 1.05 * floor);
+  }
+  return period;
+}
+
+double normalization_factor(double period, CopyId eps) {
+  SS_REQUIRE(period > 0.0, "period must be positive");
+  return 10.0 * (eps + 1.0) / period;
+}
+
+Instance make_instance(const WorkloadParams& params, double granularity, CopyId eps,
+                       Rng& rng) {
+  SS_REQUIRE(params.v_min >= 2 && params.v_min <= params.v_max, "invalid task count range");
+
+  const auto v = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(params.v_min),
+                      static_cast<std::int64_t>(params.v_max)));
+  std::size_t layers = params.layer_fraction > 0.0
+                           ? static_cast<std::size_t>(std::ceil(params.layer_fraction *
+                                                                static_cast<double>(v)))
+                           : static_cast<std::size_t>(std::ceil(std::sqrt(v)));
+  layers = std::clamp<std::size_t>(layers, 2, v);
+
+  WeightRanges ranges;
+  ranges.work_lo = 50.0;  // rescaled below to match the target granularity
+  ranges.work_hi = 150.0;
+  ranges.volume_lo = params.volume_lo;
+  ranges.volume_hi = params.volume_hi;
+
+  Instance inst{
+      make_random_layered(rng, v, layers, params.edge_prob, ranges),
+      make_comm_heterogeneous(rng, params.num_procs, params.delay_lo, params.delay_hi),
+  };
+  scale_to_granularity(inst.dag, inst.platform, granularity);
+  inst.granularity = streamsched::granularity(inst.dag, inst.platform);
+  inst.period = calibrate_period(inst.dag, inst.platform, eps, params.headroom,
+                                 params.comm_share);
+  inst.num_tasks = inst.dag.num_tasks();
+  inst.num_edges = inst.dag.num_edges();
+  return inst;
+}
+
+}  // namespace streamsched

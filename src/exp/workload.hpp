@@ -1,0 +1,65 @@
+// Random experiment workloads (paper §5).
+//
+// The paper generates random graphs "consistent with the literature":
+// v ~ U[50, 150] tasks, message volumes U[50, 150], link unit delays
+// U[0.5, 1], m = 20 processors of speed 1, granularity swept from 0.2 to
+// 2.0 by scaling task works, ε in {1, 3}.
+//
+// Period calibration (documented substitution, see DESIGN.md §3.5): the
+// paper's absolute throughput 1/(10(ε+1)) is dimensionally inconsistent
+// with its weight ranges, so each instance gets
+//     Δ = κ · (ε+1) · max(W̄/m, μ · C̄/m)
+// where W̄ is the total average work, C̄ the total average communication
+// time, κ the headroom factor (default 2) and μ the communication share
+// (default 0.5). Reported latencies are normalized to the paper's nominal
+// period: L_norm = L · 10(ε+1)/Δ, which puts the stage bound
+// (2S−1)·10(ε+1) exactly on the paper's y-axis scale.
+#pragma once
+
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+
+struct WorkloadParams {
+  std::size_t v_min = 50;
+  std::size_t v_max = 150;
+  double volume_lo = 50.0;
+  double volume_hi = 150.0;
+  double delay_lo = 0.5;
+  double delay_hi = 1.0;
+  std::size_t num_procs = 20;
+  /// Layers of the layered generator as a fraction of v (0 => sqrt(v)).
+  double layer_fraction = 0.15;
+  double edge_prob = 0.25;
+  /// Period calibration knobs. μ = 1 budgets the full communication load:
+  /// at low granularity the port budget, not compute, is the binding
+  /// resource, and smaller shares starve the schedulers.
+  double headroom = 2.0;    // κ
+  double comm_share = 1.0;  // μ
+};
+
+struct Instance {
+  Dag dag;
+  Platform platform;
+  double period = 0.0;       ///< calibrated Δ for the requested ε
+  double granularity = 0.0;  ///< achieved g(G, P)
+  std::size_t num_tasks = 0;
+  std::size_t num_edges = 0;
+};
+
+/// Generates one experiment instance at the target granularity for the
+/// given replication degree. Deterministic in (params, granularity, eps,
+/// rng state).
+[[nodiscard]] Instance make_instance(const WorkloadParams& params, double granularity,
+                                     CopyId eps, Rng& rng);
+
+/// The calibrated period for an existing workload (exposed for tests).
+[[nodiscard]] double calibrate_period(const Dag& dag, const Platform& platform, CopyId eps,
+                                      double headroom, double comm_share);
+
+/// Normalization factor to the paper's reporting scale: 10(ε+1)/Δ.
+[[nodiscard]] double normalization_factor(double period, CopyId eps);
+
+}  // namespace streamsched

@@ -1,0 +1,94 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "graph/width.hpp"
+
+namespace streamsched {
+
+bool is_series_parallel(const Dag& dag) {
+  const std::size_t n = dag.num_tasks();
+  if (n == 0) return false;
+  if (n == 1) return dag.num_edges() == 0;
+  const auto entries = dag.entries();
+  const auto exits = dag.exits();
+  if (entries.size() != 1 || exits.size() != 1) return false;
+  const TaskId source = entries.front();
+  const TaskId sink = exits.front();
+
+  // Work on a multigraph copy (reductions can create parallel edges).
+  std::vector<std::pair<TaskId, TaskId>> edges;
+  edges.reserve(dag.num_edges());
+  for (EdgeId e = 0; e < dag.num_edges(); ++e) {
+    edges.emplace_back(dag.edge(e).src, dag.edge(e).dst);
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Parallel reduction: collapse duplicate (u, v) pairs.
+    std::sort(edges.begin(), edges.end());
+    const auto last = std::unique(edges.begin(), edges.end());
+    if (last != edges.end()) {
+      edges.erase(last, edges.end());
+      changed = true;
+    }
+
+    // Series reduction: contract any internal vertex with exactly one
+    // incoming and one outgoing edge.
+    std::vector<std::size_t> in_count(n, 0), out_count(n, 0);
+    for (const auto& [u, v] : edges) {
+      ++out_count[u];
+      ++in_count[v];
+    }
+    for (TaskId w = 0; w < n && !changed; ++w) {
+      if (w == source || w == sink) continue;
+      if (in_count[w] != 1 || out_count[w] != 1) continue;
+      TaskId from = kInvalidTask, to = kInvalidTask;
+      std::vector<std::pair<TaskId, TaskId>> rest;
+      rest.reserve(edges.size() - 1);
+      for (const auto& [u, v] : edges) {
+        if (v == w) {
+          from = u;
+        } else if (u == w) {
+          to = v;
+        } else {
+          rest.push_back({u, v});
+        }
+      }
+      if (from == to) return false;  // would need a self loop: not SP
+      rest.emplace_back(from, to);
+      edges = std::move(rest);
+      changed = true;
+    }
+  }
+  return edges.size() == 1 && edges.front() == std::make_pair(source, sink);
+}
+
+GraphStats analyze(const Dag& dag) {
+  GraphStats stats;
+  stats.tasks = dag.num_tasks();
+  stats.edges = dag.num_edges();
+  stats.entries = dag.entries().size();
+  stats.exits = dag.exits().size();
+  if (stats.tasks == 0) return stats;
+  stats.width = graph_width(dag);
+  stats.depth = longest_path_tasks(dag);
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    stats.max_in_degree = std::max(stats.max_in_degree, dag.in_degree(t));
+    stats.max_out_degree = std::max(stats.max_out_degree, dag.out_degree(t));
+  }
+  const double pairs = static_cast<double>(stats.tasks) *
+                       (static_cast<double>(stats.tasks) - 1.0) / 2.0;
+  stats.density = pairs > 0 ? static_cast<double>(stats.edges) / pairs : 0.0;
+  stats.mean_work = dag.total_work() / static_cast<double>(stats.tasks);
+  stats.mean_volume =
+      stats.edges > 0 ? dag.total_volume() / static_cast<double>(stats.edges) : 0.0;
+  stats.series_parallel = is_series_parallel(dag);
+  return stats;
+}
+
+}  // namespace streamsched

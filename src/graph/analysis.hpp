@@ -1,0 +1,40 @@
+// Structural graph analysis: two-terminal series-parallel recognition and
+// summary statistics.
+//
+// The paper's §4.2 communication bound e(ε+1) is stated "for any
+// series-parallel graph"; is_series_parallel lets tests and benches select
+// exactly that class. Recognition uses the classic reduction algorithm:
+// repeatedly merge parallel edges and contract series vertices (in-degree
+// = out-degree = 1); a two-terminal SP graph reduces to a single edge.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dag.hpp"
+
+namespace streamsched {
+
+/// True when the DAG has a single source s and single sink t and is
+/// two-terminal series-parallel between them. Single-task graphs count as
+/// trivially series-parallel.
+[[nodiscard]] bool is_series_parallel(const Dag& dag);
+
+/// Summary statistics of a task graph on its own (platform-independent).
+struct GraphStats {
+  std::size_t tasks = 0;
+  std::size_t edges = 0;
+  std::size_t entries = 0;
+  std::size_t exits = 0;
+  std::size_t width = 0;        ///< maximum antichain (Dilworth)
+  std::size_t depth = 0;        ///< longest path, in tasks
+  std::size_t max_in_degree = 0;
+  std::size_t max_out_degree = 0;
+  double density = 0.0;         ///< e / (v*(v-1)/2)
+  double mean_work = 0.0;
+  double mean_volume = 0.0;
+  bool series_parallel = false;
+};
+
+[[nodiscard]] GraphStats analyze(const Dag& dag);
+
+}  // namespace streamsched

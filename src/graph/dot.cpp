@@ -1,0 +1,24 @@
+#include "graph/dot.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace streamsched {
+
+std::string to_dot(const Dag& dag, const std::string& graph_name) {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n";
+  os << std::fixed << std::setprecision(1);
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    os << "  n" << t << " [label=\"" << dag.name(t) << "\\nw=" << dag.work(t) << "\"];\n";
+  }
+  for (EdgeId e = 0; e < dag.num_edges(); ++e) {
+    const auto& edge = dag.edge(e);
+    os << "  n" << edge.src << " -> n" << edge.dst << " [label=\"" << edge.volume << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace streamsched

@@ -1,0 +1,14 @@
+// Graphviz DOT export for task graphs (handy for debugging workloads and
+// documenting examples).
+#pragma once
+
+#include <string>
+
+#include "graph/dag.hpp"
+
+namespace streamsched {
+
+/// DOT digraph with task names, work and edge volumes as labels.
+[[nodiscard]] std::string to_dot(const Dag& dag, const std::string& graph_name = "G");
+
+}  // namespace streamsched

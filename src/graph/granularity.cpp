@@ -1,0 +1,37 @@
+#include "graph/granularity.hpp"
+
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+double total_slowest_computation(const Dag& dag, const Platform& platform) {
+  const double slowest = platform.min_speed();
+  return dag.total_work() / slowest;
+}
+
+double total_slowest_communication(const Dag& dag, const Platform& platform) {
+  return dag.total_volume() * platform.max_unit_delay();
+}
+
+double granularity(const Dag& dag, const Platform& platform) {
+  const double comm = total_slowest_communication(dag, platform);
+  if (comm <= 0.0) return std::numeric_limits<double>::infinity();
+  return total_slowest_computation(dag, platform) / comm;
+}
+
+double scale_to_granularity(Dag& dag, const Platform& platform, double target) {
+  SS_REQUIRE(target > 0.0, "target granularity must be positive");
+  const double comm = total_slowest_communication(dag, platform);
+  SS_REQUIRE(comm > 0.0, "graph has no communication; granularity undefined");
+  const double comp = total_slowest_computation(dag, platform);
+  SS_REQUIRE(comp > 0.0, "graph has no work; cannot scale");
+  const double factor = target * comm / comp;
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    dag.set_work(t, dag.work(t) * factor);
+  }
+  return factor;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,27 @@
+// Granularity g(G, P) — paper §2: the ratio of the sum of the slowest
+// computation time of each task to the sum of the slowest communication
+// time along each edge. Computation-heavy graphs have g > 1;
+// communication-heavy graphs g < 1. The paper sweeps g from 0.2 to 2.0.
+#pragma once
+
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+/// Sum over tasks of work(t) / min_speed.
+[[nodiscard]] double total_slowest_computation(const Dag& dag, const Platform& platform);
+
+/// Sum over edges of volume(e) * max_unit_delay.
+[[nodiscard]] double total_slowest_communication(const Dag& dag, const Platform& platform);
+
+/// g(G, P). Requires at least one edge with positive volume (otherwise the
+/// ratio is undefined and this returns +infinity).
+[[nodiscard]] double granularity(const Dag& dag, const Platform& platform);
+
+/// Scales every task's work by a common factor so g(G, P) == target.
+/// Returns the factor applied. Requires target > 0 and a graph with
+/// positive total work and positive total communication.
+double scale_to_granularity(Dag& dag, const Platform& platform, double target);
+
+}  // namespace streamsched

@@ -1,0 +1,66 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+std::vector<double> average_exec_times(const Dag& dag, const Platform& platform) {
+  const double inv = platform.mean_inverse_speed();
+  std::vector<double> avg(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) avg[t] = dag.work(t) * inv;
+  return avg;
+}
+
+std::vector<double> average_comm_times(const Dag& dag, const Platform& platform) {
+  const double delay = platform.mean_unit_delay();
+  std::vector<double> avg(dag.num_edges());
+  for (EdgeId e = 0; e < dag.num_edges(); ++e) avg[e] = dag.edge(e).volume * delay;
+  return avg;
+}
+
+std::vector<double> top_levels(const Dag& dag, const Platform& platform) {
+  const auto exec = average_exec_times(dag, platform);
+  const auto comm = average_comm_times(dag, platform);
+  std::vector<double> tl(dag.num_tasks(), 0.0);
+  for (TaskId t : dag.topological_order()) {
+    for (EdgeId e : dag.in_edges(t)) {
+      const TaskId p = dag.edge(e).src;
+      tl[t] = std::max(tl[t], tl[p] + exec[p] + comm[e]);
+    }
+  }
+  return tl;
+}
+
+std::vector<double> bottom_levels(const Dag& dag, const Platform& platform) {
+  const auto exec = average_exec_times(dag, platform);
+  const auto comm = average_comm_times(dag, platform);
+  std::vector<double> bl(dag.num_tasks(), 0.0);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId t = *it;
+    bl[t] = exec[t];
+    for (EdgeId e : dag.out_edges(t)) {
+      const TaskId s = dag.edge(e).dst;
+      bl[t] = std::max(bl[t], exec[t] + comm[e] + bl[s]);
+    }
+  }
+  return bl;
+}
+
+std::vector<double> priorities(const Dag& dag, const Platform& platform) {
+  const auto tl = top_levels(dag, platform);
+  const auto bl = bottom_levels(dag, platform);
+  std::vector<double> prio(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) prio[t] = tl[t] + bl[t];
+  return prio;
+}
+
+double critical_path_length(const Dag& dag, const Platform& platform) {
+  if (dag.num_tasks() == 0) return 0.0;
+  const auto prio = priorities(dag, platform);
+  return *std::max_element(prio.begin(), prio.end());
+}
+
+}  // namespace streamsched

@@ -1,0 +1,36 @@
+// Top level, bottom level and task priorities (paper §2).
+//
+// Path lengths are "the average sum of edge weights and node weights" [9]:
+// on a heterogeneous platform a task's cost is averaged over processors and
+// an edge's cost over distinct processor pairs. Priorities tl + bl drive
+// the ready-list ordering in LTF / R-LTF.
+#pragma once
+
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+
+namespace streamsched {
+
+/// Average execution time of each task over all processors.
+[[nodiscard]] std::vector<double> average_exec_times(const Dag& dag, const Platform& platform);
+
+/// Average communication time of each edge over distinct processor pairs.
+[[nodiscard]] std::vector<double> average_comm_times(const Dag& dag, const Platform& platform);
+
+/// tl(t): longest average path length from an entry node to t, excluding
+/// E(t) itself. Entry nodes have tl = 0.
+[[nodiscard]] std::vector<double> top_levels(const Dag& dag, const Platform& platform);
+
+/// bl(t): longest average path length from t to an exit node, including
+/// E(t). Exit nodes have bl = E(t).
+[[nodiscard]] std::vector<double> bottom_levels(const Dag& dag, const Platform& platform);
+
+/// Priority tl(t) + bl(t). Tasks on a critical path share the maximum value.
+[[nodiscard]] std::vector<double> priorities(const Dag& dag, const Platform& platform);
+
+/// Length of the critical path (max over tasks of tl + bl).
+[[nodiscard]] double critical_path_length(const Dag& dag, const Platform& platform);
+
+}  // namespace streamsched

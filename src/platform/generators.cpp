@@ -1,0 +1,37 @@
+#include "platform/generators.hpp"
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+Platform make_homogeneous(std::size_t m, double unit_delay) {
+  return Platform::uniform(m, 1.0, unit_delay);
+}
+
+Platform make_comm_heterogeneous(Rng& rng, std::size_t m, double delay_lo, double delay_hi) {
+  return make_heterogeneous(rng, m, 1.0, 1.0, delay_lo, delay_hi);
+}
+
+Platform make_heterogeneous(Rng& rng, std::size_t m, double speed_lo, double speed_hi,
+                            double delay_lo, double delay_hi) {
+  SS_REQUIRE(m >= 1, "need at least one processor");
+  SS_REQUIRE(speed_lo > 0.0 && speed_lo <= speed_hi, "invalid speed range");
+  SS_REQUIRE(delay_lo >= 0.0 && delay_lo <= delay_hi, "invalid delay range");
+  std::vector<double> speeds(m);
+  for (auto& s : speeds) s = (speed_lo == speed_hi) ? speed_lo : rng.uniform(speed_lo, speed_hi);
+  Matrix<double> delays(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const double d = (delay_lo == delay_hi) ? delay_lo : rng.uniform(delay_lo, delay_hi);
+      delays(a, b) = d;
+      delays(b, a) = d;
+    }
+  }
+  return Platform(std::move(speeds), std::move(delays));
+}
+
+Platform make_paper_figure1_platform() {
+  return Platform({1.5, 1.0, 1.5, 1.0}, 1.0);
+}
+
+}  // namespace streamsched

@@ -1,0 +1,29 @@
+// Platform generators: homogeneous clusters, the paper's
+// communication-heterogeneous setup (speeds 1, unit delays U[0.5, 1]),
+// fully heterogeneous platforms, and the 4-processor platform of the
+// paper's Figure 1 example.
+#pragma once
+
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+
+/// m identical processors (speed 1) with one shared unit delay.
+[[nodiscard]] Platform make_homogeneous(std::size_t m, double unit_delay = 1.0);
+
+/// Paper §5 experimental platform: m processors of speed 1; per-link unit
+/// delays drawn uniformly from [delay_lo, delay_hi] (default [0.5, 1]).
+[[nodiscard]] Platform make_comm_heterogeneous(Rng& rng, std::size_t m, double delay_lo = 0.5,
+                                               double delay_hi = 1.0);
+
+/// Fully heterogeneous: speeds U[speed_lo, speed_hi], unit delays
+/// U[delay_lo, delay_hi].
+[[nodiscard]] Platform make_heterogeneous(Rng& rng, std::size_t m, double speed_lo,
+                                          double speed_hi, double delay_lo, double delay_hi);
+
+/// Paper Figure 1 platform: 4 processors with speeds {1.5, 1, 1.5, 1} and
+/// unit bandwidth on every link (unit delay 1).
+[[nodiscard]] Platform make_paper_figure1_platform();
+
+}  // namespace streamsched

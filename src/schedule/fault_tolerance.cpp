@@ -1,0 +1,251 @@
+#include "schedule/fault_tolerance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+std::vector<std::vector<bool>> computable_replicas(const Schedule& schedule,
+                                                   const std::vector<bool>& failed) {
+  const Dag& dag = schedule.dag();
+  SS_REQUIRE(failed.size() == schedule.platform().num_procs(),
+             "failure vector must have one entry per processor");
+  std::vector<std::vector<bool>> computable(
+      dag.num_tasks(), std::vector<bool>(schedule.copies(), false));
+  for (TaskId t : dag.topological_order()) {
+    const auto preds = dag.predecessors(t);
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (!schedule.is_placed(r)) continue;
+      if (failed[schedule.placed(r).proc]) continue;
+      bool ok = true;
+      for (TaskId pred : preds) {
+        bool fed = false;
+        for (std::uint32_t idx : schedule.in_comms(r)) {
+          const CommRecord& comm = schedule.comms()[idx];
+          if (comm.src.task != pred) continue;
+          if (computable[pred][comm.src.copy]) {
+            fed = true;
+            break;
+          }
+        }
+        if (!fed) {
+          ok = false;
+          break;
+        }
+      }
+      computable[t][c] = ok;
+    }
+  }
+  return computable;
+}
+
+bool survives_failures(const Schedule& schedule, const std::vector<bool>& failed) {
+  const auto computable = computable_replicas(schedule, failed);
+  for (TaskId t = 0; t < schedule.dag().num_tasks(); ++t) {
+    if (std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; })) {
+      return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+// Calls visit(failed) for every subset of {0..m-1} of size k; stops early
+// when visit returns false. Returns the number of subsets visited.
+template <typename Visit>
+std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, Visit&& visit) {
+  std::vector<ProcId> subset(k);
+  std::vector<bool> failed(m, false);
+  std::uint64_t visited = 0;
+  if (k == 0) {
+    ++visited;
+    visit(failed, std::vector<ProcId>{});
+    return visited;
+  }
+  // Iterative combination enumeration in lexicographic order.
+  for (std::uint32_t i = 0; i < k; ++i) subset[i] = i;
+  for (;;) {
+    std::fill(failed.begin(), failed.end(), false);
+    for (ProcId p : subset) failed[p] = true;
+    ++visited;
+    if (!visit(failed, subset)) return visited;
+    // Advance to the next combination.
+    std::int64_t i = static_cast<std::int64_t>(k) - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
+                         static_cast<ProcId>(m - k + static_cast<std::size_t>(i))) {
+      --i;
+    }
+    if (i < 0) return visited;
+    ++subset[static_cast<std::size_t>(i)];
+    for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+FtCheckResult check_fault_tolerance(const Schedule& schedule, std::uint32_t max_failures) {
+  const std::size_t m = schedule.platform().num_procs();
+  SS_REQUIRE(max_failures < m, "cannot fail all processors");
+  FtCheckResult result;
+  result.sets_checked = for_each_failure_set(
+      m, max_failures, [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
+        if (!survives_failures(schedule, failed)) {
+          result.valid = false;
+          result.counterexample = set;
+          return false;
+        }
+        return true;
+      });
+  return result;
+}
+
+FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
+                                            std::uint32_t max_failures, std::uint64_t samples,
+                                            Rng& rng) {
+  const std::size_t m = schedule.platform().num_procs();
+  SS_REQUIRE(max_failures < m, "cannot fail all processors");
+  FtCheckResult result;
+  std::vector<bool> failed(m, false);
+  for (std::uint64_t i = 0; i < samples; ++i) {
+    const auto set = rng.sample_without_replacement(static_cast<std::uint32_t>(m), max_failures);
+    std::fill(failed.begin(), failed.end(), false);
+    for (auto p : set) failed[p] = true;
+    ++result.sets_checked;
+    if (!survives_failures(schedule, failed)) {
+      result.valid = false;
+      result.counterexample.assign(set.begin(), set.end());
+      return result;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Picks the cheapest computable supplier replica of `pred` to feed `r`:
+// colocated first, then minimal added port load.
+ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId pred,
+                                const std::vector<std::vector<bool>>& computable) {
+  const ProcId here = schedule.placed(r).proc;
+  ReplicaRef best{kInvalidTask, 0};
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (CopyId c = 0; c < schedule.copies(); ++c) {
+    const ReplicaRef cand{pred, c};
+    if (!computable[pred][c]) continue;
+    if (schedule.has_supplier(r, cand)) continue;  // already wired, didn't help
+    const ProcId from = schedule.placed(cand).proc;
+    double cost;
+    if (from == here) {
+      cost = 0.0;
+    } else {
+      // Prefer suppliers whose ports are least loaded after the addition.
+      const EdgeId e = schedule.dag().find_edge(pred, r.task);
+      const double dur = schedule.platform().comm_time(schedule.dag().edge(e).volume, from, here);
+      cost = dur + std::max(schedule.cout(from), schedule.cin(here));
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures) {
+  SS_REQUIRE(max_failures <= schedule.eps(),
+             "cannot repair for more failures than the replication degree");
+  RepairStats stats;
+  const Dag& dag = schedule.dag();
+  // Each round adds at least one channel and there are at most
+  // (eps+1)^2 * e distinct channels, so termination is guaranteed.
+  const std::uint32_t max_rounds =
+      static_cast<std::uint32_t>(schedule.copies() * schedule.copies() * dag.num_edges() + 16);
+
+  for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+    const FtCheckResult check = check_fault_tolerance(schedule, max_failures);
+    if (check.valid) {
+      stats.success = true;
+      break;
+    }
+    std::vector<bool> failed(schedule.platform().num_procs(), false);
+    for (ProcId p : check.counterexample) failed[p] = true;
+    const auto computable = computable_replicas(schedule, failed);
+
+    // Find the topologically first task with no computable replica; fix one
+    // of its replicas on an alive processor by wiring computable suppliers.
+    for (TaskId t : dag.topological_order()) {
+      const bool dead =
+          std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; });
+      if (!dead) continue;
+
+      // Choose the alive replica with the fewest starving predecessors.
+      ReplicaRef target{kInvalidTask, 0};
+      std::size_t best_missing = std::numeric_limits<std::size_t>::max();
+      for (CopyId c = 0; c < schedule.copies(); ++c) {
+        const ReplicaRef r{t, c};
+        if (failed[schedule.placed(r).proc]) continue;
+        std::size_t missing = 0;
+        for (TaskId pred : dag.predecessors(t)) {
+          bool fed = false;
+          for (ReplicaRef sup : schedule.suppliers(r, pred)) {
+            if (computable[pred][sup.copy]) {
+              fed = true;
+              break;
+            }
+          }
+          if (!fed) ++missing;
+        }
+        if (missing < best_missing) {
+          best_missing = missing;
+          target = r;
+        }
+      }
+      SS_CHECK(target.task != kInvalidTask,
+               "no alive replica although |F| <= eps and replicas sit on distinct processors");
+
+      for (TaskId pred : dag.predecessors(t)) {
+        bool fed = false;
+        for (ReplicaRef sup : schedule.suppliers(target, pred)) {
+          if (computable[pred][sup.copy]) {
+            fed = true;
+            break;
+          }
+        }
+        if (fed) continue;
+        const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, computable);
+        SS_CHECK(sup.task != kInvalidTask, "predecessor has no computable replica to wire");
+        const EdgeId e = dag.find_edge(pred, t);
+        CommRecord comm;
+        comm.edge = e;
+        comm.src = sup;
+        comm.dst = target;
+        comm.start = comm.finish = schedule.placed(sup).finish;
+        comm.repair = true;
+        schedule.add_comm(comm);
+        ++stats.added_comms;
+      }
+      break;  // re-check from scratch: fixing t may fix everything downstream
+    }
+  }
+
+  if (stats.success && std::isfinite(schedule.period())) {
+    for (ProcId u = 0; u < schedule.platform().num_procs(); ++u) {
+      if (schedule.cin(u) > schedule.period() || schedule.cout(u) > schedule.period()) {
+        stats.period_exceeded = true;
+        break;
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace streamsched

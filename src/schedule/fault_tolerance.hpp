@@ -1,0 +1,74 @@
+// Fault-tolerance analysis of replicated schedules.
+//
+// The paper's reliability requirement (§2): valid results must be produced
+// even if any ε processors fail (fail-silent / fail-stop). A replica is
+// *computable* under a failure set F when its processor is alive and, for
+// every predecessor task, at least one of its recorded suppliers is
+// computable. The schedule is valid under F when every task retains at
+// least one computable replica (equivalently: every exit task does — the
+// conditions coincide because a computable exit recursively certifies one
+// computable replica per ancestor).
+//
+// Computability is monotone in F, so checking all failure sets of size
+// exactly ε covers all smaller sets.
+//
+// The LTF/R-LTF heuristics keep replica chains processor-disjoint *most*
+// of the time via the one-to-one mapping, but (unlike the paper's claim)
+// this is not guaranteed for arbitrary DAGs. `repair_fault_tolerance`
+// enforces the paper's stated guarantee by adding supply channels until
+// every failure set is survivable; experiments run with repair enabled and
+// report how much repair was needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+
+/// Computability of every replica under the given failure set
+/// (failed[u] == true means processor u is down), indexed [task][copy].
+[[nodiscard]] std::vector<std::vector<bool>> computable_replicas(
+    const Schedule& schedule, const std::vector<bool>& failed);
+
+/// True when every task keeps at least one computable replica under F.
+[[nodiscard]] bool survives_failures(const Schedule& schedule,
+                                     const std::vector<bool>& failed);
+
+struct FtCheckResult {
+  bool valid = true;
+  /// A failure set that kills the schedule (empty when valid).
+  std::vector<ProcId> counterexample;
+  std::uint64_t sets_checked = 0;
+};
+
+/// Exhaustively enumerates all C(m, eps) failure sets of size
+/// `max_failures` (feasible for experiment sizes: C(20,3) = 1140).
+[[nodiscard]] FtCheckResult check_fault_tolerance(const Schedule& schedule,
+                                                  std::uint32_t max_failures);
+
+/// Monte-Carlo variant for large platforms: samples `samples` failure sets.
+[[nodiscard]] FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
+                                                          std::uint32_t max_failures,
+                                                          std::uint64_t samples, Rng& rng);
+
+struct RepairStats {
+  bool success = false;
+  std::uint32_t added_comms = 0;
+  std::uint32_t rounds = 0;
+  /// True when an added channel pushed some port load beyond the period
+  /// (recorded, not fatal: reliability takes precedence, as in the paper).
+  bool period_exceeded = false;
+};
+
+/// Adds supply channels (CommRecord::repair = true) until the schedule
+/// survives every failure set of size `max_failures`. Requires
+/// max_failures <= eps. Repair channels are excluded from stage derivation
+/// (they are backup paths used only under failures), so the latency bound
+/// still describes the algorithm's own structure; the simulator does pay
+/// their port cost, keeping measured latencies honest.
+RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures);
+
+}  // namespace streamsched

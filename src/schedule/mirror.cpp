@@ -1,0 +1,46 @@
+#include "schedule/mirror.hpp"
+
+#include "schedule/metrics.hpp"
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+Schedule mirror_schedule(const Schedule& reversed, const Dag& original) {
+  const Dag& rdag = reversed.dag();
+  SS_REQUIRE(rdag.num_tasks() == original.num_tasks() &&
+                 rdag.num_edges() == original.num_edges(),
+             "reversed schedule does not match the original graph");
+  SS_REQUIRE(reversed.complete(), "can only mirror a complete schedule");
+  // Spot-check the edge correspondence (edge e of the reversal is edge e of
+  // the original with swapped endpoints).
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    SS_CHECK(original.edge(e).src == rdag.edge(e).dst &&
+                 original.edge(e).dst == rdag.edge(e).src,
+             "edge ids are not mirror-consistent");
+  }
+
+  const double horizon = reversed.makespan();
+  Schedule out(original, reversed.platform(), reversed.eps(), reversed.period());
+
+  for (TaskId t = 0; t < original.num_tasks(); ++t) {
+    for (CopyId c = 0; c < reversed.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      const PlacedReplica& p = reversed.placed(r);
+      out.place(r, p.proc, horizon - p.finish, horizon - p.start, /*stage=*/1);
+    }
+  }
+  for (const CommRecord& comm : reversed.comms()) {
+    CommRecord flipped;
+    flipped.edge = comm.edge;
+    flipped.src = comm.dst;
+    flipped.dst = comm.src;
+    flipped.start = horizon - comm.finish;
+    flipped.finish = horizon - comm.start;
+    flipped.repair = comm.repair;
+    out.add_comm(flipped);
+  }
+  recompute_stages(out);
+  return out;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,87 @@
+#include "schedule/printer.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "schedule/metrics.hpp"
+
+namespace streamsched {
+
+namespace {
+std::string replica_name(const Schedule& s, ReplicaRef r) {
+  return s.dag().name(r.task) + "#" + std::to_string(r.copy);
+}
+}  // namespace
+
+std::string format_mapping(const Schedule& schedule) {
+  const Dag& dag = schedule.dag();
+  std::ostringstream os;
+  const std::uint32_t stages = num_stages(schedule);
+  for (std::uint32_t stage = 1; stage <= stages; ++stage) {
+    os << "stage " << stage << ':';
+    for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+      for (CopyId c = 0; c < schedule.copies(); ++c) {
+        const ReplicaRef r{t, c};
+        if (!schedule.is_placed(r) || schedule.placed(r).stage != stage) continue;
+        os << ' ' << replica_name(schedule, r) << "@P" << schedule.placed(r).proc;
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string format_processor_timeline(const Schedule& schedule) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  for (ProcId u = 0; u < schedule.platform().num_procs(); ++u) {
+    auto replicas = schedule.replicas_on(u);
+    if (replicas.empty()) continue;
+    std::sort(replicas.begin(), replicas.end(), [&](ReplicaRef a, ReplicaRef b) {
+      return schedule.placed(a).start < schedule.placed(b).start;
+    });
+    os << 'P' << u << " (sigma=" << schedule.sigma(u) << ", cin=" << schedule.cin(u)
+       << ", cout=" << schedule.cout(u) << ")\n";
+    for (ReplicaRef r : replicas) {
+      const PlacedReplica& p = schedule.placed(r);
+      os << "  [" << std::setw(8) << p.start << ", " << std::setw(8) << p.finish << ") "
+         << replica_name(schedule, r) << " (stage " << p.stage << ")\n";
+    }
+  }
+  return os.str();
+}
+
+std::string to_dot_schedule(const Schedule& schedule, const std::string& graph_name) {
+  const Dag& dag = schedule.dag();
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n  rankdir=TB;\n  node [shape=box];\n";
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (!schedule.is_placed(r)) continue;
+      const PlacedReplica& p = schedule.placed(r);
+      os << "  r" << t << '_' << c << " [label=\"" << replica_name(schedule, r) << "\\nP"
+         << p.proc << " s" << p.stage << "\"];\n";
+    }
+  }
+  for (const CommRecord& comm : schedule.comms()) {
+    os << "  r" << comm.src.task << '_' << comm.src.copy << " -> r" << comm.dst.task << '_'
+       << comm.dst.copy;
+    if (comm.repair) os << " [style=dashed]";
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string summarize(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "stages=" << num_stages(schedule) << " latency_bound=" << latency_upper_bound(schedule)
+     << " comms=" << num_total_comms(schedule) << " (remote " << num_remote_comms(schedule)
+     << ", repair " << num_repair_comms(schedule) << ") procs=" << num_procs_used(schedule)
+     << " period=" << schedule.period();
+  return os.str();
+}
+
+}  // namespace streamsched

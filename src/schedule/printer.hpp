@@ -1,0 +1,29 @@
+// Human-readable renderings of schedules: stage-structured mapping
+// listings, per-processor timelines and a DOT export of the mapped graph
+// (replicas clustered by processor). Used by the examples and handy when
+// debugging scheduler changes.
+#pragma once
+
+#include <string>
+
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+/// One line per pipeline stage listing "task#copy@Pn" placements.
+[[nodiscard]] std::string format_mapping(const Schedule& schedule);
+
+/// Per-processor view: compute load, port loads, hosted replicas with the
+/// builder timeline.
+[[nodiscard]] std::string format_processor_timeline(const Schedule& schedule);
+
+/// DOT digraph of the replicated schedule: one node per replica labelled
+/// task#copy / Pproc / stage, solid edges for primary supply channels and
+/// dashed edges for repair backups.
+[[nodiscard]] std::string to_dot_schedule(const Schedule& schedule,
+                                          const std::string& graph_name = "schedule");
+
+/// Compact one-line summary: stages, latency bound, comms, processors.
+[[nodiscard]] std::string summarize(const Schedule& schedule);
+
+}  // namespace streamsched

@@ -1,0 +1,115 @@
+// Replicated pipelined schedule (the output of every scheduler in core/).
+//
+// A schedule maps each task's ε+1 replicas onto processors and records the
+// replicated communications: one CommRecord per (supplier replica ->
+// consumer replica) pair of a DAG edge, including zero-cost colocated
+// transfers. Input semantics are ANY-of per predecessor task: a replica can
+// execute once, for every predecessor, the data of at least one of its
+// recorded suppliers is available (active replication makes all copies of
+// a task equivalent).
+//
+// The stored start/finish times are the construction timeline of the
+// greedy schedulers; reported performance comes from the stage-count bound
+// (metrics.hpp) and the discrete-event simulator (sim/), never from these
+// timestamps.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+#include "util/types.hpp"
+
+namespace streamsched {
+
+/// Placement of one replica.
+struct PlacedReplica {
+  ProcId proc = kInvalidProc;
+  double start = 0.0;
+  double finish = 0.0;
+  /// Pipeline stage (1-based). See metrics.hpp for the stage semantics.
+  std::uint32_t stage = 1;
+};
+
+/// One replicated communication along a DAG edge.
+struct CommRecord {
+  EdgeId edge = kInvalidEdge;
+  ReplicaRef src;  ///< replica of dag.edge(edge).src
+  ReplicaRef dst;  ///< replica of dag.edge(edge).dst
+  double start = 0.0;   ///< builder timeline (0-duration when colocated)
+  double finish = 0.0;
+  bool repair = false;  ///< added by the fault-tolerance repair pass
+};
+
+class Schedule {
+ public:
+  /// eps = ε (number of tolerated failures); every task gets ε+1 replicas.
+  /// period = Δ (use std::numeric_limits<double>::infinity() when the
+  /// throughput constraint is absent).
+  Schedule(const Dag& dag, const Platform& platform, CopyId eps, double period);
+
+  [[nodiscard]] const Dag& dag() const { return *dag_; }
+  [[nodiscard]] const Platform& platform() const { return *platform_; }
+  [[nodiscard]] CopyId eps() const { return eps_; }
+  /// Number of replicas per task (ε + 1).
+  [[nodiscard]] CopyId copies() const { return eps_ + 1; }
+  [[nodiscard]] double period() const { return period_; }
+
+  [[nodiscard]] bool is_placed(ReplicaRef r) const;
+  [[nodiscard]] const PlacedReplica& placed(ReplicaRef r) const;
+
+  /// Places replica r; each (task, copy) may be placed exactly once.
+  void place(ReplicaRef r, ProcId proc, double start, double finish, std::uint32_t stage);
+
+  void set_stage(ReplicaRef r, std::uint32_t stage);
+
+  /// Appends a communication record and indexes it; returns its index.
+  /// Both endpoints must already be placed.
+  std::uint32_t add_comm(const CommRecord& comm);
+
+  [[nodiscard]] const std::vector<CommRecord>& comms() const { return comms_; }
+  [[nodiscard]] std::span<const std::uint32_t> in_comms(ReplicaRef r) const;
+  [[nodiscard]] std::span<const std::uint32_t> out_comms(ReplicaRef r) const;
+
+  /// Replicas of `pred` recorded as suppliers of r (pred must be an
+  /// immediate predecessor task of r.task).
+  [[nodiscard]] std::vector<ReplicaRef> suppliers(ReplicaRef r, TaskId pred) const;
+
+  /// True when r already records a supply comm from `src`.
+  [[nodiscard]] bool has_supplier(ReplicaRef r, ReplicaRef src) const;
+
+  /// Per-processor loads per data item: compute load Σ_u, input port load
+  /// C^I_u and output port load C^O_u (remote communications only).
+  [[nodiscard]] double sigma(ProcId u) const;
+  [[nodiscard]] double cin(ProcId u) const;
+  [[nodiscard]] double cout(ProcId u) const;
+
+  /// All replicas currently placed on processor u.
+  [[nodiscard]] std::vector<ReplicaRef> replicas_on(ProcId u) const;
+
+  /// Latest finish time over all placed replicas (builder timeline).
+  [[nodiscard]] double makespan() const;
+
+  [[nodiscard]] std::size_t num_placed() const { return num_placed_; }
+  /// True when every replica of every task is placed.
+  [[nodiscard]] bool complete() const;
+
+ private:
+  void check_replica(ReplicaRef r) const;
+
+  const Dag* dag_;
+  const Platform* platform_;
+  CopyId eps_;
+  double period_;
+  std::size_t num_placed_ = 0;
+
+  std::vector<std::vector<PlacedReplica>> placed_;       // [task][copy]
+  std::vector<std::vector<bool>> placed_flag_;           // [task][copy]
+  std::vector<CommRecord> comms_;
+  std::vector<std::vector<std::vector<std::uint32_t>>> in_;   // [task][copy]
+  std::vector<std::vector<std::vector<std::uint32_t>>> out_;  // [task][copy]
+  std::vector<double> sigma_, cin_, cout_;
+};
+
+}  // namespace streamsched

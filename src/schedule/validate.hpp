@@ -1,0 +1,59 @@
+// Structural and load validation of replicated schedules.
+//
+// Used throughout the test suite and by the experiment harness as a
+// guardrail: every schedule a scheduler returns must pass the structural
+// checks; builder-produced schedules additionally pass the timing checks
+// (repair communications have no meaningful timeline and are exempt).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+enum class ViolationCode {
+  kUnplacedReplica,
+  kDuplicateProcessor,    // two replicas of one task on the same processor
+  kComputeOverload,       // Σ_u > Δ
+  kInputPortOverload,     // C^I_u > Δ
+  kOutputPortOverload,    // C^O_u > Δ
+  kMissingSupplier,       // a replica has no supplier for some predecessor
+  kStageInconsistent,     // stored stage != minimal derived stage
+  kBadExecDuration,       // finish - start != work / speed
+  kBadCommDuration,       // comm duration != volume * unit delay
+  kCommBeforeData,        // comm starts before its source replica finishes
+  kExecBeforeInput,       // replica starts before every pred has a supplier arrival
+  kComputeOverlap,        // two executions overlap on one processor
+  kSendPortOverlap,       // one-port violation on a send port
+  kRecvPortOverlap,       // one-port violation on a receive port
+};
+
+struct Violation {
+  ViolationCode code;
+  std::string detail;
+};
+
+struct ValidationReport {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+  [[nodiscard]] std::size_t count(ViolationCode code) const;
+  [[nodiscard]] std::string summary(std::size_t max_items = 10) const;
+};
+
+struct ValidateOptions {
+  /// Check the recorded timeline (exec/comm durations, precedence, one-port
+  /// non-overlap). Disable for mirrored or repaired schedules where only
+  /// structure matters.
+  bool check_timing = true;
+  /// Relative tolerance for floating point comparisons.
+  double tolerance = 1e-9;
+};
+
+/// Runs all checks and returns every violation found.
+[[nodiscard]] ValidationReport validate_schedule(const Schedule& schedule,
+                                                 const ValidateOptions& options = {});
+
+}  // namespace streamsched

@@ -1,0 +1,42 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+std::string format_trace(const SimTrace& trace, const Schedule& schedule,
+                         std::size_t max_records) {
+  std::vector<const TraceRecord*> ordered;
+  ordered.reserve(trace.records.size());
+  for (const auto& rec : trace.records) ordered.push_back(&rec);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const TraceRecord* a, const TraceRecord* b) { return a->start < b->start; });
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2);
+  std::size_t shown = 0;
+  for (const TraceRecord* rec : ordered) {
+    if (shown++ >= max_records) {
+      os << "... (" << (ordered.size() - max_records) << " more records)\n";
+      break;
+    }
+    const auto& dag = schedule.dag();
+    os << '[' << std::setw(9) << rec->start << ", " << std::setw(9) << rec->finish << "] ";
+    if (rec->kind == TraceKind::kExec) {
+      os << "P" << rec->proc << "  exec " << dag.name(rec->replica.task) << '#'
+         << rec->replica.copy << " item " << rec->item << '\n';
+    } else {
+      os << "P" << rec->proc << "->P" << rec->dst_proc << " xfer "
+         << dag.name(rec->replica.task) << '#' << rec->replica.copy << " -> "
+         << dag.name(rec->dst_replica.task) << '#' << rec->dst_replica.copy << " item "
+         << rec->item << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace streamsched

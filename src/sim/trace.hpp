@@ -1,0 +1,38 @@
+// Optional execution trace of the simulator, for debugging schedules and
+// rendering text Gantt charts in the examples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace streamsched {
+
+class Schedule;
+
+enum class TraceKind : std::uint8_t { kExec, kTransfer };
+
+struct TraceRecord {
+  TraceKind kind;
+  double start = 0.0;
+  double finish = 0.0;
+  ReplicaRef replica;        ///< executing replica / transfer source replica
+  ReplicaRef dst_replica;    ///< transfer destination (kExec: unused)
+  ProcId proc = kInvalidProc;       ///< executing proc / transfer source proc
+  ProcId dst_proc = kInvalidProc;   ///< transfer destination proc
+  std::size_t item = 0;
+};
+
+struct SimTrace {
+  std::vector<TraceRecord> records;
+
+  [[nodiscard]] bool empty() const { return records.empty(); }
+};
+
+/// Human-readable listing of a trace, ordered by start time.
+[[nodiscard]] std::string format_trace(const SimTrace& trace, const Schedule& schedule,
+                                       std::size_t max_records = 200);
+
+}  // namespace streamsched

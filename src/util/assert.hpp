@@ -1,0 +1,42 @@
+// Lightweight contract-checking helpers used across streamsched.
+//
+// SS_REQUIRE is for precondition violations on the public API surface
+// (throws std::invalid_argument, always on). SS_CHECK is for internal
+// invariants (throws std::logic_error, always on: the library is
+// heuristic-heavy and silent state corruption is far more expensive than
+// the branch).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace streamsched::detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace streamsched::detail
+
+#define SS_REQUIRE(expr, msg)                                                \
+  do {                                                                       \
+    if (!(expr)) ::streamsched::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define SS_CHECK(expr, msg)                                                  \
+  do {                                                                       \
+    if (!(expr)) ::streamsched::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

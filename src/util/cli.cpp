@@ -1,0 +1,93 @@
+#include "util/cli.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+Cli::Cli(int argc, const char* const* argv) {
+  SS_REQUIRE(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw std::invalid_argument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    consumed_[name] = false;
+  }
+}
+
+const std::string* Cli::lookup(const std::string& name, const std::string& env) {
+  if (auto it = values_.find(name); it != values_.end()) {
+    consumed_[name] = true;
+    return &it->second;
+  }
+  if (!env.empty()) {
+    if (const char* v = std::getenv(env.c_str()); v != nullptr) {
+      env_cache_.emplace_back(v);
+      return &env_cache_.back();
+    }
+  }
+  return nullptr;
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback,
+                            const std::string& env) {
+  const std::string* v = lookup(name, env);
+  return v ? *v : fallback;
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback,
+                          const std::string& env) {
+  const std::string* v = lookup(name, env);
+  if (!v) return fallback;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" + *v + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback, const std::string& env) {
+  const std::string* v = lookup(name, env);
+  if (!v) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" + *v + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback, const std::string& env) {
+  const std::string* v = lookup(name, env);
+  if (!v) return fallback;
+  if (*v == "true" || *v == "1" || *v == "yes" || *v == "on") return true;
+  if (*v == "false" || *v == "0" || *v == "no" || *v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+void Cli::finish() const {
+  std::string unknown;
+  for (const auto& [name, used] : consumed_) {
+    if (!used) unknown += (unknown.empty() ? "--" : ", --") + name;
+  }
+  if (!unknown.empty()) {
+    throw std::invalid_argument("unknown flag(s): " + unknown);
+  }
+}
+
+}  // namespace streamsched

@@ -1,0 +1,43 @@
+// Tiny command-line flag parser for the bench and example binaries.
+//
+// Accepts `--name=value`, `--name value` and bare `--flag` (boolean true).
+// Unknown flags are an error so typos in experiment sweeps fail loudly.
+// Also honours environment variables as defaults (flag wins over env).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace streamsched {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  /// Registers a flag so it is considered known. Returns current value.
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback,
+                                       const std::string& env = "");
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback,
+                                     const std::string& env = "");
+  [[nodiscard]] double get_double(const std::string& name, double fallback,
+                                  const std::string& env = "");
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback,
+                              const std::string& env = "");
+
+  /// Throws std::invalid_argument listing any flag never registered.
+  void finish() const;
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  [[nodiscard]] const std::string* lookup(const std::string& name, const std::string& env);
+
+  std::string program_;
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  mutable std::vector<std::string> env_cache_;
+};
+
+}  // namespace streamsched

@@ -1,0 +1,44 @@
+// Minimal leveled logging. Schedulers and the simulator are silent by
+// default; examples and benches raise the level for progress reporting.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace streamsched {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level actually emitted (default: kWarn).
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// Emits `message` to stderr when `level` >= the global level.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+[[nodiscard]] inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+[[nodiscard]] inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+[[nodiscard]] inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+[[nodiscard]] inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace streamsched

@@ -1,0 +1,46 @@
+// Dense row-major matrix with bounds-checked access. Used for link delay
+// matrices, mapping matrices, and transitive-closure bitmaps.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  T& operator()(std::size_t r, std::size_t c) {
+    SS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  const T& operator()(std::size_t r, std::size_t c) const {
+    SS_REQUIRE(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  [[nodiscard]] const std::vector<T>& data() const { return data_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace streamsched

@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace streamsched {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  // xoshiro state must not be all-zero; SplitMix64 seeding guarantees a
+  // well-mixed non-degenerate state for any seed, including 0.
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SS_REQUIRE(lo <= hi, "uniform range inverted");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SS_REQUIRE(lo <= hi, "uniform_int range inverted");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~0ULL) - ((~0ULL) % span + 1) % span;
+  std::uint64_t draw = (*this)();
+  while (draw > limit) draw = (*this)();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+bool Rng::bernoulli(double p) {
+  SS_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli probability out of range");
+  return uniform01() < p;
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  // Mix the current stream with the tag via SplitMix64 so forks with
+  // distinct tags decorrelate even when requested repeatedly.
+  std::uint64_t mix = (*this)() ^ (0x632be59bd9b4e019ULL * (tag + 1));
+  return Rng(splitmix64(mix));
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k) {
+  SS_REQUIRE(k <= n, "cannot sample more elements than the population");
+  // Floyd's algorithm: O(k) expected draws, output sorted afterwards.
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  for (std::uint32_t j = n - k; j < n; ++j) {
+    const auto t = static_cast<std::uint32_t>(uniform_int(0, j));
+    bool present = false;
+    for (auto x : out) {
+      if (x == t) {
+        present = true;
+        break;
+      }
+    }
+    out.push_back(present ? j : t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace streamsched

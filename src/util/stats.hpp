@@ -1,0 +1,46 @@
+// Small descriptive-statistics helpers used by the experiment harness and
+// the benchmark/figure binaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace streamsched {
+
+/// Streaming accumulator (Welford) for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+[[nodiscard]] double mean_of(const std::vector<double>& xs);
+
+/// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev_of(const std::vector<double>& xs);
+
+/// q-quantile (0 <= q <= 1) by linear interpolation on the sorted sample.
+/// Requires a non-empty vector.
+[[nodiscard]] double quantile_of(std::vector<double> xs, double q);
+
+}  // namespace streamsched

@@ -1,0 +1,46 @@
+// Aligned ASCII table / CSV emitter for benchmark and figure binaries.
+//
+// The figure-regeneration benches print the same rows/series the paper
+// reports; Table gives them a consistent, diff-friendly format and an
+// optional CSV dump (for re-plotting with external tools).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamsched {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row(const std::vector<double>& cells, int precision = 2);
+
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders an aligned, pipe-separated ASCII table.
+  [[nodiscard]] std::string to_ascii() const;
+
+  /// Renders RFC-4180-style CSV (quotes cells containing , " or newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void write_csv(const std::string& path) const;
+
+  /// Formats a double with fixed precision (shared helper).
+  [[nodiscard]] static std::string fmt(double value, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Table& t);
+
+}  // namespace streamsched

@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <exception>
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto pending = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::mutex>();
+  auto error = std::make_shared<std::exception_ptr>();
+
+  auto drain = [next, n, &body, error, first_error] {
+    for (;;) {
+      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*first_error);
+        if (!*error) *error = std::current_exception();
+      }
+    }
+  };
+
+  // Enqueue one drain task per worker; the calling thread drains too.
+  const std::size_t jobs = std::min(n, threads_.size());
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  pending->store(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.emplace([drain, pending, &done_mutex, &done_cv] {
+      drain();
+      // Notify while holding the lock: the waiter owns done_cv/done_mutex on
+      // its stack and may destroy them as soon as it observes pending == 0.
+      std::lock_guard<std::mutex> lock2(done_mutex);
+      pending->fetch_sub(1);
+      done_cv.notify_one();
+    });
+  }
+  cv_.notify_all();
+
+  drain();
+
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [&] { return pending->load() == 0; });
+
+  if (*error) std::rethrow_exception(*error);
+}
+
+void parallel_for_indices(std::size_t n, std::size_t workers,
+                          const std::function<void(std::size_t)>& body) {
+  if (workers == 1 || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(workers);
+  pool.parallel_for(n, body);
+}
+
+}  // namespace streamsched

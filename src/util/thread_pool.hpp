@@ -1,0 +1,53 @@
+// Fixed-size worker pool used to parallelize experiment sweeps across
+// random graph instances.
+//
+// Work items are indexed, and `parallel_for` partitions [0, n) dynamically
+// (atomic counter) so stragglers balance out. Results are written into
+// pre-sized slots, which keeps sweep output deterministic and independent
+// of the number of workers — a requirement for reproducible figures.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace streamsched {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return threads_.size(); }
+
+  /// Runs body(i) for each i in [0, n), distributing indices dynamically
+  /// over the pool (the calling thread participates). Exceptions thrown by
+  /// any body are captured; the first one is rethrown after all indices
+  /// complete or are abandoned.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// Convenience: one-shot parallel_for on a transient pool when no pool is
+/// available. `workers == 1` executes inline (useful for debugging).
+void parallel_for_indices(std::size_t n, std::size_t workers,
+                          const std::function<void(std::size_t)>& body);
+
+}  // namespace streamsched

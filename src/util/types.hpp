@@ -1,0 +1,29 @@
+// Shared strong-ish identifier types for tasks, processors and edges.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace streamsched {
+
+using TaskId = std::uint32_t;
+using ProcId = std::uint32_t;
+using EdgeId = std::uint32_t;
+
+inline constexpr TaskId kInvalidTask = std::numeric_limits<TaskId>::max();
+inline constexpr ProcId kInvalidProc = std::numeric_limits<ProcId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+
+/// Replica index within a task's active-replication group (0 .. ε).
+using CopyId = std::uint32_t;
+
+/// Identifies one replica of one task.
+struct ReplicaRef {
+  TaskId task = kInvalidTask;
+  CopyId copy = 0;
+
+  friend bool operator==(const ReplicaRef&, const ReplicaRef&) = default;
+  friend auto operator<=>(const ReplicaRef&, const ReplicaRef&) = default;
+};
+
+}  // namespace streamsched

@@ -1,0 +1,67 @@
+// Shared scheduling helpers for tests: calibrated-period escalation.
+//
+// The schedulers may legitimately fail at a tight period (the paper's LTF
+// does exactly that); properties about *valid* schedules therefore probe a
+// ladder of headrooms and assert success at some rung.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/options.hpp"
+#include "exp/workload.hpp"
+
+namespace streamsched::test {
+
+struct EscalationResult {
+  ScheduleResult result;
+  double period = 0.0;
+  double headroom = 0.0;
+};
+
+inline const std::vector<double>& headroom_ladder() {
+  static const std::vector<double> ladder{2.0, 3.0, 4.5, 7.0, 12.0};
+  return ladder;
+}
+
+/// Runs `scheduler` at increasing headrooms until it succeeds.
+template <typename SchedulerFn>
+EscalationResult schedule_with_escalation(SchedulerFn&& scheduler, const Dag& dag,
+                                          const Platform& platform, CopyId eps,
+                                          bool repair = false) {
+  EscalationResult out;
+  for (double headroom : headroom_ladder()) {
+    out.headroom = headroom;
+    out.period = calibrate_period(dag, platform, eps, headroom, 1.0);
+    SchedulerOptions options;
+    options.eps = eps;
+    options.period = out.period;
+    options.repair = repair;
+    out.result = scheduler(dag, platform, options);
+    if (out.result.ok()) return out;
+  }
+  return out;
+}
+
+/// Escalates until *both* schedulers succeed at the same period (for
+/// head-to-head comparisons). Returns the pair; either may still hold a
+/// failure if even the top rung was infeasible.
+template <typename FnA, typename FnB>
+std::pair<EscalationResult, EscalationResult> schedule_pair_with_escalation(
+    FnA&& a, FnB&& b, const Dag& dag, const Platform& platform, CopyId eps,
+    bool repair = false) {
+  std::pair<EscalationResult, EscalationResult> out;
+  for (double headroom : headroom_ladder()) {
+    const double period = calibrate_period(dag, platform, eps, headroom, 1.0);
+    SchedulerOptions options;
+    options.eps = eps;
+    options.period = period;
+    options.repair = repair;
+    out.first = EscalationResult{a(dag, platform, options), period, headroom};
+    out.second = EscalationResult{b(dag, platform, options), period, headroom};
+    if (out.first.result.ok() && out.second.result.ok()) return out;
+  }
+  return out;
+}
+
+}  // namespace streamsched::test

@@ -1,0 +1,119 @@
+// Tests for graph analysis: series-parallel recognition, the new
+// structured generators (wavefront, butterfly) and summary statistics.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "graph/generators.hpp"
+#include "graph/width.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(SeriesParallel, ChainAndForkJoinAreSp) {
+  EXPECT_TRUE(is_series_parallel(make_chain(1, 1.0, 1.0)));
+  EXPECT_TRUE(is_series_parallel(make_chain(7, 1.0, 1.0)));
+  EXPECT_TRUE(is_series_parallel(make_fork_join(5, 1.0, 1.0)));
+  EXPECT_TRUE(is_series_parallel(make_diamond(1.0, 1.0)));
+}
+
+TEST(SeriesParallel, PaperGraphsClassified) {
+  // Both of the paper's example graphs are two-terminal series-parallel:
+  // Figure 1 is the diamond, and Figure 2 reduces by contracting t2/t4/t5
+  // (parallel between t1 and t6), then t6, then merging with the t3
+  // branch. Consistently, the paper's §4.2 communication claim targets
+  // exactly this class.
+  EXPECT_TRUE(is_series_parallel(make_paper_figure1()));
+  EXPECT_TRUE(is_series_parallel(make_paper_figure2()));
+}
+
+TEST(SeriesParallel, WavefrontGridIsNotSp) {
+  // The 2x2 wavefront is the diamond (SP); 3x3 contains the forbidden N.
+  EXPECT_TRUE(is_series_parallel(make_wavefront(2, 2, 1.0, 1.0)));
+  EXPECT_FALSE(is_series_parallel(make_wavefront(3, 3, 1.0, 1.0)));
+}
+
+TEST(SeriesParallel, MultiTerminalGraphsAreNotSp) {
+  Dag two_sources;
+  two_sources.add_task("a", 1.0);
+  two_sources.add_task("b", 1.0);
+  two_sources.add_task("c", 1.0);
+  two_sources.add_edge(0, 2, 1.0);
+  two_sources.add_edge(1, 2, 1.0);
+  EXPECT_FALSE(is_series_parallel(two_sources));
+  Dag isolated;
+  isolated.add_task("a", 1.0);
+  isolated.add_task("b", 1.0);
+  EXPECT_FALSE(is_series_parallel(isolated));
+}
+
+TEST(SeriesParallel, GeneratorOutputIsAlwaysSp) {
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    const Dag d = make_random_series_parallel(rng, n, WeightRanges{});
+    EXPECT_TRUE(is_series_parallel(d)) << "trial " << trial << " n=" << n;
+  }
+}
+
+TEST(SeriesParallel, RandomLayeredGraphsAreUsuallyNotSp) {
+  Rng rng(14);
+  int sp = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dag d = make_random_layered(rng, 40, 6, 0.3, WeightRanges{});
+    if (is_series_parallel(d)) ++sp;
+  }
+  EXPECT_LE(sp, 2);
+}
+
+TEST(Generators, WavefrontShape) {
+  const Dag d = make_wavefront(3, 4, 2.0, 1.0);
+  EXPECT_EQ(d.num_tasks(), 12u);
+  // Edges: down (2*4) + right (3*3) = 17.
+  EXPECT_EQ(d.num_edges(), 17u);
+  EXPECT_EQ(d.entries().size(), 1u);
+  EXPECT_EQ(d.exits().size(), 1u);
+  EXPECT_EQ(longest_path_tasks(d), 3u + 4u - 1u);
+  EXPECT_EQ(graph_width(d), 3u);  // min(rows, cols)
+}
+
+TEST(Generators, ButterflyShape) {
+  const Dag d = make_butterfly(3, 1.0, 1.0);  // width 8, 4 levels
+  EXPECT_EQ(d.num_tasks(), 8u * 4u);
+  EXPECT_EQ(d.num_edges(), 8u * 3u * 2u);
+  EXPECT_EQ(d.entries().size(), 8u);
+  EXPECT_EQ(d.exits().size(), 8u);
+  EXPECT_EQ(graph_width(d), 8u);
+  EXPECT_EQ(longest_path_tasks(d), 4u);
+  (void)d.topological_order();  // acyclic
+}
+
+TEST(Analysis, StatsOnKnownGraph) {
+  const GraphStats stats = analyze(make_paper_figure2());
+  EXPECT_EQ(stats.tasks, 7u);
+  EXPECT_EQ(stats.edges, 9u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.exits, 1u);
+  EXPECT_EQ(stats.width, 4u);  // {t2, t3, t4, t5}
+  EXPECT_EQ(stats.depth, 4u);  // t1 -> t2 -> t6 -> t7
+  EXPECT_EQ(stats.max_in_degree, 3u);   // t6
+  EXPECT_EQ(stats.max_out_degree, 4u);  // t1
+  EXPECT_TRUE(stats.series_parallel);
+  EXPECT_NEAR(stats.mean_work, 72.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.mean_volume, 2.0);
+}
+
+TEST(Analysis, EmptyAndSingleton) {
+  Dag empty;
+  EXPECT_EQ(analyze(empty).tasks, 0u);
+  Dag one;
+  one.add_task("a", 3.0);
+  const GraphStats stats = analyze(one);
+  EXPECT_EQ(stats.tasks, 1u);
+  EXPECT_EQ(stats.width, 1u);
+  EXPECT_TRUE(stats.series_parallel);
+  EXPECT_DOUBLE_EQ(stats.mean_work, 3.0);
+}
+
+}  // namespace
+}  // namespace streamsched

@@ -1,0 +1,108 @@
+// Tests for timed fail-stop failures: work in flight at the crash is
+// lost, earlier items keep their results, and replication covers the gap.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "platform/generators.hpp"
+#include "sim/engine.hpp"
+
+namespace streamsched {
+namespace {
+
+using test::place_at;
+
+TEST(TimedFailure, CrashAtZeroEqualsFailSilent) {
+  Dag d;
+  d.add_task("a", 6.0);
+  const Platform p({3.0, 1.0}, 1.0);
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  SimOptions timed;
+  timed.num_items = 8;
+  timed.warmup_items = 2;
+  timed.failures_at = {{0, 0.0}};
+  SimOptions silent = timed;
+  silent.failures_at.clear();
+  silent.failed = {0};
+  const SimResult a = simulate(s, timed);
+  const SimResult b = simulate(s, silent);
+  ASSERT_TRUE(a.complete && b.complete);
+  EXPECT_DOUBLE_EQ(a.mean_latency, b.mean_latency);
+}
+
+TEST(TimedFailure, ItemsBeforeCrashUseFastCopy) {
+  // Fast copy on P0 (exec 2), slow on P1 (exec 6), period 10. P0 dies at
+  // t = 35: items 0..3 finish on the fast copy (their execs end by 32 at
+  // the latest... item 3 runs [30,32]), later items fall back to 6.
+  Dag d;
+  d.add_task("a", 6.0);
+  const Platform p({3.0, 1.0}, 1.0);
+  Schedule s(d, p, 1, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  SimOptions o;
+  o.num_items = 8;
+  o.warmup_items = 0;
+  o.failures_at = {{0, 35.0}};
+  const SimResult r = simulate(s, o);
+  ASSERT_TRUE(r.complete);
+  ASSERT_EQ(r.item_latencies.size(), 8u);
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(r.item_latencies[k], k <= 3 ? 2.0 : 6.0) << "item " << k;
+  }
+}
+
+TEST(TimedFailure, WorkInFlightAtCrashIsLost) {
+  // Fast copy runs item k in [10k, 10k+2]. Crash at t = 31: item 3's exec
+  // [30, 32] finishes after the crash and is lost.
+  Dag d;
+  d.add_task("a", 6.0);
+  const Platform p({3.0, 1.0}, 1.0);
+  Schedule s(d, p, 1, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  SimOptions o;
+  o.num_items = 6;
+  o.warmup_items = 0;
+  o.failures_at = {{0, 31.0}};
+  const SimResult r = simulate(s, o);
+  ASSERT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.item_latencies[2], 2.0);  // finished at 22 <= 31
+  EXPECT_DOUBLE_EQ(r.item_latencies[3], 6.0);  // lost on P0, slow copy serves
+}
+
+TEST(TimedFailure, UnreplicatedPipelineStarvesAfterCrash) {
+  Dag d = make_chain(2, 2.0, 2.0);
+  const Platform p = Platform::uniform(2, 1.0, 0.5);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 3.0);
+  test::wire(s, 0, 0, 1, 0);
+  SimOptions o;
+  o.num_items = 10;
+  o.warmup_items = 0;
+  o.discipline = SimDiscipline::kSelfTimed;
+  o.failures_at = {{1, 25.0}};
+  const SimResult r = simulate(s, o);
+  EXPECT_FALSE(r.complete);
+  EXPECT_GT(r.starved_items, 0u);
+  EXPECT_LT(r.starved_items, 10u);  // early items made it through
+}
+
+TEST(TimedFailure, ValidatesInput) {
+  Dag d;
+  d.add_task("a", 1.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  SimOptions o;
+  o.failures_at = {{5, 1.0}};
+  EXPECT_THROW((void)simulate(s, o), std::invalid_argument);
+  o.failures_at = {{0, -1.0}};
+  EXPECT_THROW((void)simulate(s, o), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamsched

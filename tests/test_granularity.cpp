@@ -1,0 +1,81 @@
+// Tests for granularity g(G, P) and granularity-targeted weight scaling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+#include "graph/granularity.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Granularity, KnownValueOnChain) {
+  // Two tasks of work 6 and 4, one edge volume 5; slowest speed 0.5 and
+  // slowest delay 2 => comp = (6+4)/0.5 = 20, comm = 5*2 = 10, g = 2.
+  Dag d;
+  d.add_task("a", 6.0);
+  d.add_task("b", 4.0);
+  d.add_edge(0, 1, 5.0);
+  Matrix<double> delays(2, 2, 2.0);
+  const Platform p({0.5, 1.0}, delays);
+  EXPECT_DOUBLE_EQ(total_slowest_computation(d, p), 20.0);
+  EXPECT_DOUBLE_EQ(total_slowest_communication(d, p), 10.0);
+  EXPECT_DOUBLE_EQ(granularity(d, p), 2.0);
+}
+
+TEST(Granularity, InfiniteWithoutCommunication) {
+  Dag d;
+  d.add_task("a", 1.0);
+  const Platform p = make_homogeneous(2);
+  EXPECT_TRUE(std::isinf(granularity(d, p)));
+}
+
+TEST(Granularity, ScaleHitsTargetExactly) {
+  Rng rng(5);
+  Dag d = make_random_layered(rng, 60, 8, 0.3, WeightRanges{});
+  Platform p = make_comm_heterogeneous(rng, 10);
+  for (double target : {0.2, 0.6, 1.0, 1.4, 2.0}) {
+    scale_to_granularity(d, p, target);
+    EXPECT_NEAR(granularity(d, p), target, 1e-9);
+  }
+}
+
+TEST(Granularity, ScaleReturnsAppliedFactor) {
+  Dag d;
+  d.add_task("a", 10.0);
+  d.add_task("b", 10.0);
+  d.add_edge(0, 1, 10.0);
+  const Platform p = make_homogeneous(2);  // delay 1, speed 1: g = 20/10 = 2
+  const double factor = scale_to_granularity(d, p, 1.0);
+  EXPECT_DOUBLE_EQ(factor, 0.5);
+  EXPECT_DOUBLE_EQ(d.work(0), 5.0);
+}
+
+TEST(Granularity, ScalePreservesWorkRatios) {
+  Dag d;
+  d.add_task("a", 2.0);
+  d.add_task("b", 8.0);
+  d.add_edge(0, 1, 4.0);
+  const Platform p = make_homogeneous(2);
+  scale_to_granularity(d, p, 0.7);
+  EXPECT_NEAR(d.work(1) / d.work(0), 4.0, 1e-12);
+}
+
+TEST(Granularity, ScaleRejectsBadInput) {
+  Dag d;
+  d.add_task("a", 1.0);
+  Platform p = make_homogeneous(2);
+  EXPECT_THROW(scale_to_granularity(d, p, 1.0), std::invalid_argument);  // no edges
+  Dag d2;
+  d2.add_task("a", 0.0);
+  d2.add_task("b", 0.0);
+  d2.add_edge(0, 1, 1.0);
+  EXPECT_THROW(scale_to_granularity(d2, p, 1.0), std::invalid_argument);  // no work
+  Dag d3 = make_chain(2, 1.0, 1.0);
+  EXPECT_THROW(scale_to_granularity(d3, p, -1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamsched

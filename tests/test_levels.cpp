@@ -1,0 +1,128 @@
+// Tests for top/bottom levels and priorities (paper §2): hand-computed
+// values on small graphs plus structural properties on random graphs.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "graph/levels.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Levels, AverageExecUsesMeanInverseSpeed) {
+  Dag d;
+  d.add_task("a", 12.0);
+  // Speeds 1 and 2: mean(1/s) = (1 + 0.5)/2 = 0.75.
+  const Platform p({1.0, 2.0}, 1.0);
+  EXPECT_DOUBLE_EQ(average_exec_times(d, p)[0], 9.0);
+}
+
+TEST(Levels, AverageCommUsesMeanDelay) {
+  Dag d;
+  d.add_task("a", 1.0);
+  d.add_task("b", 1.0);
+  d.add_edge(0, 1, 10.0);
+  Platform p = Platform::uniform(3, 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(average_comm_times(d, p)[0], 20.0);
+}
+
+TEST(Levels, ChainLevels) {
+  // Chain a(2) -> b(3) -> c(4), volumes 1, homogeneous platform (delay 1).
+  Dag d;
+  d.add_task("a", 2.0);
+  d.add_task("b", 3.0);
+  d.add_task("c", 4.0);
+  d.add_edge(0, 1, 1.0);
+  d.add_edge(1, 2, 1.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+
+  const auto tl = top_levels(d, p);
+  EXPECT_DOUBLE_EQ(tl[0], 0.0);
+  EXPECT_DOUBLE_EQ(tl[1], 3.0);  // 2 + 1
+  EXPECT_DOUBLE_EQ(tl[2], 7.0);  // 2 + 1 + 3 + 1
+
+  const auto bl = bottom_levels(d, p);
+  EXPECT_DOUBLE_EQ(bl[2], 4.0);
+  EXPECT_DOUBLE_EQ(bl[1], 8.0);   // 3 + 1 + 4
+  EXPECT_DOUBLE_EQ(bl[0], 11.0);  // 2 + 1 + 3 + 1 + 4
+
+  // On a chain every task is critical: tl + bl is constant.
+  const auto prio = priorities(d, p);
+  EXPECT_DOUBLE_EQ(prio[0], 11.0);
+  EXPECT_DOUBLE_EQ(prio[1], 11.0);
+  EXPECT_DOUBLE_EQ(prio[2], 11.0);
+  EXPECT_DOUBLE_EQ(critical_path_length(d, p), 11.0);
+}
+
+TEST(Levels, DiamondPicksLongerBranch) {
+  // a -> b (heavy) and a -> c (light), both -> d.
+  Dag d;
+  d.add_task("a", 1.0);
+  d.add_task("b", 10.0);
+  d.add_task("c", 2.0);
+  d.add_task("d", 1.0);
+  d.add_edge(0, 1, 1.0);
+  d.add_edge(0, 2, 1.0);
+  d.add_edge(1, 3, 1.0);
+  d.add_edge(2, 3, 1.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+  const auto tl = top_levels(d, p);
+  EXPECT_DOUBLE_EQ(tl[3], 1.0 + 1.0 + 10.0 + 1.0);
+  const auto bl = bottom_levels(d, p);
+  EXPECT_DOUBLE_EQ(bl[0], 1.0 + 1.0 + 10.0 + 1.0 + 1.0);
+}
+
+TEST(Levels, EntryTopLevelIsZeroExitBottomLevelIsExec) {
+  Rng rng(3);
+  const Dag d = make_random_layered(rng, 50, 8, 0.3, WeightRanges{});
+  const Platform p = make_homogeneous(4);
+  const auto tl = top_levels(d, p);
+  const auto bl = bottom_levels(d, p);
+  const auto exec = average_exec_times(d, p);
+  for (TaskId t : d.entries()) EXPECT_DOUBLE_EQ(tl[t], 0.0);
+  for (TaskId t : d.exits()) EXPECT_DOUBLE_EQ(bl[t], exec[t]);
+}
+
+TEST(Levels, MonotoneAlongEdges) {
+  Rng rng(4);
+  const Dag d = make_random_layered(rng, 60, 10, 0.25, WeightRanges{});
+  const Platform p = make_homogeneous(4);
+  const auto tl = top_levels(d, p);
+  const auto bl = bottom_levels(d, p);
+  for (EdgeId e = 0; e < d.num_edges(); ++e) {
+    const auto& edge = d.edge(e);
+    EXPECT_LT(tl[edge.src], tl[edge.dst]);
+    EXPECT_GT(bl[edge.src], bl[edge.dst]);
+  }
+}
+
+TEST(Levels, CriticalPathIsMaxPriority) {
+  Rng rng(5);
+  const Dag d = make_random_erdos(rng, 30, 0.15, WeightRanges{});
+  const Platform p = make_homogeneous(3);
+  const auto prio = priorities(d, p);
+  double best = 0;
+  for (double x : prio) best = std::max(best, x);
+  EXPECT_DOUBLE_EQ(critical_path_length(d, p), best);
+}
+
+TEST(Levels, ReversalSwapsLevels) {
+  Rng rng(6);
+  const Dag d = make_random_layered(rng, 40, 6, 0.3, WeightRanges{});
+  const Dag r = d.reversed();
+  const Platform p = make_homogeneous(4);
+  const auto tl = top_levels(d, p);
+  const auto bl = bottom_levels(d, p);
+  const auto rtl = top_levels(r, p);
+  const auto rbl = bottom_levels(r, p);
+  const auto exec = average_exec_times(d, p);
+  for (TaskId t = 0; t < d.num_tasks(); ++t) {
+    // tl_rev = bl − E and bl_rev = tl + E.
+    EXPECT_NEAR(rtl[t], bl[t] - exec[t], 1e-9);
+    EXPECT_NEAR(rbl[t], tl[t] + exec[t], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace streamsched

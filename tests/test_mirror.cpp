@@ -1,0 +1,124 @@
+// Tests for reverse-schedule mirroring: processors preserved, timeline
+// reflected, communications flipped, stages recomputed forward.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "platform/generators.hpp"
+#include "schedule/metrics.hpp"
+#include "schedule/mirror.hpp"
+#include "schedule/validate.hpp"
+
+namespace streamsched {
+namespace {
+
+using test::place_at;
+using test::wire;
+
+TEST(Mirror, ChainScheduleRoundTrips) {
+  const Dag dag = make_chain(3, 2.0, 4.0);  // a -> b -> c
+  const Dag rdag = dag.reversed();          // c -> b -> a
+  const Platform platform = Platform::uniform(2, 1.0, 0.5);  // comm = 2
+
+  // Schedule the reversed chain: c on P0 [0,2), b on P1 [4,6), a on P1 [6,8).
+  Schedule rev(rdag, platform, 0, 1000.0);
+  place_at(rev, {2, 0}, 0, 0.0);
+  rev.place({1, 0}, 1, 4.0, 6.0, 2);
+  rev.place({0, 0}, 1, 6.0, 8.0, 2);
+  wire(rev, 2, 0, 1, 0);  // in rdag: c -> b
+  wire(rev, 1, 0, 0, 0);  // in rdag: b -> a
+
+  const Schedule fwd = mirror_schedule(rev, dag);
+
+  // Processors preserved.
+  EXPECT_EQ(fwd.placed({0, 0}).proc, 1u);
+  EXPECT_EQ(fwd.placed({1, 0}).proc, 1u);
+  EXPECT_EQ(fwd.placed({2, 0}).proc, 0u);
+
+  // Timeline reflected around the makespan (8): a [0,2), b [2,4), c [6,8).
+  EXPECT_DOUBLE_EQ(fwd.placed({0, 0}).start, 0.0);
+  EXPECT_DOUBLE_EQ(fwd.placed({0, 0}).finish, 2.0);
+  EXPECT_DOUBLE_EQ(fwd.placed({1, 0}).start, 2.0);
+  EXPECT_DOUBLE_EQ(fwd.placed({2, 0}).start, 6.0);
+
+  // Communications point forward now.
+  ASSERT_EQ(fwd.comms().size(), 2u);
+  for (const CommRecord& comm : fwd.comms()) {
+    EXPECT_TRUE(dag.has_edge(comm.src.task, comm.dst.task));
+  }
+
+  // Stages: a,b colocated stage 1; c remote stage 2.
+  EXPECT_EQ(fwd.placed({0, 0}).stage, 1u);
+  EXPECT_EQ(fwd.placed({1, 0}).stage, 1u);
+  EXPECT_EQ(fwd.placed({2, 0}).stage, 2u);
+  EXPECT_EQ(num_stages(fwd), 2u);
+
+  // The mirrored schedule is fully valid including timing.
+  const auto report = validate_schedule(fwd);
+  EXPECT_TRUE(report.ok()) << report.summary();
+}
+
+TEST(Mirror, LoadsAreSwappedCorrectly) {
+  const Dag dag = make_chain(2, 3.0, 6.0);
+  const Dag rdag = dag.reversed();
+  const Platform platform = Platform::uniform(2, 1.0, 0.5);  // comm 3
+
+  Schedule rev(rdag, platform, 0, 1000.0);
+  place_at(rev, {1, 0}, 0, 0.0);
+  rev.place({0, 0}, 1, 6.0, 9.0, 2);
+  wire(rev, 1, 0, 0, 0);
+  // In reverse land P0 sends; after mirroring P1 (hosting task 0) sends.
+  EXPECT_DOUBLE_EQ(rev.cout(0), 3.0);
+  EXPECT_DOUBLE_EQ(rev.cin(1), 3.0);
+
+  const Schedule fwd = mirror_schedule(rev, dag);
+  EXPECT_DOUBLE_EQ(fwd.cout(1), 3.0);
+  EXPECT_DOUBLE_EQ(fwd.cin(0), 3.0);
+  EXPECT_DOUBLE_EQ(fwd.sigma(0), rev.sigma(0));
+  EXPECT_DOUBLE_EQ(fwd.sigma(1), rev.sigma(1));
+}
+
+TEST(Mirror, RepairFlagsSurvive) {
+  const Dag dag = make_chain(2, 1.0, 1.0);
+  const Dag rdag = dag.reversed();
+  const Platform platform = Platform::uniform(3, 1.0, 1.0);
+  Schedule rev(rdag, platform, 1, 1000.0);
+  place_at(rev, {1, 0}, 0, 0.0);
+  place_at(rev, {1, 1}, 1, 0.0);
+  rev.place({0, 0}, 0, 1.0, 2.0, 1);
+  rev.place({0, 1}, 1, 1.0, 2.0, 1);
+  wire(rev, 1, 0, 0, 0);
+  wire(rev, 1, 1, 0, 1);
+  CommRecord backup;
+  backup.edge = rdag.find_edge(1, 0);
+  backup.src = {1, 0};
+  backup.dst = {0, 1};
+  backup.repair = true;
+  rev.add_comm(backup);
+
+  const Schedule fwd = mirror_schedule(rev, dag);
+  EXPECT_EQ(num_repair_comms(fwd), 1u);
+}
+
+TEST(Mirror, RequiresCompleteSchedule) {
+  const Dag dag = make_chain(2, 1.0, 1.0);
+  const Dag rdag = dag.reversed();
+  const Platform platform = Platform::uniform(2, 1.0, 1.0);
+  Schedule rev(rdag, platform, 0, 1000.0);
+  place_at(rev, {1, 0}, 0, 0.0);
+  EXPECT_THROW((void)mirror_schedule(rev, dag), std::invalid_argument);
+}
+
+TEST(Mirror, RejectsMismatchedGraph) {
+  const Dag dag = make_chain(2, 1.0, 1.0);
+  const Dag other = make_chain(3, 1.0, 1.0);
+  const Platform platform = Platform::uniform(2, 1.0, 1.0);
+  const Dag rdag = dag.reversed();  // must outlive the schedule
+  Schedule rev(rdag, platform, 0, 1000.0);
+  place_at(rev, {0, 0}, 0, 1.0);
+  place_at(rev, {1, 0}, 0, 0.0);
+  EXPECT_THROW((void)mirror_schedule(rev, other), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamsched

@@ -1,0 +1,125 @@
+// Tests for the platform model and its generators.
+#include <gtest/gtest.h>
+
+#include "platform/generators.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Platform, UniformConstruction) {
+  const Platform p = Platform::uniform(4, 2.0, 0.5);
+  EXPECT_EQ(p.num_procs(), 4u);
+  for (ProcId u = 0; u < 4; ++u) EXPECT_EQ(p.speed(u), 2.0);
+  EXPECT_EQ(p.unit_delay(0, 1), 0.5);
+  EXPECT_EQ(p.unit_delay(2, 2), 0.0);
+}
+
+TEST(Platform, ExecAndCommTimes) {
+  const Platform p({1.0, 2.0}, 0.25);
+  EXPECT_DOUBLE_EQ(p.exec_time(10.0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(p.exec_time(10.0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(8.0, 0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(p.comm_time(8.0, 1, 1), 0.0);
+}
+
+TEST(Platform, RejectsBadSpeeds) {
+  EXPECT_THROW(Platform({}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({1.0, 0.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW(Platform({1.0, -2.0}, 1.0), std::invalid_argument);
+}
+
+TEST(Platform, RejectsAsymmetricDelays) {
+  Matrix<double> delays(2, 2, 0.0);
+  delays(0, 1) = 1.0;
+  delays(1, 0) = 2.0;
+  EXPECT_THROW(Platform({1.0, 1.0}, delays), std::invalid_argument);
+}
+
+TEST(Platform, SetUnitDelayKeepsSymmetry) {
+  Platform p = Platform::uniform(3, 1.0, 1.0);
+  p.set_unit_delay(0, 2, 4.0);
+  EXPECT_EQ(p.unit_delay(0, 2), 4.0);
+  EXPECT_EQ(p.unit_delay(2, 0), 4.0);
+  EXPECT_THROW(p.set_unit_delay(1, 1, 2.0), std::invalid_argument);
+}
+
+TEST(Platform, SpeedStatistics) {
+  const Platform p({1.0, 2.0, 4.0}, 1.0);
+  EXPECT_EQ(p.min_speed(), 1.0);
+  EXPECT_EQ(p.max_speed(), 4.0);
+  EXPECT_NEAR(p.mean_speed(), 7.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.mean_inverse_speed(), (1.0 + 0.5 + 0.25) / 3.0, 1e-12);
+}
+
+TEST(Platform, DelayStatistics) {
+  Matrix<double> delays(3, 3, 0.0);
+  delays(0, 1) = delays(1, 0) = 1.0;
+  delays(0, 2) = delays(2, 0) = 2.0;
+  delays(1, 2) = delays(2, 1) = 3.0;
+  const Platform p({1.0, 1.0, 1.0}, delays);
+  EXPECT_EQ(p.min_unit_delay(), 1.0);
+  EXPECT_EQ(p.max_unit_delay(), 3.0);
+  EXPECT_DOUBLE_EQ(p.mean_unit_delay(), 2.0);
+}
+
+TEST(Platform, SingleProcessorDelayStatsAreZero) {
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  EXPECT_EQ(p.min_unit_delay(), 0.0);
+  EXPECT_EQ(p.max_unit_delay(), 0.0);
+  EXPECT_EQ(p.mean_unit_delay(), 0.0);
+}
+
+TEST(PlatformGenerators, Homogeneous) {
+  const Platform p = make_homogeneous(20, 0.75);
+  EXPECT_EQ(p.num_procs(), 20u);
+  EXPECT_EQ(p.speed(7), 1.0);
+  EXPECT_EQ(p.unit_delay(3, 9), 0.75);
+}
+
+TEST(PlatformGenerators, CommHeterogeneousMatchesPaperRanges) {
+  Rng rng(8);
+  const Platform p = make_comm_heterogeneous(rng, 20);
+  EXPECT_EQ(p.num_procs(), 20u);
+  for (ProcId a = 0; a < 20; ++a) {
+    EXPECT_EQ(p.speed(a), 1.0);
+    for (ProcId b = 0; b < 20; ++b) {
+      if (a == b) continue;
+      EXPECT_GE(p.unit_delay(a, b), 0.5);
+      EXPECT_LE(p.unit_delay(a, b), 1.0);
+      EXPECT_EQ(p.unit_delay(a, b), p.unit_delay(b, a));
+    }
+  }
+}
+
+TEST(PlatformGenerators, FullyHeterogeneousRanges) {
+  Rng rng(9);
+  const Platform p = make_heterogeneous(rng, 10, 0.5, 2.0, 0.1, 0.9);
+  for (ProcId u = 0; u < 10; ++u) {
+    EXPECT_GE(p.speed(u), 0.5);
+    EXPECT_LE(p.speed(u), 2.0);
+  }
+  EXPECT_GE(p.min_unit_delay(), 0.1);
+  EXPECT_LE(p.max_unit_delay(), 0.9);
+}
+
+TEST(PlatformGenerators, PaperFigure1Platform) {
+  const Platform p = make_paper_figure1_platform();
+  EXPECT_EQ(p.num_procs(), 4u);
+  EXPECT_EQ(p.speed(0), 1.5);
+  EXPECT_EQ(p.speed(1), 1.0);
+  EXPECT_EQ(p.speed(2), 1.5);
+  EXPECT_EQ(p.speed(3), 1.0);
+  EXPECT_EQ(p.unit_delay(0, 3), 1.0);
+}
+
+TEST(PlatformGenerators, InvalidRangesRejected) {
+  Rng rng(1);
+  EXPECT_THROW((void)make_heterogeneous(rng, 0, 1.0, 1.0, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)make_heterogeneous(rng, 2, 2.0, 1.0, 0.5, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)make_heterogeneous(rng, 2, 1.0, 1.0, 1.5, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamsched

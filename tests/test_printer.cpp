@@ -1,0 +1,82 @@
+// Tests for the schedule pretty-printer / DOT exporter.
+#include <gtest/gtest.h>
+
+#include "core/rltf.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/printer.hpp"
+
+namespace streamsched {
+namespace {
+
+ScheduleResult example_schedule() {
+  SchedulerOptions options;
+  options.eps = 1;
+  options.period = 22.0;
+  static const Dag dag = make_paper_figure2();
+  static const Platform platform = make_homogeneous(8, 1.0);
+  return rltf_schedule(dag, platform, options);
+}
+
+TEST(Printer, MappingListsEveryReplicaOncePerStageLine) {
+  const auto r = example_schedule();
+  ASSERT_TRUE(r.ok());
+  const std::string text = format_mapping(*r.schedule);
+  EXPECT_NE(text.find("stage 1:"), std::string::npos);
+  EXPECT_NE(text.find("stage 3:"), std::string::npos);
+  // Each of the 14 replicas appears exactly once.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("@P"); pos != std::string::npos;
+       pos = text.find("@P", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 14u);
+}
+
+TEST(Printer, TimelineShowsLoadsAndIntervals) {
+  const auto r = example_schedule();
+  ASSERT_TRUE(r.ok());
+  const std::string text = format_processor_timeline(*r.schedule);
+  EXPECT_NE(text.find("sigma="), std::string::npos);
+  EXPECT_NE(text.find("cin="), std::string::npos);
+  EXPECT_NE(text.find("t7#0"), std::string::npos);
+  EXPECT_NE(text.find("(stage "), std::string::npos);
+}
+
+TEST(Printer, DotScheduleHasNodesAndChannelEdges) {
+  const auto r = example_schedule();
+  ASSERT_TRUE(r.ok());
+  const std::string dot = to_dot_schedule(*r.schedule, "sched");
+  EXPECT_NE(dot.find("digraph sched"), std::string::npos);
+  EXPECT_NE(dot.find("r0_0"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  // No repair channels in this schedule unless repair ran.
+  EXPECT_EQ(dot.find("style=dashed"), std::string::npos);
+}
+
+TEST(Printer, DotScheduleMarksRepairChannelsDashed) {
+  SchedulerOptions options;
+  options.eps = 1;
+  options.period = 22.0;
+  options.repair = true;
+  const Dag dag = make_paper_figure2();
+  const Platform platform = make_homogeneous(8, 1.0);
+  const auto r = rltf_schedule(dag, platform, options);
+  ASSERT_TRUE(r.ok());
+  if (r.repair.added_comms > 0) {
+    EXPECT_NE(to_dot_schedule(*r.schedule).find("style=dashed"), std::string::npos);
+  }
+}
+
+TEST(Printer, SummaryMentionsKeyMetrics) {
+  const auto r = example_schedule();
+  ASSERT_TRUE(r.ok());
+  const std::string s = summarize(*r.schedule);
+  EXPECT_NE(s.find("stages=3"), std::string::npos);
+  EXPECT_NE(s.find("latency_bound=110"), std::string::npos);
+  EXPECT_NE(s.find("period=22"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamsched

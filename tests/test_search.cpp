@@ -1,0 +1,128 @@
+// Tests for the bicriteria search extensions: minimal feasible period and
+// maximal supported failures.
+#include <gtest/gtest.h>
+
+#include "core/ltf.hpp"
+#include "core/rltf.hpp"
+#include "core/search.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+#include "schedule/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Search, PeriodLowerBoundComponents) {
+  // Chain of works {10, 2}: per-task bound 10 / max-speed 2 = 5;
+  // load bound (ε+1) * 12 / (2 + 1) = 8 for ε = 1.
+  Dag d;
+  d.add_task("a", 10.0);
+  d.add_task("b", 2.0);
+  d.add_edge(0, 1, 1.0);
+  const Platform p({2.0, 1.0}, 0.5);
+  EXPECT_DOUBLE_EQ(period_lower_bound(d, p, 0), 5.0);
+  EXPECT_DOUBLE_EQ(period_lower_bound(d, p, 1), 8.0);
+}
+
+TEST(Search, MinPeriodOnIndependentTasks) {
+  // 4 independent unit tasks on 2 processors: optimal period is 2.
+  Dag d;
+  for (int i = 0; i < 4; ++i) d.add_task(1.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+  SchedulerOptions base;
+  base.eps = 0;
+  const auto result = find_min_period(d, p, base, ltf_schedule, 1e-4);
+  ASSERT_TRUE(result.found);
+  EXPECT_NEAR(result.period, 2.0, 2.0 * 1e-3);
+  ASSERT_TRUE(result.schedule.has_value());
+  EXPECT_LE(max_cycle_time(*result.schedule), result.period * (1 + 1e-6));
+}
+
+TEST(Search, MinPeriodTightensWithReplication) {
+  Rng rng(3);
+  const Dag d = make_random_layered(rng, 24, 4, 0.3, WeightRanges{});
+  const Platform p = make_homogeneous(6);
+  SchedulerOptions base;
+  base.eps = 0;
+  const auto p0 = find_min_period(d, p, base, rltf_schedule);
+  base.eps = 1;
+  const auto p1 = find_min_period(d, p, base, rltf_schedule);
+  ASSERT_TRUE(p0.found && p1.found);
+  // Twice the load cannot run faster than once the load.
+  EXPECT_GE(p1.period, p0.period * (1.0 - 1e-6));
+}
+
+TEST(Search, MinPeriodIsFeasibilityFrontier) {
+  Rng rng(5);
+  const Dag d = make_random_layered(rng, 20, 4, 0.3, WeightRanges{});
+  const Platform p = make_homogeneous(5);
+  SchedulerOptions base;
+  base.eps = 1;
+  const auto result = find_min_period(d, p, base, ltf_schedule, 1e-3);
+  ASSERT_TRUE(result.found);
+  // Slightly below the frontier the scheduler must fail.
+  SchedulerOptions probe = base;
+  probe.period = result.period * 0.98;
+  EXPECT_FALSE(ltf_schedule(d, p, probe).ok());
+  probe.period = result.period * 1.02;
+  EXPECT_TRUE(ltf_schedule(d, p, probe).ok());
+}
+
+TEST(Search, MaxFailuresGrowsWithPeriod) {
+  Rng rng(7);
+  const Dag d = make_random_layered(rng, 16, 4, 0.4, WeightRanges{});
+  const Platform p = make_homogeneous(8);
+  SchedulerOptions base;
+  base.eps = 0;
+  const auto frontier = find_min_period(d, p, base, rltf_schedule, 1e-2);
+  ASSERT_TRUE(frontier.found);
+  const double tight = frontier.period * 1.05;
+  const double loose = frontier.period * 16.0;
+  const auto inf = std::numeric_limits<double>::infinity();
+  const auto a = find_max_failures(d, p, tight, inf, base, rltf_schedule);
+  const auto b = find_max_failures(d, p, loose, inf, base, rltf_schedule);
+  ASSERT_TRUE(a.found && b.found);
+  EXPECT_LE(a.eps, b.eps);
+  EXPECT_GE(b.eps, 1u);  // plenty of slack: at least duplication fits
+}
+
+TEST(Search, MaxFailuresRespectsLatencyCap) {
+  Rng rng(9);
+  const Dag d = make_random_layered(rng, 16, 4, 0.4, WeightRanges{});
+  const Platform p = make_homogeneous(8);
+  SchedulerOptions base;
+  base.eps = 0;
+  const auto frontier = find_min_period(d, p, base, rltf_schedule, 1e-2);
+  ASSERT_TRUE(frontier.found);
+  const double period = frontier.period * 8.0;
+  const auto unlimited = find_max_failures(
+      d, p, period, std::numeric_limits<double>::infinity(), base, rltf_schedule);
+  ASSERT_TRUE(unlimited.found);
+  // A one-period latency cap allows at most single-stage mappings.
+  const auto capped = find_max_failures(d, p, period, period, base, rltf_schedule);
+  if (capped.found) {
+    EXPECT_LE(latency_upper_bound(*capped.schedule), period * (1 + 1e-9));
+  }
+  EXPECT_LE(capped.found ? capped.eps : 0, unlimited.eps);
+}
+
+TEST(Search, InfeasibleProblemReportsNotFound) {
+  // A single task of work 10 on a speed-1 processor can never beat period
+  // 10; searching with an upper bound exhausts and still finds 10 — but a
+  // scheduler that always fails must report not-found.
+  Dag d;
+  d.add_task("a", 10.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  SchedulerOptions base;
+  const auto always_fail = [](const Dag&, const Platform&, const SchedulerOptions&) {
+    return ScheduleResult::failure("nope");
+  };
+  const auto result = find_min_period(d, p, base, always_fail);
+  EXPECT_FALSE(result.found);
+  EXPECT_FALSE(result.schedule.has_value());
+  EXPECT_GT(result.evaluations, 10u);
+}
+
+}  // namespace
+}  // namespace streamsched

@@ -1,0 +1,327 @@
+// Tests for the discrete-event simulator: hand-computed pipelines,
+// one-port serialization, computation/communication overlap, steady-state
+// throughput, FIFO semantics and failure injection.
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "platform/generators.hpp"
+#include "schedule/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace streamsched {
+namespace {
+
+using test::place_at;
+using test::wire;
+
+SimOptions quick(std::size_t items = 12, std::size_t warmup = 4) {
+  SimOptions o;
+  o.num_items = items;
+  o.warmup_items = warmup;
+  return o;
+}
+
+// Hand-computed timings below assume the greedy self-timed discipline.
+SimOptions self_timed(std::size_t items = 12, std::size_t warmup = 4) {
+  SimOptions o = quick(items, warmup);
+  o.discipline = SimDiscipline::kSelfTimed;
+  return o;
+}
+
+TEST(Sim, SingleTaskLatencyIsExecTime) {
+  Dag d;
+  d.add_task("a", 5.0);
+  const Platform p = Platform::uniform(1, 2.0, 1.0);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  const SimResult r = simulate(s, quick());
+  EXPECT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 2.5);  // 5 / 2
+  EXPECT_DOUBLE_EQ(r.max_latency, 2.5);
+  EXPECT_NEAR(r.achieved_period, 10.0, 1e-9);
+}
+
+TEST(Sim, ColocatedChainLatency) {
+  // a(2) -> b(3) on one processor, period 10: latency 5 every item.
+  Dag d = make_chain(2, 0.0, 1.0);
+  d.set_work(0, 2.0);
+  d.set_work(1, 3.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 0, 2.0);
+  wire(s, 0, 0, 1, 0);
+  const SimResult r = simulate(s, quick());
+  EXPECT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 5.0);
+}
+
+TEST(Sim, RemoteChainAddsCommLatency) {
+  // a(2) on P0 -> b(3) on P1, volume 4 * delay 0.5 = 2: latency 2+2+3 = 7.
+  Dag d = make_chain(2, 0.0, 4.0);
+  d.set_work(0, 2.0);
+  d.set_work(1, 3.0);
+  const Platform p = Platform::uniform(2, 1.0, 0.5);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 4.0);
+  wire(s, 0, 0, 1, 0);
+  const SimResult r = simulate(s, self_timed());
+  EXPECT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 7.0);
+
+  // Synchronous pipeline: the transfer waits for window k+1 and the
+  // second stage for window k+2 => latency 2*10 + 3 = 23 (b has stage 2).
+  recompute_stages(s);
+  const SimResult sync = simulate(s, quick());
+  EXPECT_TRUE(sync.complete);
+  EXPECT_DOUBLE_EQ(sync.mean_latency, 23.0);
+}
+
+TEST(Sim, PipelineSustainsPeriodBelowLatency) {
+  // Two stages of work 8 on separate processors, period 10 < latency.
+  Dag d = make_chain(2, 8.0, 2.0);
+  const Platform p = Platform::uniform(2, 1.0, 0.5);  // comm 1
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 9.0);
+  wire(s, 0, 0, 1, 0);
+  const SimResult r = simulate(s, self_timed(30, 10));
+  EXPECT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 17.0);  // 8 + 1 + 8
+  EXPECT_NEAR(r.achieved_period, 10.0, 1e-9);
+  EXPECT_NEAR(r.max_completion_gap, 10.0, 1e-9);
+
+  // Synchronous pipeline: stage 2 computes in window k+2 => latency 28,
+  // still below the bound (2*2-1)*10 = 30 and at the same throughput.
+  recompute_stages(s);
+  const SimResult sync = simulate(s, quick(30, 10));
+  EXPECT_DOUBLE_EQ(sync.mean_latency, 28.0);
+  EXPECT_NEAR(sync.achieved_period, 10.0, 1e-9);
+}
+
+TEST(Sim, SendPortSerializesTransfers) {
+  // Fork: a feeds b and c on different processors; both transfers leave
+  // a's send port back-to-back (1 each), so the later branch sees +1.
+  Dag d = make_fork_join(2, 0.0, 2.0);
+  d.set_work(0, 1.0);
+  d.set_work(1, 3.0);
+  d.set_work(2, 3.0);
+  d.set_work(3, 1.0);
+  const Platform p = Platform::uniform(4, 1.0, 0.5);  // comm 1 per edge
+  Schedule s(d, p, 0, 20.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 2.0);
+  place_at(s, {2, 0}, 2, 3.0);
+  place_at(s, {3, 0}, 3, 7.0);
+  wire(s, 0, 0, 1, 0);
+  wire(s, 0, 0, 2, 0, 1.0);
+  wire(s, 1, 0, 3, 0, 1.0);
+  wire(s, 2, 0, 3, 0);
+  const SimResult r = simulate(s, self_timed());
+  EXPECT_TRUE(r.complete);
+  // a finishes at 1; xfer->b [1,2], xfer->c [2,3] (send port busy);
+  // b [2,5], c [3,6]; d needs b's data ([5,6]) and c's ([6,7]) => starts 7,
+  // ends 8.
+  EXPECT_DOUBLE_EQ(r.mean_latency, 8.0);
+}
+
+TEST(Sim, ComputationOverlapsCommunication) {
+  // While P0 streams item k's output, it already computes item k+1: the
+  // achieved period must equal the compute bound (3), not 3 + comm.
+  Dag d = make_chain(2, 3.0, 6.0);
+  const Platform p = Platform::uniform(2, 1.0, 0.5);  // comm 3
+  Schedule s(d, p, 0, 3.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 6.0);
+  wire(s, 0, 0, 1, 0);
+  const SimResult r = simulate(s, self_timed(30, 10));
+  EXPECT_TRUE(r.complete);
+  EXPECT_NEAR(r.achieved_period, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 9.0);  // 3 + 3 + 3
+}
+
+TEST(Sim, ReplicaFifoOrderIsRespected) {
+  // One processor, one task with exec 4, period 2: items queue up and the
+  // k-th item finishes at 4(k+1) => latency grows linearly.
+  Dag d;
+  d.add_task("a", 4.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  Schedule s(d, p, 0, 1000.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  SimOptions o = quick(10, 0);
+  o.period = 2.0;
+  const SimResult r = simulate(s, o);
+  ASSERT_EQ(r.item_latencies.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_DOUBLE_EQ(r.item_latencies[k], 4.0 * (k + 1) - 2.0 * k);
+  }
+  EXPECT_NEAR(r.achieved_period, 4.0, 1e-9);  // saturated at the exec time
+}
+
+TEST(Sim, ReplicatedExitTakesEarliestCopy) {
+  // Two copies of a single task on processors of different speed: latency
+  // is the fast copy's.
+  Dag d;
+  d.add_task("a", 6.0);
+  const Platform p({3.0, 1.0}, 1.0);
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  const SimResult r = simulate(s, quick());
+  EXPECT_DOUBLE_EQ(r.mean_latency, 2.0);  // 6/3
+}
+
+TEST(Sim, CrashedProcessorFallsBackToSlowCopy) {
+  Dag d;
+  d.add_task("a", 6.0);
+  const Platform p({3.0, 1.0}, 1.0);
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  SimOptions o = quick();
+  o.failed = {0};
+  const SimResult r = simulate(s, o);
+  EXPECT_TRUE(r.complete);
+  EXPECT_DOUBLE_EQ(r.mean_latency, 6.0);  // slow copy only
+}
+
+TEST(Sim, CrashWithoutBackupStarves) {
+  Dag d = make_chain(2, 2.0, 2.0);
+  const Platform p = Platform::uniform(4, 1.0, 0.5);
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  place_at(s, {1, 0}, 2, 3.0);
+  place_at(s, {1, 1}, 3, 3.0);
+  wire(s, 0, 0, 1, 0);
+  wire(s, 0, 0, 1, 1);  // both copies of b depend on a#0 (crossed chains)
+  SimOptions o = quick();
+  o.failed = {0};
+  const SimResult r = simulate(s, o);
+  EXPECT_FALSE(r.complete);
+  EXPECT_EQ(r.starved_items, o.num_items - o.warmup_items);
+  EXPECT_TRUE(r.item_latencies.empty());
+}
+
+TEST(Sim, AnyOfSemanticsUsesFirstArrival) {
+  // b receives from both copies of a (speeds 3 and 1): starts at the
+  // earlier arrival.
+  Dag d = make_chain(2, 6.0, 2.0);
+  const Platform p({3.0, 1.0, 1.0}, 0.5);  // comm 1
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  place_at(s, {1, 0}, 2, 3.0);
+  s.place({1, 1}, 1, 6.0, 12.0, 1);
+  wire(s, 0, 0, 1, 0);
+  wire(s, 0, 1, 1, 0);  // second (slow) supplier for the same replica
+  wire(s, 0, 1, 1, 1);
+  const SimResult r = simulate(s, self_timed());
+  EXPECT_TRUE(r.complete);
+  // Copy 0 of b: a#0 done at 2, arrival 3, exec 6 on speed 1 => 9.
+  // Copy 1 of b: on P1 with a#1: done 6, exec 6 => 12. Earliest exit: 9.
+  EXPECT_DOUBLE_EQ(r.mean_latency, 9.0);
+}
+
+TEST(Sim, CrashedSenderFreesDestination) {
+  // When a#0 is dead, b#0 waits for the slow copy a#1 instead.
+  Dag d = make_chain(2, 6.0, 2.0);
+  const Platform p({3.0, 1.0, 1.0}, 0.5);
+  Schedule s(d, p, 1, 100.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {0, 1}, 1, 0.0);
+  place_at(s, {1, 0}, 2, 3.0);
+  s.place({1, 1}, 1, 6.0, 12.0, 1);
+  wire(s, 0, 0, 1, 0);
+  wire(s, 0, 1, 1, 0);
+  wire(s, 0, 1, 1, 1);
+  SimOptions o = self_timed();
+  o.failed = {0};
+  const SimResult r = simulate(s, o);
+  EXPECT_TRUE(r.complete);
+  // b#1 colocated with a#1: 6 + 6 = 12. b#0: a#1 arrival 7, + 6 = 13.
+  EXPECT_DOUBLE_EQ(r.mean_latency, 12.0);
+}
+
+TEST(Sim, UtilizationAccounting) {
+  Dag d;
+  d.add_task("a", 4.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+  Schedule s(d, p, 0, 8.0);
+  place_at(s, {0, 0}, 1, 0.0);
+  SimOptions o = quick(10, 0);
+  const SimResult r = simulate(s, o);
+  EXPECT_DOUBLE_EQ(r.proc_busy[1], 40.0);  // 10 items * 4
+  EXPECT_DOUBLE_EQ(r.proc_busy[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.send_busy[0], 0.0);
+}
+
+TEST(Sim, TraceRecordsExecAndTransfers) {
+  Dag d = make_chain(2, 2.0, 2.0);
+  const Platform p = Platform::uniform(2, 1.0, 0.5);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 3.0);
+  wire(s, 0, 0, 1, 0);
+  SimOptions o = quick(2, 0);
+  o.collect_trace = true;
+  const SimResult r = simulate(s, o);
+  std::size_t execs = 0, xfers = 0;
+  for (const auto& rec : r.trace.records) {
+    (rec.kind == TraceKind::kExec ? execs : xfers)++;
+  }
+  EXPECT_EQ(execs, 4u);  // 2 replica instances * 2 items
+  EXPECT_EQ(xfers, 2u);
+  const std::string text = format_trace(r.trace, s);
+  EXPECT_NE(text.find("exec"), std::string::npos);
+  EXPECT_NE(text.find("xfer"), std::string::npos);
+}
+
+TEST(Sim, LatencyNeverExceedsStageBoundOnValidSchedule) {
+  // (2S-1)·Δ is an upper bound for the steady-state latency when loads fit.
+  Dag d = make_chain(3, 4.0, 2.0);
+  const Platform p = Platform::uniform(3, 1.0, 0.5);
+  Schedule s(d, p, 0, 6.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  place_at(s, {1, 0}, 1, 5.0);
+  place_at(s, {2, 0}, 2, 10.0);
+  wire(s, 0, 0, 1, 0);
+  wire(s, 1, 0, 2, 0);
+  recompute_stages(s);
+  const SimResult r = simulate(s, quick(30, 10));
+  EXPECT_TRUE(r.complete);
+  EXPECT_LE(r.max_latency, latency_upper_bound(s) + 1e-9);
+}
+
+TEST(Sim, OptionValidation) {
+  Dag d;
+  d.add_task("a", 1.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  Schedule s(d, p, 0, 10.0);
+  place_at(s, {0, 0}, 0, 0.0);
+  SimOptions bad = quick();
+  bad.warmup_items = bad.num_items;
+  EXPECT_THROW((void)simulate(s, bad), std::invalid_argument);
+  SimOptions bad2 = quick();
+  bad2.failed = {7};
+  EXPECT_THROW((void)simulate(s, bad2), std::invalid_argument);
+  Schedule incomplete(d, p, 0, 10.0);
+  EXPECT_THROW((void)simulate(incomplete, quick()), std::invalid_argument);
+}
+
+TEST(Sim, InfinitePeriodScheduleNeedsExplicitPeriod) {
+  Dag d;
+  d.add_task("a", 1.0);
+  const Platform p = Platform::uniform(1, 1.0, 1.0);
+  Schedule s(d, p, 0, std::numeric_limits<double>::infinity());
+  place_at(s, {0, 0}, 0, 0.0);
+  EXPECT_THROW((void)simulate(s, quick()), std::invalid_argument);
+  SimOptions o = quick();
+  o.period = 5.0;
+  EXPECT_TRUE(simulate(s, o).complete);
+}
+
+}  // namespace
+}  // namespace streamsched

@@ -1,0 +1,115 @@
+// Tests for the experiment sweep harness: small end-to-end runs, series
+// sanity (R-LTF <= LTF on aggregate, bounds above simulations), threading
+// determinism and figure assembly.
+#include <gtest/gtest.h>
+
+#include "exp/figures.hpp"
+#include "exp/sweep.hpp"
+
+namespace streamsched {
+namespace {
+
+SweepConfig tiny_config() {
+  SweepConfig config;
+  config.workload.v_min = 30;
+  config.workload.v_max = 50;
+  config.eps = 1;
+  config.crashes = 1;
+  config.graphs_per_point = 4;
+  config.crash_trials = 2;
+  config.g_min = 0.5;
+  config.g_max = 1.5;
+  config.g_step = 0.5;
+  config.seed = 7;
+  config.threads = 2;
+  config.sim_items = 20;
+  config.sim_warmup = 5;
+  return config;
+}
+
+TEST(Sweep, RunInstanceProducesConsistentRecord) {
+  const SweepConfig config = tiny_config();
+  const InstanceRecord rec = run_instance(config, 1.0, 12345);
+  ASSERT_TRUE(rec.usable);
+  EXPECT_GT(rec.period, 0.0);
+  EXPECT_GT(rec.ff_sim0, 0.0);
+  ASSERT_TRUE(rec.ltf.scheduled);
+  ASSERT_TRUE(rec.rltf.scheduled);
+  // The simulated no-crash latency never exceeds the stage bound.
+  EXPECT_LE(rec.ltf.sim0, rec.ltf.ub * (1.0 + 1e-9));
+  EXPECT_LE(rec.rltf.sim0, rec.rltf.ub * (1.0 + 1e-9));
+  // Repair enforces survival: no starvation in the crash trials.
+  EXPECT_FALSE(rec.ltf.starved);
+  EXPECT_FALSE(rec.rltf.starved);
+  // Replication should not *substantially* beat the fault-free schedule.
+  // (Both are heuristics; R-LTF with replicas occasionally finds a
+  // slightly better stage structure than its ε = 0 run.)
+  EXPECT_GE(rec.ltf.sim0, rec.ff_sim0 * 0.75);
+  EXPECT_GE(rec.rltf.sim0, rec.ff_sim0 * 0.75);
+}
+
+TEST(Sweep, DeterministicAcrossThreadCounts) {
+  SweepConfig serial = tiny_config();
+  serial.threads = 1;
+  SweepConfig parallel = tiny_config();
+  parallel.threads = 4;
+  const auto a = run_granularity_sweep(serial);
+  const auto b = run_granularity_sweep(parallel);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].rltf_sim0, b[i].rltf_sim0);
+    EXPECT_DOUBLE_EQ(a[i].ltf_ub, b[i].ltf_ub);
+    EXPECT_EQ(a[i].instances, b[i].instances);
+  }
+}
+
+TEST(Sweep, SeriesShapesMatchThePaper) {
+  const auto points = run_granularity_sweep(tiny_config());
+  ASSERT_EQ(points.size(), 3u);
+  double rltf_total = 0, ltf_total = 0;
+  for (const auto& p : points) {
+    EXPECT_GT(p.instances, 0u);
+    // Bounds dominate simulated latencies (both normalized identically).
+    EXPECT_LE(p.rltf_sim0, p.rltf_ub * (1.0 + 1e-9));
+    EXPECT_LE(p.ltf_sim0, p.ltf_ub * (1.0 + 1e-9));
+    // Overheads versus the fault-free schedule are essentially
+    // non-negative (small negative means on a few instances the
+    // replicated heuristic found a slightly better stage structure).
+    EXPECT_GE(p.rltf_overhead0, -25.0);
+    EXPECT_GE(p.ltf_overhead0, -25.0);
+    EXPECT_EQ(p.starved, 0u);
+    rltf_total += p.rltf_sim0;
+    ltf_total += p.ltf_sim0;
+  }
+  // The paper's headline result on aggregate: R-LTF beats LTF.
+  EXPECT_LE(rltf_total, ltf_total * 1.05);
+}
+
+TEST(Sweep, FigureTablesHaveTheRightSeries) {
+  const auto points = run_granularity_sweep(tiny_config());
+  const Table bounds = figure_latency_bounds(points);
+  EXPECT_EQ(bounds.num_rows(), points.size());
+  EXPECT_EQ(bounds.num_cols(), 5u);
+  const Table crash = figure_latency_crash(points, 1);
+  EXPECT_EQ(crash.num_cols(), 5u);
+  const Table overhead = figure_overhead(points, 1);
+  EXPECT_EQ(overhead.num_cols(), 5u);
+  const Table diag = figure_diagnostics(points);
+  EXPECT_EQ(diag.num_rows(), points.size());
+  const std::string rendered = render_figure(points, "Figure test", 1);
+  EXPECT_NE(rendered.find("Figure test"), std::string::npos);
+  EXPECT_NE(rendered.find("UpperBound"), std::string::npos);
+  EXPECT_NE(rendered.find("overhead"), std::string::npos);
+}
+
+TEST(Sweep, RejectsBadConfig) {
+  SweepConfig config = tiny_config();
+  config.crashes = 3;  // > eps
+  EXPECT_THROW((void)run_granularity_sweep(config), std::invalid_argument);
+  SweepConfig config2 = tiny_config();
+  config2.g_step = 0.0;
+  EXPECT_THROW((void)run_granularity_sweep(config2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace streamsched

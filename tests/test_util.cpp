@@ -1,0 +1,340 @@
+// Unit tests for the utility substrate: RNG, statistics, matrix, table,
+// CLI parsing and the thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "util/cli.hpp"
+#include "util/matrix.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace streamsched {
+namespace {
+
+// ---------------------------------------------------------------- Rng ----
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsCentered) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) s.add(rng.uniform01());
+  EXPECT_NEAR(s.mean(), 0.5, 0.02);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.5, 7.5);
+    EXPECT_GE(x, 2.5);
+    EXPECT_LT(x, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  Rng rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 9);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42);
+}
+
+TEST(Rng, UniformIntNegativeRange) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const auto x = rng.uniform_int(-10, -5);
+    EXPECT_GE(x, -10);
+    EXPECT_LE(x, -5);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ForkStreamsAreIndependent) {
+  Rng parent(77);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SampleWithoutReplacementBasics) {
+  Rng rng(21);
+  const auto s = rng.sample_without_replacement(20, 5);
+  EXPECT_EQ(s.size(), 5u);
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 5u);
+  for (auto x : s) EXPECT_LT(x, 20u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+}
+
+TEST(Rng, SampleWholePopulation) {
+  Rng rng(22);
+  const auto s = rng.sample_without_replacement(6, 6);
+  EXPECT_EQ(s.size(), 6u);
+  for (std::uint32_t i = 0; i < 6; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleRejectsOversizedRequest) {
+  Rng rng(23);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, ShuffleKeepsElements) {
+  Rng rng(31);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+// ------------------------------------------------------------- stats ----
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(0, 10);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 3.0);
+}
+
+TEST(Stats, MeanAndStddevHelpers) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean_of({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(stddev_of({1.0, 1.0, 1.0}), 0.0);
+}
+
+TEST(Stats, Quantiles) {
+  std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile_of(xs, 0.5), 2.5);
+  EXPECT_THROW((void)quantile_of({}, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)quantile_of(xs, 1.5), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ matrix ----
+
+TEST(Matrix, StoresAndRetrieves) {
+  Matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW((void)m(2, 0), std::invalid_argument);
+  EXPECT_THROW((void)m(0, 2), std::invalid_argument);
+}
+
+TEST(Matrix, FillAndEquality) {
+  Matrix<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  a.fill(9);
+  EXPECT_NE(a, b);
+  b.fill(9);
+  EXPECT_EQ(a, b);
+}
+
+// ------------------------------------------------------------- table ----
+
+TEST(Table, AsciiLayout) {
+  Table t({"a", "long-header"});
+  t.add_row(std::vector<std::string>{"1", "2"});
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("| 1 |"), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, DoubleFormatting) {
+  Table t({"x", "y"});
+  t.add_row(std::vector<double>{1.23456, 2.0}, 2);
+  EXPECT_NE(t.to_csv().find("1.23"), std::string::npos);
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"v"});
+  t.add_row(std::vector<std::string>{"a,b"});
+  t.add_row(std::vector<std::string>{"say \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+// --------------------------------------------------------------- cli ----
+
+TEST(Cli, ParsesAllForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "4.5", "--flag"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(cli.get_double("beta", 0.0), 4.5);
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  cli.finish();
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_EQ(cli.get_string("name", "x"), "x");
+  cli.finish();
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.finish(), std::invalid_argument);
+}
+
+TEST(Cli, BadNumberRejected) {
+  const char* argv[] = {"prog", "--n=abc"};
+  Cli cli(2, argv);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, BoolParsing) {
+  const char* argv[] = {"prog", "--a=yes", "--b=0", "--c=maybe"};
+  Cli cli(4, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_THROW((void)cli.get_bool("c", false), std::invalid_argument);
+}
+
+// -------------------------------------------------------- thread pool ----
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  std::atomic<int> sum{0};
+  pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  pool.parallel_for(10, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 90);
+}
+
+TEST(ThreadPool, ZeroWorkIsNoop) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [&](std::size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPool, InlineModeExecutesSerially) {
+  std::vector<int> order;
+  parallel_for_indices(5, 1, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace streamsched

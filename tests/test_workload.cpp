@@ -1,0 +1,104 @@
+// Tests for the experiment workload generator and period calibration.
+#include <gtest/gtest.h>
+
+#include "exp/workload.hpp"
+#include "graph/granularity.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Workload, InstanceMatchesPaperParameters) {
+  WorkloadParams params;
+  Rng rng(1);
+  const Instance inst = make_instance(params, 1.0, 1, rng);
+  EXPECT_GE(inst.num_tasks, 50u);
+  EXPECT_LE(inst.num_tasks, 150u);
+  EXPECT_EQ(inst.platform.num_procs(), 20u);
+  EXPECT_NEAR(inst.granularity, 1.0, 1e-9);
+  EXPECT_GT(inst.period, 0.0);
+  for (ProcId a = 0; a < 20; ++a) {
+    EXPECT_EQ(inst.platform.speed(a), 1.0);
+    for (ProcId b = a + 1; b < 20; ++b) {
+      EXPECT_GE(inst.platform.unit_delay(a, b), 0.5);
+      EXPECT_LE(inst.platform.unit_delay(a, b), 1.0);
+    }
+  }
+}
+
+class GranularityTargetTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GranularityTargetTest, AchievesTarget) {
+  WorkloadParams params;
+  Rng rng(static_cast<std::uint64_t>(GetParam() * 1000));
+  const Instance inst = make_instance(params, GetParam(), 1, rng);
+  EXPECT_NEAR(granularity(inst.dag, inst.platform), GetParam(), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSweep, GranularityTargetTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0, 1.2, 1.4, 1.6, 1.8, 2.0));
+
+TEST(Workload, PeriodScalesWithReplication) {
+  WorkloadParams params;
+  Rng a(7), b(7);
+  const Instance i1 = make_instance(params, 1.0, 1, a);
+  const Instance i3 = make_instance(params, 1.0, 3, b);
+  // Same stream: identical graphs; period ∝ (ε+1).
+  EXPECT_NEAR(i3.period / i1.period, 2.0, 1e-9);
+}
+
+TEST(Workload, PeriodCoversSingleTask) {
+  WorkloadParams params;
+  Rng rng(9);
+  const Instance inst = make_instance(params, 2.0, 0, rng);
+  double max_exec = 0.0;
+  for (TaskId t = 0; t < inst.dag.num_tasks(); ++t) {
+    max_exec = std::max(max_exec, inst.dag.work(t) / inst.platform.max_speed());
+  }
+  EXPECT_GE(inst.period, max_exec);
+}
+
+TEST(Workload, CommBoundKicksInAtLowGranularity) {
+  // At g = 0.2 communication dominates; the calibrated period must exceed
+  // the pure compute bound.
+  WorkloadParams params;
+  Rng rng(11);
+  const Instance inst = make_instance(params, 0.2, 1, rng);
+  const double compute_bound =
+      2.0 * 2.0 * inst.dag.total_work() * inst.platform.mean_inverse_speed() /
+      static_cast<double>(inst.platform.num_procs());
+  EXPECT_GT(inst.period, compute_bound * (1.0 - 1e-9));
+}
+
+TEST(Workload, DeterministicInSeed) {
+  WorkloadParams params;
+  Rng a(21), b(21);
+  const Instance x = make_instance(params, 0.8, 1, a);
+  const Instance y = make_instance(params, 0.8, 1, b);
+  EXPECT_EQ(x.num_tasks, y.num_tasks);
+  EXPECT_EQ(x.num_edges, y.num_edges);
+  EXPECT_DOUBLE_EQ(x.period, y.period);
+}
+
+TEST(Workload, NormalizationFactorMatchesPaperScale) {
+  // By construction L_norm(UB) = (2S−1) · 10(ε+1).
+  EXPECT_DOUBLE_EQ(normalization_factor(40.0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(normalization_factor(10.0, 0), 1.0);
+  EXPECT_THROW((void)normalization_factor(0.0, 1), std::invalid_argument);
+}
+
+TEST(Workload, CalibrationFormula) {
+  Dag d;
+  d.add_task("a", 10.0);
+  d.add_task("b", 10.0);
+  d.add_edge(0, 1, 8.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+  // W̄ = 20, C̄ = 8, m = 2: compute bound 10, comm bound 0.5*8/2 = 2.
+  // κ = 2, ε = 0: Δ = 2 * 1 * 10 = 20.
+  EXPECT_DOUBLE_EQ(calibrate_period(d, p, 0, 2.0, 0.5), 20.0);
+  // ε = 1 doubles it.
+  EXPECT_DOUBLE_EQ(calibrate_period(d, p, 1, 2.0, 0.5), 40.0);
+}
+
+}  // namespace
+}  // namespace streamsched
