@@ -12,8 +12,11 @@
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  // The chunk knob belongs to LTF's iso-level selection: the algorithm is
+  // fixed and --algo is disabled (it would be rejected as an unknown flag).
+  const auto flags = bench::parse_common(cli, "");
   cli.finish();
+  const Scheduler& ltf = find_scheduler("ltf");
 
   const std::vector<std::uint32_t> chunks{1, 10, 20};  // m = 20
   const std::vector<double> gs{0.4, 1.0, 1.6};
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
       options.eps = 1;
       options.period = inst.period;
       options.chunk = chunks[ci];
-      const auto r = ltf_schedule(inst.dag, inst.platform, options);
+      const auto r = ltf.schedule(inst.dag, inst.platform, options);
       Cell& cell = partial[gi][ci][j];
       if (!r.ok()) {
         ++cell.failures;

@@ -39,8 +39,11 @@ struct Cell {
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  // The rule knobs are R-LTF-specific: the algorithm is fixed and --algo
+  // is disabled (it would be rejected as an unknown flag).
+  const auto flags = bench::parse_common(cli, "");
   cli.finish();
+  const Scheduler& rltf = find_scheduler("rltf");
 
   const std::vector<Variant> variants{
       {"R-LTF full", true, true},
@@ -73,18 +76,13 @@ int main(int argc, char** argv) {
       // Escalate the period when the variant cannot fit (the all-to-all
       // ablation needs far more port budget); latency stays normalized by
       // the actual period.
-      ScheduleResult r;
-      for (double factor : {1.0, 1.3, 1.7, 2.2, 3.0}) {
-        options.period = inst.period * factor;
-        r = rltf_schedule(inst.dag, inst.platform, options);
-        if (r.ok()) break;
-      }
+      auto [r, factor] = schedule_with_period_escalation(rltf, inst, options);
       Cell& cell = partial[gi][vi][j];
       if (!r.ok()) {
         ++cell.failures;
         continue;
       }
-      const double norm = normalization_factor(options.period, 1);
+      const double norm = normalization_factor(inst.period * factor, 1);
       cell.stages.add(num_stages(*r.schedule));
       cell.latency.add(latency_upper_bound(*r.schedule) * norm);
       cell.comms.add(static_cast<double>(num_remote_comms(*r.schedule)));

@@ -35,34 +35,40 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto flags = bench::parse_common(cli);
   cli.finish();
+  if (flags.help_requested()) return 0;
 
   Rng rng(flags.seed);
   const Platform platform = make_homogeneous(16, 0.5);
   const double inf = std::numeric_limits<double>::infinity();
+  const Scheduler& ltf = find_scheduler("ltf");
 
   std::cout << "=== Communication overhead of replication (no throughput constraint) ===\n"
             << "one-to-one target: e*(eps+1); naive scheme: e*(eps+1)^2\n\n";
 
-  Table t({"graph", "eps", "e", "e(eps+1)", "LTF comms", "R-LTF comms",
-           "LTF naive (1-1 off)", "e(eps+1)^2"});
+  std::vector<std::string> headers{"graph", "eps", "e", "e(eps+1)"};
+  for (const Scheduler* algo : flags.algos) headers.push_back(algo->label + " comms");
+  headers.emplace_back("LTF naive (1-1 off)");
+  headers.emplace_back("e(eps+1)^2");
+  Table t(std::move(headers));
   for (auto& fam : make_families(rng)) {
     for (CopyId eps : {1u, 3u}) {
       SchedulerOptions options;
       options.eps = eps;
       options.period = inf;
-      const auto ltf = ltf_schedule(fam.dag, platform, options);
-      const auto rltf = rltf_schedule(fam.dag, platform, options);
       SchedulerOptions naive = options;
       naive.use_one_to_one = false;
-      const auto ltf_naive = ltf_schedule(fam.dag, platform, naive);
+      const auto ltf_naive = ltf.schedule(fam.dag, platform, naive);
       const auto e = fam.dag.num_edges();
-      t.add_row({fam.name, std::to_string(eps), std::to_string(e),
-                 std::to_string(e * (eps + 1)),
-                 ltf.ok() ? std::to_string(num_total_comms(*ltf.schedule)) : "FAIL",
-                 rltf.ok() ? std::to_string(num_total_comms(*rltf.schedule)) : "FAIL",
-                 ltf_naive.ok() ? std::to_string(num_total_comms(*ltf_naive.schedule))
-                                : "FAIL",
-                 std::to_string(e * (eps + 1) * (eps + 1))});
+      std::vector<std::string> row{fam.name, std::to_string(eps), std::to_string(e),
+                                   std::to_string(e * (eps + 1))};
+      for (const Scheduler* algo : flags.algos) {
+        const auto r = algo->schedule(fam.dag, platform, options);
+        row.push_back(r.ok() ? std::to_string(num_total_comms(*r.schedule)) : "FAIL");
+      }
+      row.push_back(ltf_naive.ok() ? std::to_string(num_total_comms(*ltf_naive.schedule))
+                                   : "FAIL");
+      row.push_back(std::to_string(e * (eps + 1) * (eps + 1)));
+      t.add_row(std::move(row));
     }
   }
   std::cout << t.to_ascii();

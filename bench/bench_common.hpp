@@ -1,17 +1,23 @@
 // Shared plumbing for the figure-regeneration benches: flag parsing with
-// environment overrides and optional CSV dumps.
+// environment overrides, registry-driven algorithm selection, optional CSV
+// dumps, and the shared figure-emission pipeline.
 //
 // Every binary accepts:
 //   --graphs N      instances per granularity point (env STREAMSCHED_GRAPHS)
 //   --threads N     sweep worker threads, 0 = hardware (env STREAMSCHED_THREADS)
 //   --seed S        master seed (env STREAMSCHED_SEED)
 //   --csv PREFIX    write <PREFIX><name>.csv next to the printed tables
+//   --algo A[,B..]  registered algorithms to run; `help` lists the registry,
+//                   `all` selects everything (env STREAMSCHED_ALGO)
 #pragma once
 
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <vector>
 
+#include "core/registry.hpp"
+#include "exp/figures.hpp"
 #include "exp/sweep.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -23,9 +29,25 @@ struct CommonFlags {
   std::size_t threads = 0;
   std::uint64_t seed = 42;
   std::string csv_prefix;
+  /// Selected registry entries (empty when the bench disabled `--algo`).
+  std::vector<const Scheduler*> algos;
+  /// `--algo=help` was given: the listing is printed, the caller exits.
+  bool help = false;
+
+  [[nodiscard]] bool help_requested() const { return help; }
+
+  [[nodiscard]] std::vector<std::string> algo_names() const {
+    std::vector<std::string> names;
+    names.reserve(algos.size());
+    for (const Scheduler* algo : algos) names.push_back(algo->name);
+    return names;
+  }
 };
 
-inline CommonFlags parse_common(Cli& cli) {
+/// An empty `algo_fallback` disables the `--algo` flag entirely — for
+/// benches whose algorithm is fixed (ablations); passing `--algo` to them
+/// then fails loudly in cli.finish() instead of being silently ignored.
+inline CommonFlags parse_common(Cli& cli, const std::string& algo_fallback = "ltf,rltf") {
   CommonFlags flags;
   flags.graphs = static_cast<std::size_t>(
       cli.get_int("graphs", static_cast<std::int64_t>(flags.graphs), "STREAMSCHED_GRAPHS"));
@@ -34,11 +56,16 @@ inline CommonFlags parse_common(Cli& cli) {
   flags.seed = static_cast<std::uint64_t>(
       cli.get_int("seed", static_cast<std::int64_t>(flags.seed), "STREAMSCHED_SEED"));
   flags.csv_prefix = cli.get_string("csv", "", "STREAMSCHED_CSV_PREFIX");
+  if (!algo_fallback.empty()) {
+    flags.algos = schedulers_from_cli(cli, algo_fallback);
+    flags.help = flags.algos.empty();
+  }
   return flags;
 }
 
 inline SweepConfig sweep_config(const CommonFlags& flags, CopyId eps, std::uint32_t crashes) {
   SweepConfig config;
+  config.algos = flags.algo_names();
   config.eps = eps;
   config.crashes = crashes;
   config.graphs_per_point = flags.graphs;
@@ -53,6 +80,17 @@ inline void maybe_write_csv(const CommonFlags& flags, const std::string& name,
   const std::string path = flags.csv_prefix + name + ".csv";
   table.write_csv(path);
   std::cout << "(wrote " << path << ")\n";
+}
+
+/// Runs the sweep, prints all figure panels and writes the per-panel CSVs
+/// — the whole body of a Figure 3/4-style driver.
+inline void run_and_render_sweep(const CommonFlags& flags, const SweepConfig& config,
+                                 const std::string& title, const std::string& csv_stem) {
+  const auto points = run_granularity_sweep(config);
+  std::cout << render_figure(points, title, config.crashes) << '\n';
+  maybe_write_csv(flags, csv_stem + "_bounds", figure_latency_bounds(points));
+  maybe_write_csv(flags, csv_stem + "_crash", figure_latency_crash(points, config.crashes));
+  maybe_write_csv(flags, csv_stem + "_overhead", figure_overhead(points, config.crashes));
 }
 
 }  // namespace streamsched::bench

@@ -1,7 +1,8 @@
 // Extension of Figures 3(b)/4(b): simulated latency as a function of the
 // actual crash count c = 0..ε at ε = 3 — how much of the replication
 // headroom each additional failure consumes (the paper only contrasts
-// c = 0 with c = 2).
+// c = 0 with c = 2). Runs every selected registry algorithm side by side;
+// the lead (first) algorithm is additionally simulated self-timed.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -12,19 +13,22 @@
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  const auto flags = bench::parse_common(cli, "rltf,ltf");
   cli.finish();
+  if (flags.help_requested()) return 0;
+  const std::vector<const Scheduler*>& algos = flags.algos;
 
   const CopyId eps = 3;
   const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 3);
   const std::size_t trials = 4;
 
   struct Row {
-    RunningStats ltf, rltf;
-    RunningStats rltf_self_timed;  // the more realistic execution model
+    std::vector<RunningStats> latency;       // one slot per algorithm
+    RunningStats lead_self_timed;            // the more realistic execution model
     std::size_t starved = 0;
   };
-  std::vector<std::vector<Row>> partial(eps + 1, std::vector<Row>(graphs));
+  std::vector<std::vector<Row>> partial(
+      eps + 1, std::vector<Row>(graphs, Row{std::vector<RunningStats>(algos.size()), {}, 0}));
 
   Rng seeder(flags.seed);
   std::vector<std::uint64_t> seeds(graphs);
@@ -39,16 +43,23 @@ int main(int argc, char** argv) {
     SchedulerOptions options;
     options.eps = eps;
     options.repair = true;
-    // Escalate the period until both algorithms fit (see exp/sweep.cpp).
-    ScheduleResult ltf, rltf;
-    for (double factor : {1.0, 1.3, 1.7, 2.2, 3.0}) {
+    // Escalate the period until every algorithm fits (see exp/sweep.cpp).
+    std::vector<ScheduleResult> results(algos.size());
+    double actual_period = 0.0;
+    for (double factor : period_escalation_ladder()) {
       options.period = inst.period * factor;
-      ltf = ltf_schedule(inst.dag, inst.platform, options);
-      rltf = rltf_schedule(inst.dag, inst.platform, options);
-      if (ltf.ok() && rltf.ok()) break;
+      bool all_ok = true;
+      for (std::size_t a = 0; a < algos.size(); ++a) {
+        results[a] = algos[a]->schedule(inst.dag, inst.platform, options);
+        all_ok = all_ok && results[a].ok();
+      }
+      if (all_ok) {
+        actual_period = options.period;
+        break;
+      }
     }
-    if (!ltf.ok() || !rltf.ok()) return;
-    const double norm_actual = normalization_factor(options.period, eps);
+    if (actual_period == 0.0) return;
+    const double norm_actual = normalization_factor(actual_period, eps);
 
     for (std::uint32_t c = 0; c <= eps; ++c) {
       for (std::size_t trial = 0; trial < (c == 0 ? 1 : trials); ++trial) {
@@ -60,41 +71,54 @@ int main(int argc, char** argv) {
               static_cast<std::uint32_t>(inst.platform.num_procs()), c);
           o.failed.assign(set.begin(), set.end());
         }
-        const SimResult ls = simulate(*ltf.schedule, o);
-        const SimResult rs = simulate(*rltf.schedule, o);
         Row& row = partial[c][j];
-        if (!ls.complete || !rs.complete) {
+        std::vector<SimResult> sims(algos.size());
+        bool all_complete = true;
+        for (std::size_t a = 0; a < algos.size(); ++a) {
+          sims[a] = simulate(*results[a].schedule, o);
+          all_complete = all_complete && sims[a].complete;
+        }
+        if (!all_complete) {
           ++row.starved;
           continue;
         }
-        row.ltf.add(ls.mean_latency * norm_actual);
-        row.rltf.add(rs.mean_latency * norm_actual);
+        for (std::size_t a = 0; a < algos.size(); ++a) {
+          row.latency[a].add(sims[a].mean_latency * norm_actual);
+        }
         // Self-timed execution shows the crash effect more vividly: losing
         // a fast replica chain directly lengthens the earliest-arrival
         // path instead of being absorbed by the stage windows.
         SimOptions st = o;
         st.discipline = SimDiscipline::kSelfTimed;
-        const SimResult rst = simulate(*rltf.schedule, st);
-        if (rst.complete) row.rltf_self_timed.add(rst.mean_latency * norm_actual);
+        const SimResult lead = simulate(*results.front().schedule, st);
+        if (lead.complete) row.lead_self_timed.add(lead.mean_latency * norm_actual);
       }
     }
   });
 
   std::cout << "=== Crash sensitivity: normalized latency vs crash count (eps = 3, "
             << graphs << " graphs) ===\n\n";
-  Table t({"crashes c", "R-LTF latency", "LTF latency", "R-LTF self-timed",
-           "starved runs"});
+  std::vector<std::string> headers{"crashes c"};
+  for (const Scheduler* algo : algos) headers.push_back(algo->label + " latency");
+  headers.push_back(algos.front()->label + " self-timed");
+  headers.emplace_back("starved runs");
+  Table t(std::move(headers));
   for (std::uint32_t c = 0; c <= eps; ++c) {
-    RunningStats ltf, rltf, rst;
+    std::vector<RunningStats> latency(algos.size());
+    RunningStats self_timed;
     std::size_t starved = 0;
     for (const Row& row : partial[c]) {
-      ltf.merge(row.ltf);
-      rltf.merge(row.rltf);
-      rst.merge(row.rltf_self_timed);
+      for (std::size_t a = 0; a < algos.size(); ++a) latency[a].merge(row.latency[a]);
+      self_timed.merge(row.lead_self_timed);
       starved += row.starved;
     }
-    t.add_row({std::to_string(c), Table::fmt(rltf.mean(), 1), Table::fmt(ltf.mean(), 1),
-               Table::fmt(rst.mean(), 1), std::to_string(starved)});
+    std::vector<std::string> cells{std::to_string(c)};
+    for (std::size_t a = 0; a < algos.size(); ++a) {
+      cells.push_back(Table::fmt(latency[a].mean(), 1));
+    }
+    cells.push_back(Table::fmt(self_timed.mean(), 1));
+    cells.push_back(std::to_string(starved));
+    t.add_row(std::move(cells));
   }
   std::cout << t.to_ascii();
   std::cout << "\n(A schedule repaired for eps = 3 must never starve for c <= 3.)\n";

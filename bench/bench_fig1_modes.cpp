@@ -134,6 +134,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto flags = bench::parse_common(cli);
   cli.finish();
+  if (flags.help_requested()) return 0;
 
   std::cout << "=== Figure 1: execution scenarios on the 4-task example ===\n"
             << "(graph: diamond, works 15, volumes 2; platform speeds {1.5,1,1.5,1})\n\n";

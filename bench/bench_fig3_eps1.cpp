@@ -1,14 +1,12 @@
-// Figure 3 (paper §5): average normalized latency of LTF vs R-LTF over
-// random graphs, ε = 1, c = 1 crash — three panels:
+// Figure 3 (paper §5): average normalized latency of the selected
+// algorithms (default LTF vs R-LTF) over random graphs, ε = 1, c = 1 crash
+// — three panels:
 //   (a) simulated 0-crash latency vs the (2S-1)Δ upper bound,
 //   (b) latency with 0 vs 1 crash,
 //   (c) fault-tolerance overhead (%) vs the fault-free schedule,
 // each as a function of the task-graph granularity (0.2 .. 2.0).
-#include <iostream>
-
+// `--algo=<names>` swaps in any registered schedulers.
 #include "bench_common.hpp"
-#include "exp/figures.hpp"
-#include "exp/sweep.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -16,19 +14,13 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto flags = bench::parse_common(cli);
   cli.finish();
+  if (flags.help_requested()) return 0;
 
-  SweepConfig config = bench::sweep_config(flags, /*eps=*/1, /*crashes=*/1);
-  const auto points = run_granularity_sweep(config);
-
-  std::cout << render_figure(points,
-                             "Figure 3: LTF vs R-LTF, eps = 1, c = 1 (normalized latency, " +
-                                 std::to_string(config.graphs_per_point) +
-                                 " graphs/point, m = 20)",
-                             config.crashes)
-            << '\n';
-
-  bench::maybe_write_csv(flags, "fig3a_bounds", figure_latency_bounds(points));
-  bench::maybe_write_csv(flags, "fig3b_crash", figure_latency_crash(points, config.crashes));
-  bench::maybe_write_csv(flags, "fig3c_overhead", figure_overhead(points, config.crashes));
+  const SweepConfig config = bench::sweep_config(flags, /*eps=*/1, /*crashes=*/1);
+  bench::run_and_render_sweep(
+      flags, config,
+      "Figure 3: eps = 1, c = 1 (normalized latency, " +
+          std::to_string(config.graphs_per_point) + " graphs/point, m = 20)",
+      "fig3");
   return 0;
 }

@@ -1,11 +1,8 @@
 // Figure 4 (paper §5): same three panels as Figure 3 with ε = 3 and
 // c = 2 crashes — the regime where the latency increase under failures
 // becomes clearly visible (paper §5, discussion of Figure 4(b)).
-#include <iostream>
-
+// `--algo=<names>` swaps in any registered schedulers.
 #include "bench_common.hpp"
-#include "exp/figures.hpp"
-#include "exp/sweep.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -13,19 +10,13 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const auto flags = bench::parse_common(cli);
   cli.finish();
+  if (flags.help_requested()) return 0;
 
-  SweepConfig config = bench::sweep_config(flags, /*eps=*/3, /*crashes=*/2);
-  const auto points = run_granularity_sweep(config);
-
-  std::cout << render_figure(points,
-                             "Figure 4: LTF vs R-LTF, eps = 3, c = 2 (normalized latency, " +
-                                 std::to_string(config.graphs_per_point) +
-                                 " graphs/point, m = 20)",
-                             config.crashes)
-            << '\n';
-
-  bench::maybe_write_csv(flags, "fig4a_bounds", figure_latency_bounds(points));
-  bench::maybe_write_csv(flags, "fig4b_crash", figure_latency_crash(points, config.crashes));
-  bench::maybe_write_csv(flags, "fig4c_overhead", figure_overhead(points, config.crashes));
+  const SweepConfig config = bench::sweep_config(flags, /*eps=*/3, /*crashes=*/2);
+  bench::run_and_render_sweep(
+      flags, config,
+      "Figure 4: eps = 3, c = 2 (normalized latency, " +
+          std::to_string(config.graphs_per_point) + " graphs/point, m = 20)",
+      "fig4");
   return 0;
 }

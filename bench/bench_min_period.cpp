@@ -1,7 +1,7 @@
 // Extension (paper §6, "symmetric problems"): the minimal sustainable
 // period per scheduler — maximize throughput for a given failure count.
-// Binary search over Δ for LTF, R-LTF, HEFT (period-aware) and the
-// lane-replicated stage packer, reported relative to the analytic lower
+// Binary search over Δ for every selected registry algorithm (default:
+// all replication-capable ones), reported relative to the analytic lower
 // bound (ε+1)·W / Σs.
 #include <iostream>
 
@@ -13,19 +13,10 @@
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  const auto flags = bench::parse_common(cli, "ltf,rltf,heft,stage_pack");
   cli.finish();
-
-  struct Algo {
-    std::string name;
-    SchedulerFn fn;
-  };
-  const std::vector<Algo> algos{
-      {"LTF", ltf_schedule},
-      {"R-LTF", rltf_schedule},
-      {"HEFT(+naive repl.)", heft_schedule},
-      {"stage-pack (lanes)", stage_pack_schedule},
-  };
+  if (flags.help_requested()) return 0;
+  const std::vector<const Scheduler*>& algos = flags.algos;
 
   const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 4);
   const CopyId eps = 1;
@@ -47,7 +38,11 @@ int main(int argc, char** argv) {
     for (std::size_t a = 0; a < algos.size(); ++a) {
       SchedulerOptions base;
       base.eps = eps;
-      const auto r = find_min_period(inst.dag, inst.platform, base, algos[a].fn, 1e-2);
+      const Scheduler& algo = *algos[a];
+      const auto fn = [&algo](const Dag& d, const Platform& p, const SchedulerOptions& o) {
+        return algo.schedule(d, p, o);
+      };
+      const auto r = find_min_period(inst.dag, inst.platform, base, fn, 1e-2);
       if (!r.found) continue;
       ratios[a][j] = r.period / lb;
       stages[a][j] = num_stages(*r.schedule);
@@ -69,7 +64,7 @@ int main(int argc, char** argv) {
       ratio.add(ratios[a][j]);
       stage.add(stages[a][j]);
     }
-    t.add_row({algos[a].name, Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
+    t.add_row({algos[a]->label, Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
                Table::fmt(stage.mean(), 2), std::to_string(infeasible)});
   }
   std::cout << t.to_ascii();

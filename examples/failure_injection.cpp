@@ -23,7 +23,7 @@ int main() {
   options.period = inst.period;
   options.repair = true;
 
-  const ScheduleResult result = rltf_schedule(inst.dag, inst.platform, options);
+  const ScheduleResult result = find_scheduler("rltf").schedule(inst.dag, inst.platform, options);
   if (!result.ok()) {
     std::cerr << "scheduling failed: " << result.error << '\n';
     return 1;

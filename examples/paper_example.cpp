@@ -58,22 +58,24 @@ int main() {
 
   SchedulerOptions options;
   options.eps = 1;
+  const Scheduler& ltf = find_scheduler("ltf");
+  const Scheduler& rltf = find_scheduler("rltf");
 
   // The paper states T = 0.05 (period 20) but its own R-LTF mapping loads
   // one processor with 22 units; the example is self-consistent at 22.
   options.period = 20.0;
-  show("LTF, m = 8, period 20 (paper: fails)", ltf_schedule(dag, p8, options));
+  show("LTF, m = 8, period 20 (paper: fails)", ltf.schedule(dag, p8, options));
   show("R-LTF, m = 8, period 20 (paper's own mapping violates this period)",
-       rltf_schedule(dag, p8, options));
+       rltf.schedule(dag, p8, options));
 
   options.period = 22.0;
-  show("LTF, m = 8, period 22", ltf_schedule(dag, p8, options));
-  show("R-LTF, m = 8, period 22 (paper: 3 stages)", rltf_schedule(dag, p8, options));
+  show("LTF, m = 8, period 22", ltf.schedule(dag, p8, options));
+  show("R-LTF, m = 8, period 22 (paper: 3 stages)", rltf.schedule(dag, p8, options));
 
   const Platform p10 = make_homogeneous(10, 1.0);
   options.period = 20.0;
   show("LTF, m = 10, period 20 (paper: 4 stages, L = 140)",
-       ltf_schedule(dag, p10, options));
-  show("R-LTF, m = 10, period 20", rltf_schedule(dag, p10, options));
+       ltf.schedule(dag, p10, options));
+  show("R-LTF, m = 10, period 20", rltf.schedule(dag, p10, options));
   return 0;
 }

@@ -19,7 +19,7 @@ int main() {
   // --- (i) task parallelism: minimize the makespan of one data item. ----
   {
     SchedulerOptions options;  // no period constraint, no replication
-    const auto r = heft_schedule(dag, platform, options);
+    const auto r = find_scheduler("heft").schedule(dag, platform, options);
     SimOptions o;
     o.discipline = SimDiscipline::kSelfTimed;
     o.num_items = 1;
@@ -51,7 +51,7 @@ int main() {
   {
     SchedulerOptions options;
     options.period = 30.0;  // the paper's scenario: throughput 1/30
-    const auto r = rltf_schedule(dag, platform, options);
+    const auto r = find_scheduler("rltf").schedule(dag, platform, options);
     if (r.ok()) {
       SimOptions o;
       o.num_items = 25;

@@ -1,15 +1,31 @@
-// Quickstart: build a workflow, schedule it with R-LTF under a throughput
-// and a reliability constraint, inspect the mapping, and simulate the
-// pipelined execution with and without a crash.
+// Quickstart: build a workflow, schedule it with any registered algorithm
+// (default R-LTF) under a throughput and a reliability constraint, inspect
+// the mapping, and simulate the pipelined execution with and without a
+// crash.
 //
-//   ./examples/quickstart
+//   ./examples/quickstart                 # R-LTF
+//   ./examples/quickstart --algo=ltf      # any registry name
+//   ./examples/quickstart --algo=help     # list the registered schedulers
 #include <iostream>
 
 #include "core/streamsched.hpp"
+#include "util/cli.hpp"
 
 using namespace streamsched;
 
-int main() {
+int main(int argc, char** argv) {
+  std::vector<const Scheduler*> algos;
+  try {
+    Cli cli(argc, argv);
+    algos = schedulers_from_cli(cli, "rltf");
+    cli.finish();
+  } catch (const std::invalid_argument& e) {
+    std::cerr << e.what() << "\n(use --algo=help to list the registered schedulers)\n";
+    return 1;
+  }
+  if (algos.empty()) return 0;  // --algo=help printed the registry listing
+  const Scheduler& algo = *algos.front();
+
   // 1. The application: a small audio-processing workflow.
   //    capture -> [fft, gain] -> mix -> encode
   Dag dag;
@@ -35,7 +51,8 @@ int main() {
   options.period = 15.0;
   options.repair = true;  // enforce the eps-failure guarantee
 
-  const ScheduleResult result = rltf_schedule(dag, platform, options);
+  std::cout << "scheduling with " << algo.label << " (" << algo.name << ")\n\n";
+  const ScheduleResult result = algo.schedule(dag, platform, options);
   if (!result.ok()) {
     std::cerr << "scheduling failed: " << result.error << '\n';
     return 1;
@@ -57,8 +74,9 @@ int main() {
 
   const auto report = validate_schedule(schedule, {.check_timing = false});
   std::cout << "validation: " << report.summary() << '\n';
-  std::cout << "survives any single failure: "
-            << (check_fault_tolerance(schedule, 1).valid ? "yes" : "NO") << "\n\n";
+  const CopyId guarantee = schedule.copies() > 0 ? schedule.copies() - 1 : 0;
+  std::cout << "survives any " << guarantee << " failure(s): "
+            << (check_fault_tolerance(schedule, guarantee).valid ? "yes" : "NO") << "\n\n";
 
   // 4. Simulate the pipelined execution.
   SimOptions sim_options;

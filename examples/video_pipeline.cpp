@@ -3,7 +3,7 @@
 // tracking, annotation, encode) running on a heterogeneous cluster with a
 // frame-rate requirement and single-failure tolerance.
 //
-// Compares LTF, R-LTF and the lane-replicated stage packer on the same
+// Compares every replication-capable registered scheduler on the same
 // instance, then stress-tests the chosen schedule against every possible
 // single-processor failure.
 //
@@ -100,20 +100,21 @@ int main() {
   options.period = 40.0;
   options.repair = true;
 
-  evaluate("R-LTF", rltf_schedule(dag, platform, options), options.period);
-  evaluate("LTF", ltf_schedule(dag, platform, options), options.period);
-  evaluate("stage-pack (lane replication)", stage_pack_schedule(dag, platform, options),
-           options.period);
+  const auto algos = resolve_schedulers({"rltf", "ltf", "stage_pack"});
+  for (const Scheduler* algo : algos) {
+    evaluate(algo->label, algo->schedule(dag, platform, options), options.period);
+  }
 
   // How fast could we go? The throughput frontier per algorithm.
   SchedulerOptions base;
   base.eps = 1;
-  for (const auto& [name, fn] :
-       {std::pair<std::string, SchedulerFn>{"R-LTF", rltf_schedule},
-        std::pair<std::string, SchedulerFn>{"LTF", ltf_schedule}}) {
+  for (const Scheduler* algo : algos) {
+    const auto fn = [algo](const Dag& d, const Platform& p, const SchedulerOptions& o) {
+      return algo->schedule(d, p, o);
+    };
     const auto frontier = find_min_period(dag, platform, base, fn, 1e-3);
     if (frontier.found) {
-      std::cout << name << " minimal sustainable frame period: " << frontier.period
+      std::cout << algo->label << " minimal sustainable frame period: " << frontier.period
                 << " (stages at the frontier: " << num_stages(*frontier.schedule) << ")\n";
     }
   }

@@ -7,19 +7,11 @@
 // budget (linear scan over ε, which is small).
 #pragma once
 
-#include <functional>
 #include <optional>
 
-#include "core/options.hpp"
-#include "graph/dag.hpp"
-#include "platform/platform.hpp"
+#include "core/registry.hpp"
 
 namespace streamsched {
-
-/// Any scheduler with the common signature (ltf_schedule, rltf_schedule,
-/// heft_schedule, stage_pack_schedule).
-using SchedulerFn =
-    std::function<ScheduleResult(const Dag&, const Platform&, const SchedulerOptions&)>;
 
 struct MinPeriodResult {
   bool found = false;

@@ -24,6 +24,7 @@
 #include "core/ltf.hpp"           // IWYU pragma: export
 #include "core/one_to_one.hpp"    // IWYU pragma: export
 #include "core/options.hpp"       // IWYU pragma: export
+#include "core/registry.hpp"      // IWYU pragma: export
 #include "core/rltf.hpp"          // IWYU pragma: export
 #include "core/search.hpp"        // IWYU pragma: export
 #include "core/stage_pack.hpp"    // IWYU pragma: export

@@ -2,50 +2,100 @@
 
 #include <sstream>
 
+#include "util/assert.hpp"
+
 namespace streamsched {
 
+namespace {
+
+// Every point of a sweep carries the same series set; the first point
+// provides the column layout.
+const std::vector<AlgoSeries>& layout(const std::vector<PointStats>& points) {
+  SS_REQUIRE(!points.empty(), "figure assembly needs at least one sweep point");
+  return points.front().series;
+}
+
+}  // namespace
+
 Table figure_latency_bounds(const std::vector<PointStats>& points) {
-  Table t({"granularity", "R-LTF 0-crash", "R-LTF UpperBound", "LTF 0-crash",
-           "LTF UpperBound"});
+  std::vector<std::string> headers{"granularity"};
+  for (const AlgoSeries& s : layout(points)) {
+    headers.push_back(s.label + " 0-crash");
+    headers.push_back(s.label + " UpperBound");
+  }
+  Table t(std::move(headers));
   for (const PointStats& p : points) {
-    t.add_row({p.granularity, p.rltf_sim0, p.rltf_ub, p.ltf_sim0, p.ltf_ub});
+    std::vector<double> row{p.granularity};
+    for (const AlgoSeries& s : p.series) {
+      row.push_back(s.sim0);
+      row.push_back(s.ub);
+    }
+    t.add_row(row);
   }
   return t;
 }
 
 Table figure_latency_crash(const std::vector<PointStats>& points, std::uint32_t crashes) {
   const std::string c = std::to_string(crashes);
-  Table t({"granularity", "R-LTF 0-crash", "R-LTF " + c + "-crash", "LTF 0-crash",
-           "LTF " + c + "-crash"});
+  std::vector<std::string> headers{"granularity"};
+  for (const AlgoSeries& s : layout(points)) {
+    headers.push_back(s.label + " 0-crash");
+    headers.push_back(s.label + " " + c + "-crash");
+  }
+  Table t(std::move(headers));
   for (const PointStats& p : points) {
-    t.add_row({p.granularity, p.rltf_sim0, p.rltf_simc, p.ltf_sim0, p.ltf_simc});
+    std::vector<double> row{p.granularity};
+    for (const AlgoSeries& s : p.series) {
+      row.push_back(s.sim0);
+      row.push_back(s.simc);
+    }
+    t.add_row(row);
   }
   return t;
 }
 
 Table figure_overhead(const std::vector<PointStats>& points, std::uint32_t crashes) {
   const std::string c = std::to_string(crashes);
-  Table t({"granularity", "R-LTF 0-crash %", "R-LTF " + c + "-crash %", "LTF 0-crash %",
-           "LTF " + c + "-crash %"});
+  std::vector<std::string> headers{"granularity"};
+  for (const AlgoSeries& s : layout(points)) {
+    headers.push_back(s.label + " 0-crash %");
+    headers.push_back(s.label + " " + c + "-crash %");
+  }
+  Table t(std::move(headers));
   for (const PointStats& p : points) {
-    t.add_row({p.granularity, p.rltf_overhead0, p.rltf_overheadc, p.ltf_overhead0,
-               p.ltf_overheadc});
+    std::vector<double> row{p.granularity};
+    for (const AlgoSeries& s : p.series) {
+      row.push_back(s.overhead0);
+      row.push_back(s.overheadc);
+    }
+    t.add_row(row);
   }
   return t;
 }
 
 Table figure_diagnostics(const std::vector<PointStats>& points) {
-  Table t({"granularity", "instances", "FF latency", "R-LTF stages", "LTF stages",
-           "R-LTF comms", "LTF comms", "R-LTF repairs", "LTF repairs", "R-LTF dT",
-           "LTF dT", "R-LTF fail", "LTF fail", "starved"});
+  std::vector<std::string> headers{"granularity", "instances", "FF latency"};
+  for (const AlgoSeries& s : layout(points)) {
+    headers.push_back(s.label + " stages");
+    headers.push_back(s.label + " comms");
+    headers.push_back(s.label + " repairs");
+    headers.push_back(s.label + " dT");
+    headers.push_back(s.label + " fail");
+  }
+  headers.emplace_back("starved");
+  Table t(std::move(headers));
   for (const PointStats& p : points) {
-    t.add_row({Table::fmt(p.granularity, 2), std::to_string(p.instances),
-               Table::fmt(p.ff_sim0, 1), Table::fmt(p.rltf_stages, 2),
-               Table::fmt(p.ltf_stages, 2), Table::fmt(p.rltf_comms, 1),
-               Table::fmt(p.ltf_comms, 1), Table::fmt(p.rltf_repairs, 2),
-               Table::fmt(p.ltf_repairs, 2), Table::fmt(p.rltf_period_factor, 2),
-               Table::fmt(p.ltf_period_factor, 2), std::to_string(p.rltf_failures),
-               std::to_string(p.ltf_failures), std::to_string(p.starved)});
+    std::vector<std::string> row{Table::fmt(p.granularity, 2), std::to_string(p.instances),
+                                 Table::fmt(p.ff_sim0, 1)};
+    for (const AlgoSeries& s : p.series) {
+      row.push_back(Table::fmt(s.stages, 2));
+      row.push_back(Table::fmt(s.comms, 1));
+      row.push_back(Table::fmt(s.repairs, 2));
+      row.push_back(Table::fmt(s.period_factor, 2));
+      row.push_back(std::to_string(s.failures));
+    }
+    row.push_back(std::to_string(p.starved));
+    t.add_row(std::move(row));
   }
   return t;
 }

@@ -1,6 +1,7 @@
-// Assembly of the paper's figure panels from sweep results, in the exact
-// series layout of Figures 3 and 4 (three panels: latency bounds, latency
-// with crash, fault-tolerance overhead), plus a diagnostics table.
+// Assembly of the paper's figure panels from sweep results, generic over
+// the algorithm series a sweep produced: the exact layout of Figures 3 and
+// 4 (three panels: latency bounds, latency with crash, fault-tolerance
+// overhead) with one column group per algorithm, plus a diagnostics table.
 #pragma once
 
 #include <string>
@@ -11,12 +12,12 @@
 
 namespace streamsched {
 
-/// Panel (a): granularity | R-LTF sim-0-crash | R-LTF upper bound |
-/// LTF sim-0-crash | LTF upper bound.
+/// Panel (a): granularity | per algorithm: <label> 0-crash | <label>
+/// UpperBound.
 [[nodiscard]] Table figure_latency_bounds(const std::vector<PointStats>& points);
 
-/// Panel (b): granularity | R-LTF 0 crash | R-LTF c crash | LTF 0 crash |
-/// LTF c crash.
+/// Panel (b): granularity | per algorithm: <label> 0-crash | <label>
+/// c-crash.
 [[nodiscard]] Table figure_latency_crash(const std::vector<PointStats>& points,
                                          std::uint32_t crashes);
 
@@ -24,8 +25,9 @@ namespace streamsched {
 [[nodiscard]] Table figure_overhead(const std::vector<PointStats>& points,
                                     std::uint32_t crashes);
 
-/// Extra diagnostics: stage counts, remote communications, repair volume,
-/// scheduling failures, fault-free baseline.
+/// Extra diagnostics: per algorithm stage counts, remote communications,
+/// repair volume, period inflation and scheduling failures, plus the
+/// fault-free baseline.
 [[nodiscard]] Table figure_diagnostics(const std::vector<PointStats>& points);
 
 /// Renders all panels with captions, ready to print.

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/ltf.hpp"
 #include "core/rltf.hpp"
 #include "schedule/metrics.hpp"
 #include "sim/engine.hpp"
@@ -14,26 +13,6 @@
 namespace streamsched {
 
 namespace {
-
-// Scheduling attempt with period escalation: the paper's LTF legitimately
-// fails when the throughput constraint cannot be met; to keep the latency
-// series populated we let an algorithm trade throughput for feasibility
-// (the analogue of "LTF needs two more processors" in §4.3) and report the
-// inflation factor alongside.
-constexpr double kEscalation[] = {1.0, 1.3, 1.7, 2.2, 3.0};
-
-template <typename Scheduler>
-std::pair<ScheduleResult, double> schedule_escalating(Scheduler&& scheduler,
-                                                      const Instance& inst,
-                                                      SchedulerOptions options) {
-  ScheduleResult result;
-  for (double factor : kEscalation) {
-    options.period = inst.period * factor;
-    result = scheduler(inst.dag, inst.platform, options);
-    if (result.ok()) return {std::move(result), factor};
-  }
-  return {std::move(result), 0.0};
-}
 
 // Measures one scheduled algorithm on one instance. Latencies are
 // normalized by the schedule's own period so every series sits on the
@@ -79,17 +58,80 @@ AlgoOutcome measure(const SweepConfig& config, const Instance& inst, ScheduleRes
   return out;
 }
 
+// Per-algorithm accumulators behind one PointStats series.
+struct SeriesAccum {
+  RunningStats ub, sim0, simc, oh0, ohc, stages, comms, repairs, period_factor;
+  std::size_t failures = 0;
+};
+
+// FNV-1a of the registry name: a fork tag that depends only on the
+// algorithm, never on its position in the config list.
+std::uint64_t crash_stream_tag(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
+
+const AlgoOutcome* InstanceRecord::outcome(const std::string& name) const {
+  for (std::size_t i = 0; i < algos.size() && i < outcomes.size(); ++i) {
+    if (algos[i] == name) return &outcomes[i];
+  }
+  return nullptr;
+}
+
+const AlgoSeries* PointStats::find(const std::string& name) const {
+  for (const AlgoSeries& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const AlgoSeries& PointStats::at(const std::string& name) const {
+  if (const AlgoSeries* s = find(name)) return *s;
+  throw std::invalid_argument("no sweep series for algorithm '" + name + "'");
+}
+
+const std::vector<double>& period_escalation_ladder() {
+  static const std::vector<double> ladder{1.0, 1.3, 1.7, 2.2, 3.0};
+  return ladder;
+}
+
+std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options) {
+  ScheduleResult result;
+  for (double factor : period_escalation_ladder()) {
+    options.period = inst.period * factor;
+    result = scheduler.schedule(inst.dag, inst.platform, options);
+    if (result.ok()) return {std::move(result), factor};
+  }
+  return {std::move(result), 0.0};
+}
 
 InstanceRecord run_instance(const SweepConfig& config, double granularity,
                             std::uint64_t instance_seed) {
   InstanceRecord record;
   record.granularity = granularity;
+  record.algos = config.algos;
+  record.outcomes.resize(config.algos.size());
+
+  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
 
   Rng rng(instance_seed);
   Rng workload_rng = rng.fork(1);
-  Rng crash_rng_ltf = rng.fork(2);
-  Rng crash_rng_rltf = rng.fork(3);
+  // One crash stream per algorithm, forked off a *fresh* engine with a
+  // name-derived tag: fork() advances its parent, so deriving every stream
+  // from the same parent would make the failure sets an algorithm sees
+  // depend on which other algorithms run and in what order.
+  std::vector<Rng> crash_rngs;
+  crash_rngs.reserve(schedulers.size());
+  for (const Scheduler* scheduler : schedulers) {
+    crash_rngs.push_back(Rng(instance_seed).fork(crash_stream_tag(scheduler->name)));
+  }
 
   const Instance inst = make_instance(config.workload, granularity, config.eps, workload_rng);
   record.period = inst.period;
@@ -113,16 +155,10 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
   options.eps = config.eps;
   options.repair = true;  // enforce the paper's ε-failure guarantee
 
-  auto [ltf_result, ltf_factor] =
-      schedule_escalating([](const Dag& d, const Platform& p, const SchedulerOptions& o) {
-        return ltf_schedule(d, p, o);
-      }, inst, options);
-  record.ltf = measure(config, inst, std::move(ltf_result), ltf_factor, crash_rng_ltf);
-  auto [rltf_result, rltf_factor] =
-      schedule_escalating([](const Dag& d, const Platform& p, const SchedulerOptions& o) {
-        return rltf_schedule(d, p, o);
-      }, inst, options);
-  record.rltf = measure(config, inst, std::move(rltf_result), rltf_factor, crash_rng_rltf);
+  for (std::size_t i = 0; i < schedulers.size(); ++i) {
+    auto [result, factor] = schedule_with_period_escalation(*schedulers[i], inst, options);
+    record.outcomes[i] = measure(config, inst, std::move(result), factor, crash_rngs[i]);
+  }
   return record;
 }
 
@@ -130,6 +166,9 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
   SS_REQUIRE(config.g_min > 0.0 && config.g_step > 0.0 && config.g_max >= config.g_min,
              "invalid granularity range");
   SS_REQUIRE(config.crashes <= config.eps, "cannot crash more processors than eps");
+  SS_REQUIRE(!config.algos.empty(), "sweep needs at least one algorithm");
+  // Resolve up front so an unknown name fails before any work is spent.
+  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
 
   std::vector<double> gs;
   for (double g = config.g_min; g <= config.g_max + 1e-9; g += config.g_step) gs.push_back(g);
@@ -152,10 +191,8 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
     PointStats& ps = stats[point];
     ps.granularity = gs[point];
 
-    RunningStats ff, ltf_ub, rltf_ub, ltf_sim0, rltf_sim0, ltf_simc, rltf_simc;
-    RunningStats ltf_oh0, rltf_oh0, ltf_ohc, rltf_ohc;
-    RunningStats ltf_stages, rltf_stages, ltf_comms, rltf_comms, ltf_rep, rltf_rep;
-    RunningStats ltf_pf, rltf_pf;
+    RunningStats ff;
+    std::vector<SeriesAccum> accum(schedulers.size());
 
     for (std::size_t j = 0; j < config.graphs_per_point; ++j) {
       const InstanceRecord& rec = records[point * config.graphs_per_point + j];
@@ -163,60 +200,46 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
       ++ps.instances;
       ff.add(rec.ff_sim0);
 
-      if (rec.ltf.scheduled) {
-        ltf_ub.add(rec.ltf.ub);
-        ltf_sim0.add(rec.ltf.sim0);
-        ltf_simc.add(rec.ltf.simc);
-        ltf_stages.add(rec.ltf.stages);
-        ltf_comms.add(static_cast<double>(rec.ltf.remote_comms));
-        ltf_rep.add(rec.ltf.repair_added);
-        ltf_pf.add(rec.ltf.period_factor);
-        if (rec.ff_sim0 > 0.0) {
-          ltf_oh0.add(100.0 * (rec.ltf.sim0 - rec.ff_sim0) / rec.ff_sim0);
-          ltf_ohc.add(100.0 * (rec.ltf.simc - rec.ff_sim0) / rec.ff_sim0);
+      for (std::size_t a = 0; a < schedulers.size(); ++a) {
+        const AlgoOutcome& out = rec.outcomes[a];
+        SeriesAccum& acc = accum[a];
+        if (!out.scheduled) {
+          ++acc.failures;
+          continue;
         }
-        if (rec.ltf.starved) ++ps.starved;
-      } else {
-        ++ps.ltf_failures;
-      }
-
-      if (rec.rltf.scheduled) {
-        rltf_ub.add(rec.rltf.ub);
-        rltf_sim0.add(rec.rltf.sim0);
-        rltf_simc.add(rec.rltf.simc);
-        rltf_stages.add(rec.rltf.stages);
-        rltf_comms.add(static_cast<double>(rec.rltf.remote_comms));
-        rltf_rep.add(rec.rltf.repair_added);
-        rltf_pf.add(rec.rltf.period_factor);
+        acc.ub.add(out.ub);
+        acc.sim0.add(out.sim0);
+        acc.simc.add(out.simc);
+        acc.stages.add(out.stages);
+        acc.comms.add(static_cast<double>(out.remote_comms));
+        acc.repairs.add(out.repair_added);
+        acc.period_factor.add(out.period_factor);
         if (rec.ff_sim0 > 0.0) {
-          rltf_oh0.add(100.0 * (rec.rltf.sim0 - rec.ff_sim0) / rec.ff_sim0);
-          rltf_ohc.add(100.0 * (rec.rltf.simc - rec.ff_sim0) / rec.ff_sim0);
+          acc.oh0.add(100.0 * (out.sim0 - rec.ff_sim0) / rec.ff_sim0);
+          acc.ohc.add(100.0 * (out.simc - rec.ff_sim0) / rec.ff_sim0);
         }
-        if (rec.rltf.starved) ++ps.starved;
-      } else {
-        ++ps.rltf_failures;
+        if (out.starved) ++ps.starved;
       }
     }
 
     ps.ff_sim0 = ff.mean();
-    ps.ltf_ub = ltf_ub.mean();
-    ps.rltf_ub = rltf_ub.mean();
-    ps.ltf_sim0 = ltf_sim0.mean();
-    ps.rltf_sim0 = rltf_sim0.mean();
-    ps.ltf_simc = ltf_simc.mean();
-    ps.rltf_simc = rltf_simc.mean();
-    ps.ltf_overhead0 = ltf_oh0.mean();
-    ps.rltf_overhead0 = rltf_oh0.mean();
-    ps.ltf_overheadc = ltf_ohc.mean();
-    ps.rltf_overheadc = rltf_ohc.mean();
-    ps.ltf_stages = ltf_stages.mean();
-    ps.rltf_stages = rltf_stages.mean();
-    ps.ltf_comms = ltf_comms.mean();
-    ps.rltf_comms = rltf_comms.mean();
-    ps.ltf_repairs = ltf_rep.mean();
-    ps.rltf_repairs = rltf_rep.mean();
-    ps.ltf_period_factor = ltf_pf.mean();
-    ps.rltf_period_factor = rltf_pf.mean();
+    ps.series.resize(schedulers.size());
+    for (std::size_t a = 0; a < schedulers.size(); ++a) {
+      AlgoSeries& s = ps.series[a];
+      const SeriesAccum& acc = accum[a];
+      s.name = schedulers[a]->name;
+      s.label = schedulers[a]->label;
+      s.ub = acc.ub.mean();
+      s.sim0 = acc.sim0.mean();
+      s.simc = acc.simc.mean();
+      s.overhead0 = acc.oh0.mean();
+      s.overheadc = acc.ohc.mean();
+      s.stages = acc.stages.mean();
+      s.comms = acc.comms.mean();
+      s.repairs = acc.repairs.mean();
+      s.period_factor = acc.period_factor.mean();
+      s.failures = acc.failures;
+    }
   }
   return stats;
 }

@@ -1,18 +1,25 @@
-// The paper's granularity sweep (§5): for each granularity point, generate
-// random instances, schedule them with the fault-free reference, LTF and
-// R-LTF, measure bound and simulated latencies (with and without crashes)
-// and aggregate the series of Figures 3 and 4.
+// The paper's granularity sweep (§5), generic over the scheduler registry:
+// for each granularity point, generate random instances, schedule them with
+// the fault-free reference and every algorithm named in the config, measure
+// bound and simulated latencies (with and without crashes) and aggregate
+// one series per algorithm — the layout of Figures 3 and 4 with LTF/R-LTF,
+// and of any future comparison with other registered schedulers.
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "core/registry.hpp"
 #include "exp/workload.hpp"
 
 namespace streamsched {
 
 struct SweepConfig {
   WorkloadParams workload;
+  /// Registry names of the algorithms to sweep, in series order.
+  std::vector<std::string> algos{"ltf", "rltf"};
   CopyId eps = 1;
   /// Number of crashed processors in the "with crash" series (c <= eps).
   std::uint32_t crashes = 1;
@@ -54,42 +61,70 @@ struct InstanceRecord {
   double period = 0.0;      ///< nominal Δ for the requested ε
   double ff_period = 0.0;   ///< the fault-free reference's own ε=0 period
   double ff_sim0 = 0.0;     ///< fault-free latency, normalized
-  AlgoOutcome ltf;
-  AlgoOutcome rltf;
+  /// Registry names, in config order; parallel to `outcomes`.
+  std::vector<std::string> algos;
+  std::vector<AlgoOutcome> outcomes;
+
+  /// nullptr when the record holds no outcome for `name`.
+  [[nodiscard]] const AlgoOutcome* outcome(const std::string& name) const;
 };
 
-/// Aggregated series for one granularity point (means over the instances
-/// where the respective algorithm succeeded).
+/// Aggregated series for one algorithm at one granularity point (means
+/// over the instances where the algorithm succeeded).
+struct AlgoSeries {
+  std::string name;   ///< registry name
+  std::string label;  ///< display label (from the registry)
+
+  double ub = 0.0;
+  double sim0 = 0.0;
+  double simc = 0.0;
+
+  /// Fault-tolerance overhead in % versus the fault-free schedule.
+  double overhead0 = 0.0;
+  double overheadc = 0.0;
+
+  double stages = 0.0;
+  double comms = 0.0;
+  double repairs = 0.0;
+  double period_factor = 0.0;
+
+  std::size_t failures = 0;  ///< instances the algorithm could not schedule
+};
+
+/// Aggregated results for one granularity point: the shared fault-free
+/// baseline plus one series per configured algorithm.
 struct PointStats {
   double granularity = 0.0;
   std::size_t instances = 0;
-
   double ff_sim0 = 0.0;
-
-  double ltf_ub = 0.0, rltf_ub = 0.0;
-  double ltf_sim0 = 0.0, rltf_sim0 = 0.0;
-  double ltf_simc = 0.0, rltf_simc = 0.0;
-
-  /// Fault-tolerance overhead in % versus the fault-free schedule.
-  double ltf_overhead0 = 0.0, rltf_overhead0 = 0.0;
-  double ltf_overheadc = 0.0, rltf_overheadc = 0.0;
-
-  double ltf_stages = 0.0, rltf_stages = 0.0;
-  double ltf_comms = 0.0, rltf_comms = 0.0;
-  double ltf_repairs = 0.0, rltf_repairs = 0.0;
-  double ltf_period_factor = 0.0, rltf_period_factor = 0.0;
-
-  std::size_t ltf_failures = 0;
-  std::size_t rltf_failures = 0;
   std::size_t starved = 0;
+  std::vector<AlgoSeries> series;  ///< config order
+
+  /// nullptr when no series with that registry name exists.
+  [[nodiscard]] const AlgoSeries* find(const std::string& name) const;
+  /// Throws std::invalid_argument when no series with that name exists.
+  [[nodiscard]] const AlgoSeries& at(const std::string& name) const;
 };
+
+/// Period escalation ladder shared by the sweep and the ablation benches:
+/// the paper's LTF legitimately fails when the throughput constraint
+/// cannot be met, so callers retry at inflated periods and report the
+/// inflation factor (the analogue of "LTF needs two more processors").
+[[nodiscard]] const std::vector<double>& period_escalation_ladder();
+
+/// Runs `scheduler` at inst.period times each ladder factor until it
+/// succeeds. Returns the result and the successful factor (0.0 when every
+/// rung failed; the result then holds the last failure).
+[[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options);
 
 /// Runs a single instance (exposed for tests and ablation benches).
 [[nodiscard]] InstanceRecord run_instance(const SweepConfig& config, double granularity,
                                           std::uint64_t instance_seed);
 
 /// Runs the full sweep, parallelized over instances; deterministic in the
-/// seed regardless of thread count.
+/// seed regardless of thread count. Throws std::invalid_argument on an
+/// unknown algorithm name or an invalid granularity/crash configuration.
 [[nodiscard]] std::vector<PointStats> run_granularity_sweep(const SweepConfig& config);
 
 }  // namespace streamsched

@@ -80,6 +80,22 @@ bool Cli::get_bool(const std::string& name, bool fallback, const std::string& en
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" + *v + "'");
 }
 
+std::vector<std::string> Cli::get_list(const std::string& name, const std::string& fallback,
+                                       const std::string& env) {
+  const std::string* v = lookup(name, env);
+  const std::string& csv = v ? *v : fallback;
+  std::vector<std::string> items;
+  std::string::size_type begin = 0;
+  while (begin <= csv.size()) {
+    const auto comma = csv.find(',', begin);
+    const auto end = comma == std::string::npos ? csv.size() : comma;
+    if (end > begin) items.push_back(csv.substr(begin, end - begin));
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return items;
+}
+
 void Cli::finish() const {
   std::string unknown;
   for (const auto& [name, used] : consumed_) {

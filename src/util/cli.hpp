@@ -25,6 +25,11 @@ class Cli {
                                   const std::string& env = "");
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback,
                               const std::string& env = "");
+  /// Comma-separated list flag (`--name=a,b,c`); empty items are dropped.
+  /// `fallback` is itself a comma-separated list.
+  [[nodiscard]] std::vector<std::string> get_list(const std::string& name,
+                                                  const std::string& fallback,
+                                                  const std::string& env = "");
 
   /// Throws std::invalid_argument listing any flag never registered.
   void finish() const;

@@ -1,0 +1,153 @@
+// Tests for the scheduler registry: built-in registration, lookup by name,
+// unknown-name errors, option tweaks, CLI selection, and every registered
+// algorithm producing a validate()-clean schedule on the paper's Figure 2
+// instance.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/registry.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+#include "schedule/metrics.hpp"
+#include "schedule/validate.hpp"
+#include "util/cli.hpp"
+
+namespace streamsched {
+namespace {
+
+TEST(Registry, BuiltInsAreRegisteredInOrder) {
+  const auto names = SchedulerRegistry::instance().names();
+  ASSERT_GE(names.size(), 5u);
+  const std::vector<std::string> builtins{"fault_free", "ltf", "rltf", "heft", "stage_pack"};
+  for (std::size_t i = 0; i < builtins.size(); ++i) EXPECT_EQ(names[i], builtins[i]);
+}
+
+TEST(Registry, LookupByName) {
+  const Scheduler& rltf = find_scheduler("rltf");
+  EXPECT_EQ(rltf.name, "rltf");
+  EXPECT_EQ(rltf.label, "R-LTF");
+  EXPECT_TRUE(static_cast<bool>(rltf.fn));
+  EXPECT_EQ(try_find_scheduler("ltf"), SchedulerRegistry::instance().find("ltf"));
+  EXPECT_EQ(try_find_scheduler("no_such_algorithm"), nullptr);
+}
+
+TEST(Registry, UnknownNameThrowsListingKnownOnes) {
+  try {
+    (void)find_scheduler("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bogus"), std::string::npos);
+    EXPECT_NE(what.find("rltf"), std::string::npos);
+  }
+}
+
+TEST(Registry, RejectsBadRegistrations) {
+  auto& registry = SchedulerRegistry::instance();
+  const auto noop_fn = [](const Dag&, const Platform&, const SchedulerOptions&) {
+    return ScheduleResult::failure("noop");
+  };
+  EXPECT_THROW(registry.add({"", "Empty", "", noop_fn, {}}), std::invalid_argument);
+  EXPECT_THROW(registry.add({"ltf", "Duplicate", "", noop_fn, {}}), std::invalid_argument);
+  EXPECT_THROW(registry.add({"fnless", "NoFn", "", {}, {}}), std::invalid_argument);
+}
+
+TEST(Registry, ResolveSchedulersKeepsOrderAndThrowsOnUnknown) {
+  const auto algos = resolve_schedulers({"rltf", "ltf"});
+  ASSERT_EQ(algos.size(), 2u);
+  EXPECT_EQ(algos[0]->name, "rltf");
+  EXPECT_EQ(algos[1]->name, "ltf");
+  EXPECT_THROW((void)resolve_schedulers({"ltf", "bogus"}), std::invalid_argument);
+}
+
+TEST(Registry, FaultFreeTweakForcesEpsZero) {
+  const Scheduler& ff = find_scheduler("fault_free");
+  SchedulerOptions options;
+  options.eps = 3;
+  options.repair = true;
+  const SchedulerOptions adjusted = ff.adjusted(options);
+  EXPECT_EQ(adjusted.eps, 0u);
+  EXPECT_FALSE(adjusted.repair);
+
+  const Dag dag = make_paper_figure2();
+  const Platform platform = make_homogeneous(10, 1.0);
+  options.period = 22.0;
+  const ScheduleResult r = ff.schedule(dag, platform, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.schedule->copies(), 1u);  // no replication despite eps = 3
+}
+
+TEST(Registry, ListingMentionsEveryAlgorithm) {
+  const std::string listing = registry_listing();
+  for (const std::string& name : SchedulerRegistry::instance().names()) {
+    EXPECT_NE(listing.find(name), std::string::npos) << name;
+  }
+}
+
+// The acceptance bar of the refactor: every built-in scheduler produces a
+// structurally valid schedule on the paper's worked example (Figure 2,
+// m = 10 homogeneous processors, ε = 1), at its nominal period or a
+// moderately relaxed one (the algorithms may legitimately fail at 20).
+TEST(Registry, AllBuiltInsValidateCleanOnFigure2) {
+  const Dag dag = make_paper_figure2();
+  const Platform platform = make_homogeneous(10, 1.0);
+  const std::vector<std::string> builtins{"fault_free", "ltf", "rltf", "heft", "stage_pack"};
+  for (const std::string& name : builtins) {
+    const Scheduler& algo = find_scheduler(name);
+    SchedulerOptions options;
+    options.eps = 1;
+    ScheduleResult result;
+    for (double period : {20.0, 22.0, 26.0, 32.0, 40.0, 60.0, 100.0}) {
+      options.period = period;
+      result = algo.schedule(dag, platform, options);
+      if (result.ok()) break;
+    }
+    ASSERT_TRUE(result.ok()) << name << ": " << result.error;
+    const auto report = validate_schedule(*result.schedule);
+    EXPECT_TRUE(report.ok()) << name << ": " << report.summary();
+    EXPECT_GE(num_stages(*result.schedule), 1u) << name;
+  }
+}
+
+TEST(Registry, SchedulersFromCliSelectsAndHelps) {
+  {
+    const char* argv[] = {"prog", "--algo=ltf,rltf"};
+    Cli cli(2, argv);
+    const auto algos = schedulers_from_cli(cli, "rltf");
+    cli.finish();
+    ASSERT_EQ(algos.size(), 2u);
+    EXPECT_EQ(algos[0]->name, "ltf");
+    EXPECT_EQ(algos[1]->name, "rltf");
+  }
+  {
+    const char* argv[] = {"prog"};
+    Cli cli(1, argv);
+    const auto algos = schedulers_from_cli(cli, "stage_pack");
+    ASSERT_EQ(algos.size(), 1u);
+    EXPECT_EQ(algos[0]->name, "stage_pack");
+  }
+  {
+    const char* argv[] = {"prog", "--algo=help"};
+    Cli cli(2, argv);
+    testing::internal::CaptureStdout();
+    const auto algos = schedulers_from_cli(cli, "rltf");
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_TRUE(algos.empty());
+    EXPECT_NE(out.find("registered schedulers"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"prog", "--algo=all"};
+    Cli cli(2, argv);
+    const auto algos = schedulers_from_cli(cli, "rltf");
+    EXPECT_EQ(algos.size(), SchedulerRegistry::instance().all().size());
+  }
+  {
+    const char* argv[] = {"prog", "--algo=bogus"};
+    Cli cli(2, argv);
+    EXPECT_THROW((void)schedulers_from_cli(cli, "rltf"), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace streamsched

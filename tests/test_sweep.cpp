@@ -1,10 +1,13 @@
 // Tests for the experiment sweep harness: small end-to-end runs, series
 // sanity (R-LTF <= LTF on aggregate, bounds above simulations), threading
-// determinism and figure assembly.
+// determinism, algorithm-generic configuration, parity with the
+// pre-refactor per-algorithm field semantics, and figure assembly.
 #include <gtest/gtest.h>
 
 #include "exp/figures.hpp"
 #include "exp/sweep.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
 
 namespace streamsched {
 namespace {
@@ -33,19 +36,26 @@ TEST(Sweep, RunInstanceProducesConsistentRecord) {
   ASSERT_TRUE(rec.usable);
   EXPECT_GT(rec.period, 0.0);
   EXPECT_GT(rec.ff_sim0, 0.0);
-  ASSERT_TRUE(rec.ltf.scheduled);
-  ASSERT_TRUE(rec.rltf.scheduled);
+  ASSERT_EQ(rec.algos, config.algos);
+  ASSERT_EQ(rec.outcomes.size(), config.algos.size());
+  const AlgoOutcome* ltf = rec.outcome("ltf");
+  const AlgoOutcome* rltf = rec.outcome("rltf");
+  ASSERT_NE(ltf, nullptr);
+  ASSERT_NE(rltf, nullptr);
+  EXPECT_EQ(rec.outcome("nope"), nullptr);
+  ASSERT_TRUE(ltf->scheduled);
+  ASSERT_TRUE(rltf->scheduled);
   // The simulated no-crash latency never exceeds the stage bound.
-  EXPECT_LE(rec.ltf.sim0, rec.ltf.ub * (1.0 + 1e-9));
-  EXPECT_LE(rec.rltf.sim0, rec.rltf.ub * (1.0 + 1e-9));
+  EXPECT_LE(ltf->sim0, ltf->ub * (1.0 + 1e-9));
+  EXPECT_LE(rltf->sim0, rltf->ub * (1.0 + 1e-9));
   // Repair enforces survival: no starvation in the crash trials.
-  EXPECT_FALSE(rec.ltf.starved);
-  EXPECT_FALSE(rec.rltf.starved);
+  EXPECT_FALSE(ltf->starved);
+  EXPECT_FALSE(rltf->starved);
   // Replication should not *substantially* beat the fault-free schedule.
   // (Both are heuristics; R-LTF with replicas occasionally finds a
   // slightly better stage structure than its ε = 0 run.)
-  EXPECT_GE(rec.ltf.sim0, rec.ff_sim0 * 0.75);
-  EXPECT_GE(rec.rltf.sim0, rec.ff_sim0 * 0.75);
+  EXPECT_GE(ltf->sim0, rec.ff_sim0 * 0.75);
+  EXPECT_GE(rltf->sim0, rec.ff_sim0 * 0.75);
 }
 
 TEST(Sweep, DeterministicAcrossThreadCounts) {
@@ -57,8 +67,8 @@ TEST(Sweep, DeterministicAcrossThreadCounts) {
   const auto b = run_granularity_sweep(parallel);
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
-    EXPECT_DOUBLE_EQ(a[i].rltf_sim0, b[i].rltf_sim0);
-    EXPECT_DOUBLE_EQ(a[i].ltf_ub, b[i].ltf_ub);
+    EXPECT_DOUBLE_EQ(a[i].at("rltf").sim0, b[i].at("rltf").sim0);
+    EXPECT_DOUBLE_EQ(a[i].at("ltf").ub, b[i].at("ltf").ub);
     EXPECT_EQ(a[i].instances, b[i].instances);
   }
 }
@@ -69,20 +79,118 @@ TEST(Sweep, SeriesShapesMatchThePaper) {
   double rltf_total = 0, ltf_total = 0;
   for (const auto& p : points) {
     EXPECT_GT(p.instances, 0u);
+    const AlgoSeries& ltf = p.at("ltf");
+    const AlgoSeries& rltf = p.at("rltf");
+    EXPECT_EQ(ltf.label, "LTF");
+    EXPECT_EQ(rltf.label, "R-LTF");
     // Bounds dominate simulated latencies (both normalized identically).
-    EXPECT_LE(p.rltf_sim0, p.rltf_ub * (1.0 + 1e-9));
-    EXPECT_LE(p.ltf_sim0, p.ltf_ub * (1.0 + 1e-9));
+    EXPECT_LE(rltf.sim0, rltf.ub * (1.0 + 1e-9));
+    EXPECT_LE(ltf.sim0, ltf.ub * (1.0 + 1e-9));
     // Overheads versus the fault-free schedule are essentially
     // non-negative (small negative means on a few instances the
     // replicated heuristic found a slightly better stage structure).
-    EXPECT_GE(p.rltf_overhead0, -25.0);
-    EXPECT_GE(p.ltf_overhead0, -25.0);
+    EXPECT_GE(rltf.overhead0, -25.0);
+    EXPECT_GE(ltf.overhead0, -25.0);
     EXPECT_EQ(p.starved, 0u);
-    rltf_total += p.rltf_sim0;
-    ltf_total += p.ltf_sim0;
+    rltf_total += rltf.sim0;
+    ltf_total += ltf.sim0;
   }
   // The paper's headline result on aggregate: R-LTF beats LTF.
   EXPECT_LE(rltf_total, ltf_total * 1.05);
+}
+
+// Pins the generic per-name series to the pre-refactor `ltf_*`/`rltf_*`
+// field-pair semantics: recompute the old aggregation directly from the
+// instance records (same seeding discipline as the sweep) and require the
+// sweep's series to match bit for bit.
+TEST(Sweep, GenericSeriesMatchFieldPairSemantics) {
+  const SweepConfig config = tiny_config();
+  ASSERT_EQ(config.algos, (std::vector<std::string>{"ltf", "rltf"}));
+  const auto points = run_granularity_sweep(config);
+  ASSERT_EQ(points.size(), 3u);
+
+  const std::vector<double> gs{0.5, 1.0, 1.5};
+  Rng seeder(config.seed);
+  std::vector<std::uint64_t> seeds(gs.size() * config.graphs_per_point);
+  for (auto& s : seeds) s = seeder();
+
+  for (std::size_t point = 0; point < gs.size(); ++point) {
+    RunningStats ff, ltf_ub, rltf_ub, ltf_sim0, rltf_sim0, ltf_oh0, rltf_oh0;
+    std::size_t instances = 0, ltf_failures = 0, rltf_failures = 0;
+    for (std::size_t j = 0; j < config.graphs_per_point; ++j) {
+      const InstanceRecord rec =
+          run_instance(config, gs[point], seeds[point * config.graphs_per_point + j]);
+      if (!rec.usable) continue;
+      ++instances;
+      ff.add(rec.ff_sim0);
+      const AlgoOutcome& ltf = *rec.outcome("ltf");
+      const AlgoOutcome& rltf = *rec.outcome("rltf");
+      if (ltf.scheduled) {
+        ltf_ub.add(ltf.ub);
+        ltf_sim0.add(ltf.sim0);
+        if (rec.ff_sim0 > 0.0) ltf_oh0.add(100.0 * (ltf.sim0 - rec.ff_sim0) / rec.ff_sim0);
+      } else {
+        ++ltf_failures;
+      }
+      if (rltf.scheduled) {
+        rltf_ub.add(rltf.ub);
+        rltf_sim0.add(rltf.sim0);
+        if (rec.ff_sim0 > 0.0) rltf_oh0.add(100.0 * (rltf.sim0 - rec.ff_sim0) / rec.ff_sim0);
+      } else {
+        ++rltf_failures;
+      }
+    }
+    const PointStats& p = points[point];
+    EXPECT_EQ(p.instances, instances);
+    EXPECT_DOUBLE_EQ(p.ff_sim0, ff.mean());
+    EXPECT_DOUBLE_EQ(p.at("ltf").ub, ltf_ub.mean());
+    EXPECT_DOUBLE_EQ(p.at("rltf").ub, rltf_ub.mean());
+    EXPECT_DOUBLE_EQ(p.at("ltf").sim0, ltf_sim0.mean());
+    EXPECT_DOUBLE_EQ(p.at("rltf").sim0, rltf_sim0.mean());
+    EXPECT_DOUBLE_EQ(p.at("ltf").overhead0, ltf_oh0.mean());
+    EXPECT_DOUBLE_EQ(p.at("rltf").overhead0, rltf_oh0.mean());
+    EXPECT_EQ(p.at("ltf").failures, ltf_failures);
+    EXPECT_EQ(p.at("rltf").failures, rltf_failures);
+  }
+}
+
+TEST(Sweep, ArbitraryAlgorithmListProducesPerAlgorithmSeries) {
+  SweepConfig config = tiny_config();
+  config.algos = {"rltf", "heft", "stage_pack"};
+  config.g_min = 1.0;
+  config.g_max = 1.0;
+  const auto points = run_granularity_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].series.size(), 3u);
+  EXPECT_EQ(points[0].series[0].name, "rltf");
+  EXPECT_EQ(points[0].series[1].name, "heft");
+  EXPECT_EQ(points[0].series[2].name, "stage_pack");
+  for (const AlgoSeries& s : points[0].series) {
+    // Every algorithm either scheduled some instances or reported failures.
+    EXPECT_TRUE(s.sim0 > 0.0 || s.failures > 0) << s.name;
+  }
+  EXPECT_EQ(points[0].find("ltf"), nullptr);
+  EXPECT_THROW((void)points[0].at("ltf"), std::invalid_argument);
+}
+
+TEST(Sweep, AlgorithmOrderDoesNotChangeAnAlgorithmsSeries) {
+  // Per-algorithm crash streams are keyed by algorithm *name*, and the
+  // workload stream is independent of the algorithm list: every number in
+  // a series — including the with-crash ones — must not depend on which
+  // other algorithms ran or in what order.
+  SweepConfig lone = tiny_config();
+  lone.algos = {"rltf"};
+  SweepConfig paired = tiny_config();
+  paired.algos = {"ltf", "rltf"};
+  const auto a = run_granularity_sweep(lone);
+  const auto b = run_granularity_sweep(paired);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at("rltf").sim0, b[i].at("rltf").sim0);
+    EXPECT_DOUBLE_EQ(a[i].at("rltf").ub, b[i].at("rltf").ub);
+    EXPECT_DOUBLE_EQ(a[i].at("rltf").simc, b[i].at("rltf").simc);
+    EXPECT_DOUBLE_EQ(a[i].at("rltf").overheadc, b[i].at("rltf").overheadc);
+  }
 }
 
 TEST(Sweep, FigureTablesHaveTheRightSeries) {
@@ -100,6 +208,19 @@ TEST(Sweep, FigureTablesHaveTheRightSeries) {
   EXPECT_NE(rendered.find("Figure test"), std::string::npos);
   EXPECT_NE(rendered.find("UpperBound"), std::string::npos);
   EXPECT_NE(rendered.find("overhead"), std::string::npos);
+  EXPECT_NE(rendered.find("R-LTF"), std::string::npos);
+}
+
+TEST(Sweep, FigureColumnsScaleWithTheAlgorithmList) {
+  SweepConfig config = tiny_config();
+  config.algos = {"ltf", "rltf", "heft"};
+  config.g_min = 1.0;
+  config.g_max = 1.0;
+  const auto points = run_granularity_sweep(config);
+  EXPECT_EQ(figure_latency_bounds(points).num_cols(), 1u + 2u * 3u);
+  EXPECT_EQ(figure_latency_crash(points, 1).num_cols(), 1u + 2u * 3u);
+  EXPECT_EQ(figure_overhead(points, 1).num_cols(), 1u + 2u * 3u);
+  EXPECT_EQ(figure_diagnostics(points).num_cols(), 3u + 5u * 3u + 1u);
 }
 
 TEST(Sweep, RejectsBadConfig) {
@@ -109,6 +230,12 @@ TEST(Sweep, RejectsBadConfig) {
   SweepConfig config2 = tiny_config();
   config2.g_step = 0.0;
   EXPECT_THROW((void)run_granularity_sweep(config2), std::invalid_argument);
+  SweepConfig config3 = tiny_config();
+  config3.algos = {};
+  EXPECT_THROW((void)run_granularity_sweep(config3), std::invalid_argument);
+  SweepConfig config4 = tiny_config();
+  config4.algos = {"ltf", "no_such_algorithm"};
+  EXPECT_THROW((void)run_granularity_sweep(config4), std::invalid_argument);
 }
 
 }  // namespace
