@@ -9,8 +9,14 @@
 //   --csv PREFIX    write <PREFIX><name>.csv next to the printed tables
 //   --algo A[,B..]  registered algorithms to run; `help` lists the registry,
 //                   `all` selects everything (env STREAMSCHED_ALGO)
+//   --fault-model M[,M..]  fault models for the sweep series, e.g.
+//                   `count:eps=2` or `prob:R=0.999`; empty keeps the
+//                   bench's scalar-ε default (env STREAMSCHED_FAULT_MODEL)
+//   --fail-prob-lo/hi      per-processor failure probability range of the
+//                   generated platforms (probabilistic models; default 0)
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -19,6 +25,7 @@
 #include "core/registry.hpp"
 #include "exp/figures.hpp"
 #include "exp/sweep.hpp"
+#include "schedule/fault_model.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -31,6 +38,12 @@ struct CommonFlags {
   std::string csv_prefix;
   /// Selected registry entries (empty when the bench disabled `--algo`).
   std::vector<const Scheduler*> algos;
+  /// Fault models from `--fault-model` (empty: the bench's scalar-ε
+  /// default applies).
+  std::vector<FaultModel> fault_models;
+  /// Failure probability range applied to generated platforms.
+  double fail_prob_lo = 0.0;
+  double fail_prob_hi = 0.0;
   /// `--algo=help` was given: the listing is printed, the caller exits.
   bool help = false;
 
@@ -47,7 +60,11 @@ struct CommonFlags {
 /// An empty `algo_fallback` disables the `--algo` flag entirely — for
 /// benches whose algorithm is fixed (ablations); passing `--algo` to them
 /// then fails loudly in cli.finish() instead of being silently ignored.
-inline CommonFlags parse_common(Cli& cli, const std::string& algo_fallback = "ltf,rltf") {
+/// `fault_model_flag = false` likewise disables `--fault-model` /
+/// `--fail-prob-*` for benches whose scenario pins the reliability
+/// constraint (the paper's worked examples).
+inline CommonFlags parse_common(Cli& cli, const std::string& algo_fallback = "ltf,rltf",
+                                bool fault_model_flag = true) {
   CommonFlags flags;
   flags.graphs = static_cast<std::size_t>(
       cli.get_int("graphs", static_cast<std::int64_t>(flags.graphs), "STREAMSCHED_GRAPHS"));
@@ -59,8 +76,24 @@ inline CommonFlags parse_common(Cli& cli, const std::string& algo_fallback = "lt
   if (!algo_fallback.empty()) {
     flags.algos = schedulers_from_cli(cli, algo_fallback);
     flags.help = flags.algos.empty();
+    if (fault_model_flag) {
+      flags.fault_models = fault_models_from_cli(cli, "");
+      flags.fail_prob_lo = cli.get_double("fail-prob-lo", 0.0, "STREAMSCHED_FAIL_PROB_LO");
+      flags.fail_prob_hi = cli.get_double("fail-prob-hi", 0.0, "STREAMSCHED_FAIL_PROB_HI");
+    }
   }
   return flags;
+}
+
+/// Default failure-probability range when the user gave neither
+/// `--fail-prob` bound: a probabilistic model on a platform that never
+/// fails is vacuous. A partially specified range is left alone (an
+/// inverted one then fails loudly in make_instance).
+inline void ensure_fail_prob_range(double& lo, double& hi) {
+  if (lo == 0.0 && hi == 0.0) {
+    lo = 0.01;
+    hi = 0.05;
+  }
 }
 
 inline SweepConfig sweep_config(const CommonFlags& flags, CopyId eps, std::uint32_t crashes) {
@@ -68,6 +101,15 @@ inline SweepConfig sweep_config(const CommonFlags& flags, CopyId eps, std::uint3
   config.algos = flags.algo_names();
   config.eps = eps;
   config.crashes = crashes;
+  config.fault_models = flags.fault_models;
+  config.workload.fail_prob_lo = flags.fail_prob_lo;
+  config.workload.fail_prob_hi = flags.fail_prob_hi;
+  const bool has_probabilistic =
+      std::any_of(flags.fault_models.begin(), flags.fault_models.end(),
+                  [](const FaultModel& m) { return m.is_probabilistic(); });
+  if (has_probabilistic) {
+    ensure_fail_prob_range(config.workload.fail_prob_lo, config.workload.fail_prob_hi);
+  }
   config.graphs_per_point = flags.graphs;
   config.seed = flags.seed;
   config.threads = flags.threads;
@@ -82,8 +124,8 @@ inline void maybe_write_csv(const CommonFlags& flags, const std::string& name,
   std::cout << "(wrote " << path << ")\n";
 }
 
-/// Runs the sweep, prints all figure panels and writes the per-panel CSVs
-/// — the whole body of a Figure 3/4-style driver.
+/// Runs the sweep, prints all figure panels and writes the per-panel and
+/// per-series CSVs — the whole body of a Figure 3/4-style driver.
 inline void run_and_render_sweep(const CommonFlags& flags, const SweepConfig& config,
                                  const std::string& title, const std::string& csv_stem) {
   const auto points = run_granularity_sweep(config);
@@ -91,6 +133,12 @@ inline void run_and_render_sweep(const CommonFlags& flags, const SweepConfig& co
   maybe_write_csv(flags, csv_stem + "_bounds", figure_latency_bounds(points));
   maybe_write_csv(flags, csv_stem + "_crash", figure_latency_crash(points, config.crashes));
   maybe_write_csv(flags, csv_stem + "_overhead", figure_overhead(points, config.crashes));
+  if (!flags.csv_prefix.empty()) {
+    for (const std::string& path :
+         write_series_csvs(points, flags.csv_prefix + csv_stem + "_")) {
+      std::cout << "(wrote " << path << ")\n";
+    }
+  }
 }
 
 }  // namespace streamsched::bench

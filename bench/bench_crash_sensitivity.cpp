@@ -18,7 +18,23 @@ int main(int argc, char** argv) {
   if (flags.help_requested()) return 0;
   const std::vector<const Scheduler*>& algos = flags.algos;
 
-  const CopyId eps = 3;
+  // The c = 0..ε axis is inherently a count-model experiment; an explicit
+  // `--fault-model=count:eps=N` moves the replication degree.
+  CopyId eps = 3;
+  if (flags.fault_models.size() > 1) {
+    std::cerr << "bench_crash_sensitivity benchmarks one fault model per run; got "
+              << flags.fault_models.size() << "\n";
+    return 1;
+  }
+  if (!flags.fault_models.empty()) {
+    const FaultModel& model = flags.fault_models.front();
+    if (!model.is_count()) {
+      std::cerr << "bench_crash_sensitivity sweeps crash counts c = 0..eps and only "
+                   "accepts count fault models\n";
+      return 1;
+    }
+    eps = model.eps();
+  }
   const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 3);
   const std::size_t trials = 4;
 
@@ -38,6 +54,8 @@ int main(int argc, char** argv) {
     Rng rng(seeds[j]);
     Rng crash_rng = rng.fork(1);
     WorkloadParams params;
+    params.fail_prob_lo = flags.fail_prob_lo;
+    params.fail_prob_hi = flags.fail_prob_hi;
     const Instance inst = make_instance(params, 1.0, eps, rng);
 
     SchedulerOptions options;
@@ -96,8 +114,8 @@ int main(int argc, char** argv) {
     }
   });
 
-  std::cout << "=== Crash sensitivity: normalized latency vs crash count (eps = 3, "
-            << graphs << " graphs) ===\n\n";
+  std::cout << "=== Crash sensitivity: normalized latency vs crash count (eps = " << eps
+            << ", " << graphs << " graphs) ===\n\n";
   std::vector<std::string> headers{"crashes c"};
   for (const Scheduler* algo : algos) headers.push_back(algo->label + " latency");
   headers.push_back(algos.front()->label + " self-timed");
@@ -121,7 +139,8 @@ int main(int argc, char** argv) {
     t.add_row(std::move(cells));
   }
   std::cout << t.to_ascii();
-  std::cout << "\n(A schedule repaired for eps = 3 must never starve for c <= 3.)\n";
+  std::cout << "\n(A schedule repaired for eps = " << eps << " must never starve for c <= "
+            << eps << ".)\n";
   bench::maybe_write_csv(flags, "crash_sensitivity", t);
   return 0;
 }

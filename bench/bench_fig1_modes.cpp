@@ -132,7 +132,7 @@ void pipelined(Table& out) {
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  const auto flags = bench::parse_common(cli, "ltf,rltf", /*fault_model_flag=*/false);
   cli.finish();
   if (flags.help_requested()) return 0;
 

@@ -37,7 +37,7 @@ void report(Table& table, const std::string& algo, std::size_t m, double period,
 int main(int argc, char** argv) {
   using namespace streamsched;
   Cli cli(argc, argv);
-  const auto flags = bench::parse_common(cli);
+  const auto flags = bench::parse_common(cli, "ltf,rltf", /*fault_model_flag=*/false);
   cli.finish();
   if (flags.help_requested()) return 0;
 

@@ -1,8 +1,10 @@
 // Extension (paper §6, "symmetric problems"): the minimal sustainable
-// period per scheduler — maximize throughput for a given failure count.
+// period per scheduler — maximize throughput for a given fault model.
 // Binary search over Δ for every selected registry algorithm (default:
 // all replication-capable ones), reported relative to the analytic lower
-// bound (ε+1)·W / Σs.
+// bound (ε+1)·W / Σs, along with the scheduler invocations the bracketed
+// search spent. `--fault-model` switches the reliability constraint, e.g.
+// `--fault-model=prob:R=0.999 --fail-prob-hi=0.05`.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -19,10 +21,17 @@ int main(int argc, char** argv) {
   const std::vector<const Scheduler*>& algos = flags.algos;
 
   const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 4);
-  const CopyId eps = 1;
+  if (flags.fault_models.size() > 1) {
+    std::cerr << "bench_min_period benchmarks one fault model per run; got "
+              << flags.fault_models.size() << "\n";
+    return 1;
+  }
+  const FaultModel model =
+      flags.fault_models.empty() ? FaultModel::count(1) : flags.fault_models.front();
 
   std::vector<std::vector<double>> ratios(algos.size(), std::vector<double>(graphs, -1.0));
   std::vector<std::vector<double>> stages(algos.size(), std::vector<double>(graphs, 0.0));
+  std::vector<std::vector<double>> evals(algos.size(), std::vector<double>(graphs, 0.0));
 
   Rng seeder(flags.seed);
   std::vector<std::uint64_t> seeds(graphs);
@@ -33,30 +42,38 @@ int main(int argc, char** argv) {
     WorkloadParams params;
     params.v_min = 40;
     params.v_max = 80;
-    const Instance inst = make_instance(params, 1.0, eps, rng);
-    const double lb = period_lower_bound(inst.dag, inst.platform, eps);
+    params.fail_prob_lo = flags.fail_prob_lo;
+    params.fail_prob_hi = flags.fail_prob_hi;
+    if (model.is_probabilistic()) {
+      bench::ensure_fail_prob_range(params.fail_prob_lo, params.fail_prob_hi);
+    }
+    const CopyId calib_eps = model.is_count() ? model.eps() : 1;
+    const Instance inst = make_instance(params, 1.0, calib_eps, rng);
+    SchedulerOptions base;
+    base.fault_model = model;
+    const double lb = period_lower_bound(inst.dag, inst.platform, base);
     for (std::size_t a = 0; a < algos.size(); ++a) {
-      SchedulerOptions base;
-      base.eps = eps;
       const Scheduler& algo = *algos[a];
       const auto fn = [&algo](const Dag& d, const Platform& p, const SchedulerOptions& o) {
         return algo.schedule(d, p, o);
       };
       const auto r = find_min_period(inst.dag, inst.platform, base, fn, 1e-2);
+      evals[a][j] = r.evaluations;
       if (!r.found) continue;
       ratios[a][j] = r.period / lb;
       stages[a][j] = num_stages(*r.schedule);
     }
   });
 
-  std::cout << "=== Minimal sustainable period (eps = 1, " << graphs
+  std::cout << "=== Minimal sustainable period (" << model.to_string() << ", " << graphs
             << " graphs, period relative to the analytic lower bound) ===\n\n";
   Table t({"algorithm", "min period / LB (mean)", "min period / LB (max)",
-           "stages at frontier", "infeasible"});
+           "stages at frontier", "evaluations (mean)", "infeasible"});
   for (std::size_t a = 0; a < algos.size(); ++a) {
-    RunningStats ratio, stage;
+    RunningStats ratio, stage, eval;
     std::size_t infeasible = 0;
     for (std::size_t j = 0; j < graphs; ++j) {
+      eval.add(evals[a][j]);
       if (ratios[a][j] < 0) {
         ++infeasible;
         continue;
@@ -65,7 +82,8 @@ int main(int argc, char** argv) {
       stage.add(stages[a][j]);
     }
     t.add_row({algos[a]->label, Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
-               Table::fmt(stage.mean(), 2), std::to_string(infeasible)});
+               Table::fmt(stage.mean(), 2), Table::fmt(eval.mean(), 1),
+               std::to_string(infeasible)});
   }
   std::cout << t.to_ascii();
   bench::maybe_write_csv(flags, "min_period", t);

@@ -1,0 +1,149 @@
+// Reliability–latency trade-off on heterogeneous-reliability platforms
+// (extension; scenario family opened by the probabilistic fault model):
+// for a ladder of target reliabilities R, derive the replication degree,
+// schedule, repair to the target and measure the price in latency. Also
+// reports the achieved schedule reliability (estimated by truncated
+// enumeration / importance-sampled Monte Carlo) and the starvation count
+// over crash trials sampled from the per-processor failure probabilities.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/streamsched.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+// One crash stream per (algorithm, target) cell, independent of which
+// other cells run — the sweep's per-series stream discipline, keyed by
+// the sweep's own series key (round-trip model formatting, so targets
+// closer than the default print precision keep distinct streams).
+std::uint64_t cell_tag(const std::string& name, const streamsched::FaultModel& model) {
+  return streamsched::series_stream_tag(name + "@" + model.to_string());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  Cli cli(argc, argv);
+  auto flags = bench::parse_common(cli, "rltf");
+  const std::size_t trials =
+      static_cast<std::size_t>(cli.get_int("crash-trials", 5, "STREAMSCHED_CRASH_TRIALS"));
+  cli.finish();
+  if (flags.help_requested()) return 0;
+  bench::ensure_fail_prob_range(flags.fail_prob_lo, flags.fail_prob_hi);
+
+  // The target ladder; `--fault-model=prob:R=...[,prob:R=...]` replaces it.
+  std::vector<double> targets{0.9, 0.99, 0.999, 0.9999};
+  if (!flags.fault_models.empty()) {
+    targets.clear();
+    for (const FaultModel& model : flags.fault_models) {
+      if (!model.is_probabilistic()) {
+        std::cerr << "bench_reliability sweeps reliability targets and only accepts "
+                     "probabilistic fault models\n";
+        return 1;
+      }
+      targets.push_back(model.target_reliability());
+    }
+  }
+  const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 4);
+
+  Rng seeder(flags.seed);
+  std::vector<std::uint64_t> seeds(graphs);
+  for (auto& s : seeds) s = seeder();
+
+  struct Cell {
+    RunningStats eps, reliability, ub, sim0, simc;
+    std::size_t failures = 0;
+    std::size_t starved = 0;
+  };
+  // [algo][target] accumulators, filled per graph under the pool mutex-free
+  // index discipline (one row of cells per graph, merged afterwards).
+  std::vector<std::vector<std::vector<Cell>>> per_graph(
+      graphs, std::vector<std::vector<Cell>>(flags.algos.size(),
+                                             std::vector<Cell>(targets.size())));
+
+  parallel_for_indices(graphs, flags.threads, [&](std::size_t j) {
+    Rng rng(seeds[j]);
+    WorkloadParams params;
+    params.v_min = 40;
+    params.v_max = 80;
+    params.fail_prob_lo = flags.fail_prob_lo;
+    params.fail_prob_hi = flags.fail_prob_hi;
+    const Instance inst = make_instance(params, 1.0, 1, rng);
+
+    for (std::size_t a = 0; a < flags.algos.size(); ++a) {
+      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+        Cell& cell = per_graph[j][a][ti];
+        const FaultModel model = FaultModel::probabilistic(targets[ti]);
+        Rng crash_rng = Rng(seeds[j]).fork(cell_tag(flags.algos[a]->name, model));
+        const CopyId eps = model.derive_eps(inst.platform, inst.dag.num_tasks());
+        const double period = calibrate_period(inst.dag, inst.platform, eps,
+                                               params.headroom, params.comm_share);
+        SchedulerOptions options;
+        options.fault_model = model;
+        options.repair = true;
+        auto [result, factor] = schedule_with_period_escalation(
+            *flags.algos[a], inst.dag, inst.platform, period, options);
+        if (!result.ok()) {
+          ++cell.failures;
+          continue;
+        }
+        const Schedule& schedule = *result.schedule;
+        const double norm = normalization_factor(schedule.period(), eps);
+        cell.eps.add(eps);
+        cell.reliability.add(result.repair.reliability >= 0.0
+                                 ? result.repair.reliability
+                                 : schedule_reliability(schedule).reliability);
+        cell.ub.add(latency_upper_bound(schedule) * norm);
+        const SimResult sim0 = simulate(schedule);
+        cell.sim0.add(sim0.mean_latency * norm);
+        RunningStats crash_latency;
+        for (std::size_t trial = 0; trial < trials; ++trial) {
+          const SimResult simc =
+              simulate_with_sampled_failures(schedule, model, 0, crash_rng);
+          if (!simc.complete) {
+            ++cell.starved;
+            continue;
+          }
+          crash_latency.add(simc.mean_latency * norm);
+        }
+        // All trials starving leaves no latency sample — the starved
+        // column records the event; a spurious 0 would deflate the mean.
+        if (crash_latency.count() > 0) cell.simc.add(crash_latency.mean());
+        (void)factor;
+      }
+    }
+  });
+
+  std::cout << "=== Reliability-latency trade-off (fail probs U[" << flags.fail_prob_lo
+            << ", " << flags.fail_prob_hi << "], " << graphs << " graphs) ===\n\n";
+  Table t({"algorithm", "target R", "eps (mean)", "achieved R", "UpperBound", "sim 0-crash",
+           "sim sampled-crash", "starved", "infeasible"});
+  for (std::size_t a = 0; a < flags.algos.size(); ++a) {
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      Cell merged;
+      for (std::size_t j = 0; j < graphs; ++j) {
+        const Cell& cell = per_graph[j][a][ti];
+        if (cell.eps.count() > 0) {
+          merged.eps.add(cell.eps.mean());
+          merged.reliability.add(cell.reliability.mean());
+          merged.ub.add(cell.ub.mean());
+          merged.sim0.add(cell.sim0.mean());
+          if (cell.simc.count() > 0) merged.simc.add(cell.simc.mean());
+        }
+        merged.failures += cell.failures;
+        merged.starved += cell.starved;
+      }
+      t.add_row({flags.algos[a]->label, Table::fmt(targets[ti], 4),
+                 Table::fmt(merged.eps.mean(), 2), Table::fmt(merged.reliability.mean(), 6),
+                 Table::fmt(merged.ub.mean(), 1), Table::fmt(merged.sim0.mean(), 1),
+                 Table::fmt(merged.simc.mean(), 1), std::to_string(merged.starved),
+                 std::to_string(merged.failures)});
+    }
+  }
+  std::cout << t.to_ascii();
+  bench::maybe_write_csv(flags, "reliability_tradeoff", t);
+  return 0;
+}

@@ -11,8 +11,9 @@
 namespace streamsched {
 
 ScheduleResult heft_schedule(const Dag& dag, const Platform& platform,
-                             const SchedulerOptions& options) {
+                             const SchedulerOptions& raw_options) {
   SS_REQUIRE(dag.num_tasks() > 0, "cannot schedule an empty graph");
+  const SchedulerOptions options = raw_options.resolved(platform, dag.num_tasks());
   SS_REQUIRE(options.eps < platform.num_procs(),
              "eps must be smaller than the processor count");
 
@@ -56,7 +57,7 @@ ScheduleResult heft_schedule(const Dag& dag, const Platform& platform,
 
   ScheduleResult result;
   if (options.repair) {
-    result.repair = repair_fault_tolerance(schedule, options.eps);
+    result.repair = repair_for_model(schedule, options.model());
   }
   result.schedule.emplace(std::move(schedule));
   return result;

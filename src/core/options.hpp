@@ -6,6 +6,7 @@
 #include <optional>
 #include <string>
 
+#include "schedule/fault_model.hpp"
 #include "schedule/fault_tolerance.hpp"
 #include "schedule/schedule.hpp"
 
@@ -13,7 +14,13 @@ namespace streamsched {
 
 struct SchedulerOptions {
   /// ε: number of processor failures to tolerate (ε + 1 replicas per task).
+  /// Convenience form of the scalar fault model; ignored when `fault_model`
+  /// is set (the model then derives the replication degree).
   CopyId eps = 0;
+
+  /// Fault model governing replication degree, repair target and crash
+  /// sampling. Unset means the paper's scalar model, CountModel(eps).
+  std::optional<FaultModel> fault_model;
 
   /// Δ = 1/T: desired iteration period. Infinity disables the throughput
   /// constraint.
@@ -34,6 +41,23 @@ struct SchedulerOptions {
 
   /// R-LTF only: enable Rule 1 (stage-preserving merges). Ablation knob.
   bool use_rule1 = true;
+
+  /// The effective fault model: `fault_model` when set, CountModel(eps)
+  /// otherwise.
+  [[nodiscard]] FaultModel model() const {
+    return fault_model ? *fault_model : FaultModel::count(eps);
+  }
+
+  /// Copy of these options with `eps` resolved from the fault model for a
+  /// concrete instance. Every scheduler entry point calls this once and
+  /// works off the resolved ε; for count models (and unset `fault_model`)
+  /// the options come back unchanged.
+  [[nodiscard]] SchedulerOptions resolved(const Platform& platform,
+                                          std::size_t num_tasks) const {
+    SchedulerOptions out = *this;
+    out.eps = model().derive_eps(platform, num_tasks);
+    return out;
+  }
 };
 
 /// Outcome of a scheduling attempt. LTF legitimately fails when the

@@ -22,6 +22,7 @@ SchedulerRegistry::SchedulerRegistry() {
        },
        [](SchedulerOptions& options) {
          options.eps = 0;
+         options.fault_model.reset();
          options.repair = false;
        }});
   add({"ltf", "LTF",

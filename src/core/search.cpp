@@ -19,13 +19,19 @@ double period_lower_bound(const Dag& dag, const Platform& platform, CopyId eps) 
   return std::max(per_task, load);
 }
 
+double period_lower_bound(const Dag& dag, const Platform& platform,
+                          const SchedulerOptions& options) {
+  return period_lower_bound(dag, platform,
+                            options.model().derive_eps(platform, dag.num_tasks()));
+}
+
 MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
                                 const SchedulerOptions& base, const SchedulerFn& scheduler,
                                 double rel_tol) {
   SS_REQUIRE(rel_tol > 0.0, "tolerance must be positive");
   MinPeriodResult result;
 
-  const double lb = std::max(period_lower_bound(dag, platform, base.eps), 1e-12);
+  const double lb = std::max(period_lower_bound(dag, platform, base), 1e-12);
 
   auto attempt = [&](double period) -> std::optional<Schedule> {
     SchedulerOptions options = base;
@@ -36,17 +42,21 @@ MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
     return std::move(*r.schedule);
   };
 
-  // Exponential search for a feasible upper bound.
+  // Exponential search for a feasible upper bound, keeping the greatest
+  // known-infeasible period as the bracket floor so the binary search never
+  // re-evaluates a period already proven infeasible (the bracket starts at
+  // the analytic lower bound, below which nothing is ever attempted).
+  double lo = lb;
   double hi = lb;
   std::optional<Schedule> hi_schedule;
   for (int i = 0; i < 64; ++i) {
     hi_schedule = attempt(hi);
     if (hi_schedule) break;
+    lo = hi;
     hi *= 2.0;
   }
   if (!hi_schedule) return result;  // nothing feasible within 2^64 * lb
 
-  double lo = lb;  // possibly infeasible (lo == hi means lb itself worked)
   while (hi - lo > rel_tol * hi) {
     const double mid = 0.5 * (lo + hi);
     if (auto s = attempt(mid)) {
@@ -63,12 +73,21 @@ MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
   return result;
 }
 
+MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
+                                const FaultModel& model, const SchedulerOptions& base,
+                                const SchedulerFn& scheduler, double rel_tol) {
+  SchedulerOptions options = base;
+  options.fault_model = model;
+  return find_min_period(dag, platform, options, scheduler, rel_tol);
+}
+
 MaxFailuresResult find_max_failures(const Dag& dag, const Platform& platform, double period,
                                     double latency_cap, const SchedulerOptions& base,
                                     const SchedulerFn& scheduler) {
   MaxFailuresResult result;
   for (CopyId eps = 0; eps < platform.num_procs(); ++eps) {
     SchedulerOptions options = base;
+    options.fault_model.reset();  // the scan owns the replication degree
     options.eps = eps;
     options.period = period;
     ScheduleResult r = scheduler(dag, platform, options);
@@ -77,6 +96,35 @@ MaxFailuresResult find_max_failures(const Dag& dag, const Platform& platform, do
     result.found = true;
     result.eps = eps;
     result.schedule = std::move(r.schedule);
+  }
+  return result;
+}
+
+MaxReliabilityResult find_max_reliability(const Dag& dag, const Platform& platform,
+                                          double period, double latency_cap,
+                                          const SchedulerOptions& base,
+                                          const SchedulerFn& scheduler,
+                                          const ReliabilityOptions& reliability_options) {
+  MaxReliabilityResult result;
+  for (CopyId eps = 0; eps < platform.num_procs(); ++eps) {
+    SchedulerOptions options = base;
+    options.fault_model.reset();  // scan explicit replication degrees
+    options.eps = eps;
+    options.period = period;
+    options.repair = true;
+    ScheduleResult r = scheduler(dag, platform, options);
+    if (!r.ok()) break;  // feasibility is monotone in eps
+    // Latency is not: repair channels can inflate one degree's bound while
+    // the next fits, so a cap violation skips the degree instead of ending
+    // the scan.
+    if (latency_upper_bound(*r.schedule) > latency_cap) continue;
+    const ReliabilityEstimate est = schedule_reliability(*r.schedule, reliability_options);
+    if (!result.found || est.reliability > result.reliability) {
+      result.found = true;
+      result.eps = eps;
+      result.reliability = est.reliability;
+      result.schedule = std::move(r.schedule);
+    }
   }
   return result;
 }

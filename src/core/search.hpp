@@ -24,10 +24,26 @@ struct MinPeriodResult {
 /// processor and the replicated total work must fit the platform.
 [[nodiscard]] double period_lower_bound(const Dag& dag, const Platform& platform, CopyId eps);
 
+/// Fault-model-aware overload: the replication degree comes from the
+/// options' effective fault model (count: eps; probabilistic: derived from
+/// the platform's failure probabilities).
+[[nodiscard]] double period_lower_bound(const Dag& dag, const Platform& platform,
+                                        const SchedulerOptions& options);
+
 /// Binary search for the smallest period at which `scheduler` succeeds,
-/// to relative tolerance `rel_tol`. `base` supplies ε and the remaining
-/// options; its period field is ignored.
+/// to relative tolerance `rel_tol`. `base` supplies the fault model / ε
+/// and the remaining options; its period field is ignored. The bracket is
+/// seeded from period_lower_bound() and tightened by the exponential
+/// probe, so periods already known infeasible are never re-evaluated.
 [[nodiscard]] MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
+                                              const SchedulerOptions& base,
+                                              const SchedulerFn& scheduler,
+                                              double rel_tol = 1e-3);
+
+/// Convenience: minimal feasible period under an explicit fault model
+/// (e.g. FaultModel::probabilistic(R) for a reliability target).
+[[nodiscard]] MinPeriodResult find_min_period(const Dag& dag, const Platform& platform,
+                                              const FaultModel& model,
                                               const SchedulerOptions& base,
                                               const SchedulerFn& scheduler,
                                               double rel_tol = 1e-3);
@@ -45,5 +61,22 @@ struct MaxFailuresResult {
                                                   double period, double latency_cap,
                                                   const SchedulerOptions& base,
                                                   const SchedulerFn& scheduler);
+
+struct MaxReliabilityResult {
+  bool found = false;  ///< at least one replication degree was feasible
+  CopyId eps = 0;      ///< replication degree of the best schedule
+  double reliability = 0.0;  ///< its estimated schedule reliability
+  std::optional<Schedule> schedule;
+};
+
+/// Maximal schedule reliability achievable at the given period and latency
+/// budget on a platform with per-processor failure probabilities: scans
+/// replication degrees ε = 0 .. m−1 (repair enabled), estimates each
+/// schedule's reliability and keeps the most reliable one whose latency
+/// bound fits `latency_cap`.
+[[nodiscard]] MaxReliabilityResult find_max_reliability(
+    const Dag& dag, const Platform& platform, double period, double latency_cap,
+    const SchedulerOptions& base, const SchedulerFn& scheduler,
+    const ReliabilityOptions& reliability_options = {});
 
 }  // namespace streamsched

@@ -40,6 +40,7 @@
 #include "graph/width.hpp"        // IWYU pragma: export
 #include "platform/generators.hpp"  // IWYU pragma: export
 #include "platform/platform.hpp"    // IWYU pragma: export
+#include "schedule/fault_model.hpp"      // IWYU pragma: export
 #include "schedule/fault_tolerance.hpp"  // IWYU pragma: export
 #include "schedule/metrics.hpp"          // IWYU pragma: export
 #include "schedule/mirror.hpp"           // IWYU pragma: export

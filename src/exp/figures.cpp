@@ -100,6 +100,52 @@ Table figure_diagnostics(const std::vector<PointStats>& points) {
   return t;
 }
 
+std::vector<std::pair<std::string, Table>> per_series_tables(
+    const std::vector<PointStats>& points) {
+  std::vector<std::pair<std::string, Table>> tables;
+  for (std::size_t a = 0; a < layout(points).size(); ++a) {
+    Table t({"granularity", "ub", "sim0", "simc", "overhead0", "overheadc", "stages", "comms",
+             "repairs", "period_factor", "reliability", "failures"});
+    for (const PointStats& p : points) {
+      const AlgoSeries& s = p.series[a];
+      t.add_row({Table::fmt(p.granularity, 2), Table::fmt(s.ub, 4), Table::fmt(s.sim0, 4),
+                 Table::fmt(s.simc, 4), Table::fmt(s.overhead0, 2), Table::fmt(s.overheadc, 2),
+                 Table::fmt(s.stages, 2), Table::fmt(s.comms, 1), Table::fmt(s.repairs, 2),
+                 Table::fmt(s.period_factor, 2), Table::fmt(s.reliability, 6),
+                 std::to_string(s.failures)});
+    }
+    tables.emplace_back(layout(points)[a].name, std::move(t));
+  }
+  return tables;
+}
+
+namespace {
+
+// Series names may hold '@', ':' or '=' (fault-model decorations); keep
+// filenames portable.
+std::string sanitize_filename(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool safe = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!safe) c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> write_series_csvs(const std::vector<PointStats>& points,
+                                           const std::string& prefix) {
+  std::vector<std::string> paths;
+  for (const auto& [name, table] : per_series_tables(points)) {
+    std::string path = prefix + sanitize_filename(name) + ".csv";
+    table.write_csv(path);
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
 std::string render_figure(const std::vector<PointStats>& points, const std::string& title,
                           std::uint32_t crashes) {
   std::ostringstream os;

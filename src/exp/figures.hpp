@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "exp/sweep.hpp"
@@ -33,5 +34,18 @@ namespace streamsched {
 /// Renders all panels with captions, ready to print.
 [[nodiscard]] std::string render_figure(const std::vector<PointStats>& points,
                                         const std::string& title, std::uint32_t crashes);
+
+/// One full-detail table per series (column layout of `series_csv_header`:
+/// granularity,ub,sim0,simc,overhead0,overheadc,stages,comms,repairs,
+/// period_factor,reliability,failures) for external plotting, keyed by the
+/// series name.
+[[nodiscard]] std::vector<std::pair<std::string, Table>> per_series_tables(
+    const std::vector<PointStats>& points);
+
+/// Writes per_series_tables as CSV files named
+/// `<prefix><sanitized series name>.csv` (characters unsafe in filenames
+/// become '_'). Returns the paths written.
+std::vector<std::string> write_series_csvs(const std::vector<PointStats>& points,
+                                           const std::string& prefix);
 
 }  // namespace streamsched

@@ -14,15 +14,51 @@ namespace streamsched {
 
 namespace {
 
-// Measures one scheduled algorithm on one instance. Latencies are
-// normalized by the schedule's own period so every series sits on the
-// paper's (2S-1)·10(ε+1) scale.
-AlgoOutcome measure(const SweepConfig& config, const Instance& inst, ScheduleResult result,
-                    double period_factor, Rng& rng) {
+// One sweep series: an (algorithm, fault model) pair with its key/label.
+// With no fault models configured the key degenerates to the registry name
+// and every stream/label is bit-identical to the pre-fault-model sweep.
+struct SeriesSpec {
+  const Scheduler* algo = nullptr;
+  FaultModel model;
+  std::string name;
+  std::string label;
+};
+
+std::vector<FaultModel> effective_models(const SweepConfig& config) {
+  if (!config.fault_models.empty()) return config.fault_models;
+  return {FaultModel::count(config.eps)};
+}
+
+// Resolves the (algorithm, model) series grid; throws on unknown names.
+std::vector<SeriesSpec> build_series(const SweepConfig& config) {
+  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
+  const std::vector<FaultModel> models = effective_models(config);
+  const bool decorate = models.size() > 1 || models.front().is_probabilistic();
+  std::vector<SeriesSpec> series;
+  series.reserve(schedulers.size() * models.size());
+  for (const Scheduler* algo : schedulers) {
+    for (const FaultModel& model : models) {
+      SeriesSpec spec;
+      spec.algo = algo;
+      spec.model = model;
+      spec.name = decorate ? algo->name + "@" + model.to_string() : algo->name;
+      spec.label = decorate ? algo->label + " [" + model.to_string() + "]" : algo->label;
+      series.push_back(std::move(spec));
+    }
+  }
+  return series;
+}
+
+// Measures one scheduled series on one instance. Latencies are normalized
+// by the schedule's own period so every series sits on the paper's
+// (2S-1)·10(ε+1) scale; `model_eps` is the model-derived replication
+// degree the normalization refers to.
+AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId model_eps,
+                    ScheduleResult result, double period_factor, Rng& rng) {
   AlgoOutcome out;
   if (!result.ok()) return out;
   const Schedule& schedule = *result.schedule;
-  const double norm = normalization_factor(schedule.period(), config.eps);
+  const double norm = normalization_factor(schedule.period(), model_eps);
   out.scheduled = true;
   out.period_factor = period_factor;
   out.stages = num_stages(schedule);
@@ -37,36 +73,49 @@ AlgoOutcome measure(const SweepConfig& config, const Instance& inst, ScheduleRes
   out.sim0 = sim0.mean_latency * norm;
   if (!sim0.complete) out.starved = true;
 
-  if (config.crashes > 0) {
+  // Crash trials are drawn from the fault model: uniform c-subsets for
+  // count models (which skip the series entirely at c = 0), Bernoulli
+  // per-processor crash sets for probabilistic ones.
+  if (config.crashes > 0 || spec.model.is_probabilistic()) {
     RunningStats crash_latency;
     for (std::size_t trial = 0; trial < config.crash_trials; ++trial) {
-      SimOptions crash_options = sim_options;
-      const auto set = rng.sample_without_replacement(
-          static_cast<std::uint32_t>(inst.platform.num_procs()), config.crashes);
-      crash_options.failed.assign(set.begin(), set.end());
-      const SimResult simc = simulate(schedule, crash_options);
+      const SimResult simc =
+          simulate_with_sampled_failures(schedule, spec.model, config.crashes, rng, sim_options);
       if (!simc.complete) {
         out.starved = true;
         continue;
       }
       crash_latency.add(simc.mean_latency * norm);
     }
-    out.simc = crash_latency.mean();
+    // Count models never starve after repair, but a probabilistic series
+    // can lose every trial (sampled sets may exceed the repaired
+    // coverage); a spurious 0 would deflate the aggregated means, so the
+    // sentinel excludes the instance from the crash series instead.
+    out.simc = crash_latency.count() > 0 ? crash_latency.mean() : -1.0;
   } else {
     out.simc = out.sim0;
+  }
+
+  if (spec.model.is_probabilistic()) {
+    // The repair pass already estimated the final reliability with the
+    // default budget; reuse it so the column never contradicts the
+    // repair's verdict and the estimation cost is paid once.
+    out.reliability = result.repair.reliability >= 0.0
+                          ? result.repair.reliability
+                          : schedule_reliability(schedule).reliability;
   }
   return out;
 }
 
-// Per-algorithm accumulators behind one PointStats series.
+// Per-series accumulators behind one PointStats series.
 struct SeriesAccum {
-  RunningStats ub, sim0, simc, oh0, ohc, stages, comms, repairs, period_factor;
+  RunningStats ub, sim0, simc, oh0, ohc, stages, comms, repairs, period_factor, reliability;
   std::size_t failures = 0;
 };
 
-// FNV-1a of the registry name: a fork tag that depends only on the
-// algorithm, never on its position in the config list.
-std::uint64_t crash_stream_tag(const std::string& name) {
+}  // namespace
+
+std::uint64_t series_stream_tag(const std::string& name) {
   std::uint64_t h = 1469598103934665603ULL;
   for (char ch : name) {
     h ^= static_cast<unsigned char>(ch);
@@ -74,8 +123,6 @@ std::uint64_t crash_stream_tag(const std::string& name) {
   }
   return h;
 }
-
-}  // namespace
 
 const AlgoOutcome* InstanceRecord::outcome(const std::string& name) const {
   for (std::size_t i = 0; i < algos.size() && i < outcomes.size(); ++i) {
@@ -102,35 +149,42 @@ const std::vector<double>& period_escalation_ladder() {
 }
 
 std::pair<ScheduleResult, double> schedule_with_period_escalation(
-    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options) {
+    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    SchedulerOptions options) {
   ScheduleResult result;
   for (double factor : period_escalation_ladder()) {
-    options.period = inst.period * factor;
-    result = scheduler.schedule(inst.dag, inst.platform, options);
+    options.period = period * factor;
+    result = scheduler.schedule(dag, platform, options);
     if (result.ok()) return {std::move(result), factor};
   }
   return {std::move(result), 0.0};
+}
+
+std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options) {
+  return schedule_with_period_escalation(scheduler, inst.dag, inst.platform, inst.period,
+                                         std::move(options));
 }
 
 InstanceRecord run_instance(const SweepConfig& config, double granularity,
                             std::uint64_t instance_seed) {
   InstanceRecord record;
   record.granularity = granularity;
-  record.algos = config.algos;
-  record.outcomes.resize(config.algos.size());
-
-  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
+  const std::vector<SeriesSpec> series = build_series(config);
+  record.algos.reserve(series.size());
+  for (const SeriesSpec& spec : series) record.algos.push_back(spec.name);
+  record.outcomes.resize(series.size());
 
   Rng rng(instance_seed);
   Rng workload_rng = rng.fork(1);
-  // One crash stream per algorithm, forked off a *fresh* engine with a
+  // One crash stream per series, forked off a *fresh* engine with a
   // name-derived tag: fork() advances its parent, so deriving every stream
-  // from the same parent would make the failure sets an algorithm sees
-  // depend on which other algorithms run and in what order.
+  // from the same parent would make the failure sets a series sees depend
+  // on which other series run and in what order.
   std::vector<Rng> crash_rngs;
-  crash_rngs.reserve(schedulers.size());
-  for (const Scheduler* scheduler : schedulers) {
-    crash_rngs.push_back(Rng(instance_seed).fork(crash_stream_tag(scheduler->name)));
+  crash_rngs.reserve(series.size());
+  for (const SeriesSpec& spec : series) {
+    crash_rngs.push_back(Rng(instance_seed).fork(series_stream_tag(spec.name)));
   }
 
   const Instance inst = make_instance(config.workload, granularity, config.eps, workload_rng);
@@ -151,13 +205,25 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
   record.ff_sim0 = simulate(*ff.schedule, sim_options).mean_latency *
                    normalization_factor(record.ff_period, 0);
 
-  SchedulerOptions options;
-  options.eps = config.eps;
-  options.repair = true;  // enforce the paper's ε-failure guarantee
-
-  for (std::size_t i = 0; i < schedulers.size(); ++i) {
-    auto [result, factor] = schedule_with_period_escalation(*schedulers[i], inst, options);
-    record.outcomes[i] = measure(config, inst, std::move(result), factor, crash_rngs[i]);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const SeriesSpec& spec = series[i];
+    const CopyId model_eps = spec.model.derive_eps(inst.platform, inst.dag.num_tasks());
+    // Each series is scheduled at the period its replication degree was
+    // calibrated for; the shared config.eps calibration is reused verbatim
+    // when the degrees coincide (the legacy path).
+    const double period = model_eps == config.eps
+                              ? inst.period
+                              : calibrate_period(inst.dag, inst.platform, model_eps,
+                                                 config.workload.headroom,
+                                                 config.workload.comm_share);
+    SchedulerOptions options;
+    options.eps = model_eps;
+    options.fault_model = spec.model;
+    options.repair = true;  // enforce the fault model's guarantee
+    auto [result, factor] =
+        schedule_with_period_escalation(*spec.algo, inst.dag, inst.platform, period, options);
+    record.outcomes[i] = measure(config, spec, model_eps, std::move(result), factor,
+                                 crash_rngs[i]);
   }
   return record;
 }
@@ -165,10 +231,14 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
 std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
   SS_REQUIRE(config.g_min > 0.0 && config.g_step > 0.0 && config.g_max >= config.g_min,
              "invalid granularity range");
-  SS_REQUIRE(config.crashes <= config.eps, "cannot crash more processors than eps");
   SS_REQUIRE(!config.algos.empty(), "sweep needs at least one algorithm");
+  for (const FaultModel& model : effective_models(config)) {
+    if (model.is_count()) {
+      SS_REQUIRE(config.crashes <= model.eps(), "cannot crash more processors than eps");
+    }
+  }
   // Resolve up front so an unknown name fails before any work is spent.
-  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
+  const std::vector<SeriesSpec> series_specs = build_series(config);
 
   std::vector<double> gs;
   for (double g = config.g_min; g <= config.g_max + 1e-9; g += config.g_step) gs.push_back(g);
@@ -192,7 +262,7 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
     ps.granularity = gs[point];
 
     RunningStats ff;
-    std::vector<SeriesAccum> accum(schedulers.size());
+    std::vector<SeriesAccum> accum(series_specs.size());
 
     for (std::size_t j = 0; j < config.graphs_per_point; ++j) {
       const InstanceRecord& rec = records[point * config.graphs_per_point + j];
@@ -200,7 +270,7 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
       ++ps.instances;
       ff.add(rec.ff_sim0);
 
-      for (std::size_t a = 0; a < schedulers.size(); ++a) {
+      for (std::size_t a = 0; a < series_specs.size(); ++a) {
         const AlgoOutcome& out = rec.outcomes[a];
         SeriesAccum& acc = accum[a];
         if (!out.scheduled) {
@@ -209,26 +279,27 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
         }
         acc.ub.add(out.ub);
         acc.sim0.add(out.sim0);
-        acc.simc.add(out.simc);
+        if (out.simc >= 0.0) acc.simc.add(out.simc);
         acc.stages.add(out.stages);
         acc.comms.add(static_cast<double>(out.remote_comms));
         acc.repairs.add(out.repair_added);
         acc.period_factor.add(out.period_factor);
+        if (out.reliability >= 0.0) acc.reliability.add(out.reliability);
         if (rec.ff_sim0 > 0.0) {
           acc.oh0.add(100.0 * (out.sim0 - rec.ff_sim0) / rec.ff_sim0);
-          acc.ohc.add(100.0 * (out.simc - rec.ff_sim0) / rec.ff_sim0);
+          if (out.simc >= 0.0) acc.ohc.add(100.0 * (out.simc - rec.ff_sim0) / rec.ff_sim0);
         }
         if (out.starved) ++ps.starved;
       }
     }
 
     ps.ff_sim0 = ff.mean();
-    ps.series.resize(schedulers.size());
-    for (std::size_t a = 0; a < schedulers.size(); ++a) {
+    ps.series.resize(series_specs.size());
+    for (std::size_t a = 0; a < series_specs.size(); ++a) {
       AlgoSeries& s = ps.series[a];
       const SeriesAccum& acc = accum[a];
-      s.name = schedulers[a]->name;
-      s.label = schedulers[a]->label;
+      s.name = series_specs[a].name;
+      s.label = series_specs[a].label;
       s.ub = acc.ub.mean();
       s.sim0 = acc.sim0.mean();
       s.simc = acc.simc.mean();
@@ -238,6 +309,7 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
       s.comms = acc.comms.mean();
       s.repairs = acc.repairs.mean();
       s.period_factor = acc.period_factor.mean();
+      s.reliability = acc.reliability.mean();
       s.failures = acc.failures;
     }
   }

@@ -21,7 +21,15 @@ struct SweepConfig {
   /// Registry names of the algorithms to sweep, in series order.
   std::vector<std::string> algos{"ltf", "rltf"};
   CopyId eps = 1;
-  /// Number of crashed processors in the "with crash" series (c <= eps).
+  /// Fault models to sweep: the series are keyed (algorithm, model), one
+  /// per combination. Empty means the scalar model CountModel(eps) with
+  /// undecorated series names — the paper's pipeline, bit-identical to the
+  /// pre-fault-model sweep. Probabilistic models need workload
+  /// fail_prob_lo/hi > 0 to be meaningful.
+  std::vector<FaultModel> fault_models;
+  /// Number of crashed processors in the "with crash" series of *count*
+  /// models (c <= eps); probabilistic models sample crash sets from the
+  /// per-processor failure probabilities instead.
   std::uint32_t crashes = 1;
   std::size_t graphs_per_point = 60;
   /// Random failure sets sampled per instance for the crash series.
@@ -42,7 +50,10 @@ struct AlgoOutcome {
   bool scheduled = false;
   double ub = 0.0;          ///< (2S−1)Δ, normalized
   double sim0 = 0.0;        ///< simulated latency, no crash, normalized
-  double simc = 0.0;        ///< simulated latency, c crashes (mean), normalized
+  /// Simulated latency with crashes (mean over surviving trials),
+  /// normalized; −1 when every trial starved (probabilistic series only —
+  /// the instance is then excluded from the crash aggregates).
+  double simc = 0.0;
   std::uint32_t stages = 0;
   std::size_t remote_comms = 0;
   std::uint32_t repair_added = 0;
@@ -53,6 +64,9 @@ struct AlgoOutcome {
   /// paper's worked example). Latencies stay normalized by the *actual*
   /// period, so the series remain on the paper's scale.
   double period_factor = 1.0;
+  /// Estimated schedule reliability (probabilistic fault models only;
+  /// −1 when the series runs a count model).
+  double reliability = -1.0;
 };
 
 struct InstanceRecord {
@@ -61,19 +75,21 @@ struct InstanceRecord {
   double period = 0.0;      ///< nominal Δ for the requested ε
   double ff_period = 0.0;   ///< the fault-free reference's own ε=0 period
   double ff_sim0 = 0.0;     ///< fault-free latency, normalized
-  /// Registry names, in config order; parallel to `outcomes`.
+  /// Series keys (registry names, or "<algo>@<model>" when fault models
+  /// are configured), in config order; parallel to `outcomes`.
   std::vector<std::string> algos;
   std::vector<AlgoOutcome> outcomes;
 
-  /// nullptr when the record holds no outcome for `name`.
+  /// nullptr when the record holds no outcome for series key `name`.
   [[nodiscard]] const AlgoOutcome* outcome(const std::string& name) const;
 };
 
-/// Aggregated series for one algorithm at one granularity point (means
-/// over the instances where the algorithm succeeded).
+/// Aggregated series for one (algorithm, fault model) pair at one
+/// granularity point (means over the instances where the algorithm
+/// succeeded).
 struct AlgoSeries {
-  std::string name;   ///< registry name
-  std::string label;  ///< display label (from the registry)
+  std::string name;   ///< series key: registry name, or "<algo>@<model>"
+  std::string label;  ///< display label (from the registry, plus the model)
 
   double ub = 0.0;
   double sim0 = 0.0;
@@ -87,6 +103,9 @@ struct AlgoSeries {
   double comms = 0.0;
   double repairs = 0.0;
   double period_factor = 0.0;
+  /// Mean estimated schedule reliability (probabilistic series; 0 for
+  /// count series, whose guarantee is the exhaustive ε-failure check).
+  double reliability = 0.0;
 
   std::size_t failures = 0;  ///< instances the algorithm could not schedule
 };
@@ -106,15 +125,26 @@ struct PointStats {
   [[nodiscard]] const AlgoSeries& at(const std::string& name) const;
 };
 
+/// FNV-1a tag of a series key, used to fork per-series RNG streams that
+/// depend only on the (algorithm, fault model) identity — never on which
+/// other series run or in what order. Shared with benches that follow the
+/// same stream discipline.
+[[nodiscard]] std::uint64_t series_stream_tag(const std::string& name);
+
 /// Period escalation ladder shared by the sweep and the ablation benches:
 /// the paper's LTF legitimately fails when the throughput constraint
 /// cannot be met, so callers retry at inflated periods and report the
 /// inflation factor (the analogue of "LTF needs two more processors").
 [[nodiscard]] const std::vector<double>& period_escalation_ladder();
 
-/// Runs `scheduler` at inst.period times each ladder factor until it
+/// Runs `scheduler` at `period` times each ladder factor until it
 /// succeeds. Returns the result and the successful factor (0.0 when every
 /// rung failed; the result then holds the last failure).
+[[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    SchedulerOptions options);
+
+/// Convenience overload escalating from inst.period.
 [[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
     const Scheduler& scheduler, const Instance& inst, SchedulerOptions options);
 

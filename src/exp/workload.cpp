@@ -64,10 +64,22 @@ Instance make_instance(const WorkloadParams& params, double granularity, CopyId 
   ranges.volume_lo = params.volume_lo;
   ranges.volume_hi = params.volume_hi;
 
+  SS_REQUIRE(params.fail_prob_lo >= 0.0 && params.fail_prob_lo <= params.fail_prob_hi &&
+                 params.fail_prob_hi < 1.0,
+             "invalid failure probability range");
   Instance inst{
       make_random_layered(rng, v, layers, params.edge_prob, ranges),
       make_comm_heterogeneous(rng, params.num_procs, params.delay_lo, params.delay_hi),
   };
+  if (params.fail_prob_hi > 0.0) {
+    std::vector<double> probs(params.num_procs);
+    for (auto& p : probs) {
+      p = (params.fail_prob_lo == params.fail_prob_hi)
+              ? params.fail_prob_lo
+              : rng.uniform(params.fail_prob_lo, params.fail_prob_hi);
+    }
+    inst.platform.set_failure_probs(std::move(probs));
+  }
   scale_to_granularity(inst.dag, inst.platform, granularity);
   inst.granularity = streamsched::granularity(inst.dag, inst.platform);
   inst.period = calibrate_period(inst.dag, inst.platform, eps, params.headroom,

@@ -38,6 +38,12 @@ struct WorkloadParams {
   /// resource, and smaller shares starve the schedulers.
   double headroom = 2.0;    // κ
   double comm_share = 1.0;  // μ
+  /// Per-processor failure probabilities U[fail_prob_lo, fail_prob_hi] for
+  /// probabilistic fault models. The default 0 leaves the platform fully
+  /// reliable (and draws nothing from the generator stream, so count-ε
+  /// workloads are bit-identical to the pre-fault-model ones).
+  double fail_prob_lo = 0.0;
+  double fail_prob_hi = 0.0;
 };
 
 struct Instance {

@@ -34,4 +34,36 @@ Platform make_paper_figure1_platform() {
   return Platform({1.5, 1.0, 1.5, 1.0}, 1.0);
 }
 
+Platform make_reliability_heterogeneous(Rng& rng, std::size_t m, double p_lo, double p_hi,
+                                        double delay_lo, double delay_hi) {
+  SS_REQUIRE(p_lo >= 0.0 && p_lo <= p_hi && p_hi < 1.0, "invalid failure probability range");
+  Platform platform = make_comm_heterogeneous(rng, m, delay_lo, delay_hi);
+  std::vector<double> probs(m);
+  for (auto& p : probs) p = (p_lo == p_hi) ? p_lo : rng.uniform(p_lo, p_hi);
+  platform.set_failure_probs(std::move(probs));
+  return platform;
+}
+
+Platform make_edge_core(std::size_t core, std::size_t edge, double p_core, double p_edge,
+                        double core_delay, double edge_delay) {
+  const std::size_t m = core + edge;
+  SS_REQUIRE(m >= 1, "need at least one processor");
+  SS_REQUIRE(p_core >= 0.0 && p_core < 1.0 && p_edge >= 0.0 && p_edge < 1.0,
+             "failure probabilities must lie in [0, 1)");
+  SS_REQUIRE(core_delay >= 0.0 && edge_delay >= 0.0, "unit delays must be non-negative");
+  Matrix<double> delays(m, m, 0.0);
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a + 1; b < m; ++b) {
+      const double d = (a < core && b < core) ? core_delay : edge_delay;
+      delays(a, b) = d;
+      delays(b, a) = d;
+    }
+  }
+  Platform platform(std::vector<double>(m, 1.0), std::move(delays));
+  std::vector<double> probs(m, p_edge);
+  for (std::size_t u = 0; u < core; ++u) probs[u] = p_core;
+  platform.set_failure_probs(std::move(probs));
+  return platform;
+}
+
 }  // namespace streamsched

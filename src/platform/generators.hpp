@@ -26,4 +26,21 @@ namespace streamsched {
 /// unit bandwidth on every link (unit delay 1).
 [[nodiscard]] Platform make_paper_figure1_platform();
 
+/// Heterogeneous-reliability platform: the §5 comm-heterogeneous setup
+/// (speeds 1, unit delays U[delay_lo, delay_hi]) whose processors
+/// additionally carry independent failure probabilities U[p_lo, p_hi] —
+/// the experiment platform of the probabilistic fault model.
+[[nodiscard]] Platform make_reliability_heterogeneous(Rng& rng, std::size_t m, double p_lo,
+                                                      double p_hi, double delay_lo = 0.5,
+                                                      double delay_hi = 1.0);
+
+/// Reliable-core / unreliable-edge cluster: `core` processors with failure
+/// probability p_core and unit delay core_delay among themselves, `edge`
+/// processors with failure probability p_edge; every link touching an edge
+/// processor has unit delay edge_delay. Speeds are 1. Models a sturdy
+/// datacenter core fed by flaky edge nodes.
+[[nodiscard]] Platform make_edge_core(std::size_t core, std::size_t edge, double p_core,
+                                      double p_edge, double core_delay = 0.5,
+                                      double edge_delay = 1.0);
+
 }  // namespace streamsched

@@ -14,14 +14,18 @@ void validate_speeds(const std::vector<double>& speeds) {
 }  // namespace
 
 Platform::Platform(std::vector<double> speeds, double unit_delay)
-    : speeds_(std::move(speeds)), delays_(speeds_.size(), speeds_.size(), unit_delay) {
+    : speeds_(std::move(speeds)),
+      delays_(speeds_.size(), speeds_.size(), unit_delay),
+      fail_probs_(speeds_.size(), 0.0) {
   validate_speeds(speeds_);
   SS_REQUIRE(unit_delay >= 0.0, "unit delay must be non-negative");
   for (std::size_t u = 0; u < speeds_.size(); ++u) delays_(u, u) = 0.0;
 }
 
 Platform::Platform(std::vector<double> speeds, Matrix<double> unit_delays)
-    : speeds_(std::move(speeds)), delays_(std::move(unit_delays)) {
+    : speeds_(std::move(speeds)),
+      delays_(std::move(unit_delays)),
+      fail_probs_(speeds_.size(), 0.0) {
   validate_speeds(speeds_);
   SS_REQUIRE(delays_.rows() == speeds_.size() && delays_.cols() == speeds_.size(),
              "unit delay matrix shape must be m x m");
@@ -105,6 +109,39 @@ double Platform::min_unit_delay() const {
     for (std::size_t b = 0; b < speeds_.size(); ++b)
       if (a != b) best = std::min(best, delays_(a, b));
   return best;
+}
+
+namespace {
+void validate_failure_prob(double p) {
+  SS_REQUIRE(p >= 0.0 && p < 1.0, "failure probability must lie in [0, 1)");
+}
+}  // namespace
+
+double Platform::failure_prob(ProcId u) const {
+  check_proc(u);
+  return fail_probs_[u];
+}
+
+void Platform::set_failure_prob(ProcId u, double p) {
+  check_proc(u);
+  validate_failure_prob(p);
+  fail_probs_[u] = p;
+}
+
+void Platform::set_failure_probs(std::vector<double> probs) {
+  SS_REQUIRE(probs.size() == speeds_.size(),
+             "failure probabilities must have one entry per processor");
+  for (double p : probs) validate_failure_prob(p);
+  fail_probs_ = std::move(probs);
+}
+
+double Platform::max_failure_prob() const {
+  if (fail_probs_.empty()) return 0.0;
+  return *std::max_element(fail_probs_.begin(), fail_probs_.end());
+}
+
+bool Platform::has_failure_probs() const {
+  return std::any_of(fail_probs_.begin(), fail_probs_.end(), [](double p) { return p > 0.0; });
 }
 
 double Platform::mean_unit_delay() const {

@@ -5,6 +5,12 @@
 // so transferring `volume` units costs volume * unit_delay(a, b).
 // Intra-processor communication is free. The one-port constraint itself is
 // enforced by schedulers / the simulator, not by this class.
+//
+// Each processor additionally carries an independent failure probability
+// p_u in [0, 1) — zero by default, so the paper's count-ε model is
+// unaffected. Probabilistic fault models (schedule/fault_model.hpp) read
+// these to derive replication degrees, schedule reliabilities and crash
+// samples.
 #pragma once
 
 #include <string>
@@ -52,11 +58,23 @@ class Platform {
   [[nodiscard]] double min_unit_delay() const;
   [[nodiscard]] double mean_unit_delay() const;
 
+  /// Independent failure probability of processor u (0 by default).
+  [[nodiscard]] double failure_prob(ProcId u) const;
+  /// Sets one failure probability; must lie in [0, 1).
+  void set_failure_prob(ProcId u, double p);
+  /// Sets all failure probabilities at once (one entry per processor).
+  void set_failure_probs(std::vector<double> probs);
+  [[nodiscard]] const std::vector<double>& failure_probs() const { return fail_probs_; }
+  [[nodiscard]] double max_failure_prob() const;
+  /// True when any processor has a non-zero failure probability.
+  [[nodiscard]] bool has_failure_probs() const;
+
  private:
   void check_proc(ProcId u) const;
 
   std::vector<double> speeds_;
   Matrix<double> delays_;
+  std::vector<double> fail_probs_;
 };
 
 }  // namespace streamsched

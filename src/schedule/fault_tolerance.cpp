@@ -158,17 +158,95 @@ ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId p
   return best;
 }
 
+// Wires supply channels fixing the topologically first task that has no
+// computable replica under `failed` (one task per call, mirroring the
+// original repair rounds: fixing it may fix everything downstream).
+// Returns false when the set is beyond repair — no alive replica of the
+// dead task, or a starving predecessor with no computable replica to wire.
+bool repair_step(Schedule& schedule, const std::vector<bool>& failed, RepairStats& stats) {
+  const Dag& dag = schedule.dag();
+  const auto computable = computable_replicas(schedule, failed);
+
+  for (TaskId t : dag.topological_order()) {
+    const bool dead =
+        std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; });
+    if (!dead) continue;
+
+    // Choose the alive replica with the fewest starving predecessors.
+    ReplicaRef target{kInvalidTask, 0};
+    std::size_t best_missing = std::numeric_limits<std::size_t>::max();
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (failed[schedule.placed(r).proc]) continue;
+      std::size_t missing = 0;
+      for (TaskId pred : dag.predecessors(t)) {
+        bool fed = false;
+        for (ReplicaRef sup : schedule.suppliers(r, pred)) {
+          if (computable[pred][sup.copy]) {
+            fed = true;
+            break;
+          }
+        }
+        if (!fed) ++missing;
+      }
+      if (missing < best_missing) {
+        best_missing = missing;
+        target = r;
+      }
+    }
+    if (target.task == kInvalidTask) return false;
+
+    for (TaskId pred : dag.predecessors(t)) {
+      bool fed = false;
+      for (ReplicaRef sup : schedule.suppliers(target, pred)) {
+        if (computable[pred][sup.copy]) {
+          fed = true;
+          break;
+        }
+      }
+      if (fed) continue;
+      const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, computable);
+      if (sup.task == kInvalidTask) return false;
+      const EdgeId e = dag.find_edge(pred, t);
+      CommRecord comm;
+      comm.edge = e;
+      comm.src = sup;
+      comm.dst = target;
+      comm.start = comm.finish = schedule.placed(sup).finish;
+      comm.repair = true;
+      schedule.add_comm(comm);
+      ++stats.added_comms;
+    }
+    return true;
+  }
+  return true;  // nothing dead: the schedule already survives this set
+}
+
+// Channel-capacity bound on repair iterations: each productive step adds at
+// least one of the at most (eps+1)^2 * e distinct channels.
+std::uint32_t max_repair_rounds(const Schedule& schedule) {
+  return static_cast<std::uint32_t>(schedule.copies() * schedule.copies() *
+                                        schedule.dag().num_edges() +
+                                    16);
+}
+
+void record_period_excess(const Schedule& schedule, RepairStats& stats) {
+  if (!stats.success || !std::isfinite(schedule.period())) return;
+  for (ProcId u = 0; u < schedule.platform().num_procs(); ++u) {
+    if (schedule.cin(u) > schedule.period() || schedule.cout(u) > schedule.period()) {
+      stats.period_exceeded = true;
+      break;
+    }
+  }
+}
+
 }  // namespace
 
 RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures) {
   SS_REQUIRE(max_failures <= schedule.eps(),
              "cannot repair for more failures than the replication degree");
   RepairStats stats;
-  const Dag& dag = schedule.dag();
-  // Each round adds at least one channel and there are at most
-  // (eps+1)^2 * e distinct channels, so termination is guaranteed.
-  const std::uint32_t max_rounds =
-      static_cast<std::uint32_t>(schedule.copies() * schedule.copies() * dag.num_edges() + 16);
+  const std::uint32_t max_rounds = max_repair_rounds(schedule);
 
   for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
     const FtCheckResult check = check_fault_tolerance(schedule, max_failures);
@@ -178,73 +256,224 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
     }
     std::vector<bool> failed(schedule.platform().num_procs(), false);
     for (ProcId p : check.counterexample) failed[p] = true;
-    const auto computable = computable_replicas(schedule, failed);
+    const bool repaired = repair_step(schedule, failed, stats);
+    SS_CHECK(repaired,
+             "failure set of size <= eps is beyond repair although replicas sit on "
+             "distinct processors");
+  }
 
-    // Find the topologically first task with no computable replica; fix one
-    // of its replicas on an alive processor by wiring computable suppliers.
-    for (TaskId t : dag.topological_order()) {
-      const bool dead =
-          std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; });
-      if (!dead) continue;
+  record_period_excess(schedule, stats);
+  return stats;
+}
 
-      // Choose the alive replica with the fewest starving predecessors.
-      ReplicaRef target{kInvalidTask, 0};
-      std::size_t best_missing = std::numeric_limits<std::size_t>::max();
-      for (CopyId c = 0; c < schedule.copies(); ++c) {
-        const ReplicaRef r{t, c};
-        if (failed[schedule.placed(r).proc]) continue;
-        std::size_t missing = 0;
-        for (TaskId pred : dag.predecessors(t)) {
-          bool fed = false;
-          for (ReplicaRef sup : schedule.suppliers(r, pred)) {
-            if (computable[pred][sup.copy]) {
-              fed = true;
-              break;
+// ---------------------------------------------------------------------------
+// Probabilistic reliability.
+
+namespace {
+
+// A failure set observed to kill the schedule, with its exact probability.
+struct KillingSet {
+  std::vector<ProcId> procs;
+  double prob = 0.0;
+};
+
+constexpr std::size_t kMaxKillingSets = 64;
+
+// Distribution of the number of failed processors (Poisson binomial),
+// dist[j] = P(exactly j failures). O(m^2), exact.
+std::vector<double> failure_count_distribution(const std::vector<double>& p) {
+  std::vector<double> dist(p.size() + 1, 0.0);
+  dist[0] = 1.0;
+  for (std::size_t u = 0; u < p.size(); ++u) {
+    for (std::size_t j = u + 1; j > 0; --j) {
+      dist[j] = dist[j] * (1.0 - p[u]) + dist[j - 1] * p[u];
+    }
+    dist[0] *= 1.0 - p[u];
+  }
+  return dist;
+}
+
+double binomial_count(std::size_t m, std::size_t k) {
+  double c = 1.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    c *= static_cast<double>(m - i) / static_cast<double>(i + 1);
+  }
+  return c;
+}
+
+void record_killing_set(std::vector<KillingSet>* kills, ReliabilityEstimate& est,
+                        const std::vector<ProcId>& set, double prob) {
+  if (prob > est.worst_failure_prob) {
+    est.worst_failure_prob = prob;
+    est.worst_failure = set;
+  }
+  if (kills == nullptr || kills->size() >= kMaxKillingSets) return;
+  for (const KillingSet& k : *kills) {
+    if (k.procs == set) return;
+  }
+  kills->push_back(KillingSet{set, prob});
+}
+
+ReliabilityEstimate estimate_reliability(const Schedule& schedule,
+                                         const ReliabilityOptions& options,
+                                         std::vector<KillingSet>* kills) {
+  const std::size_t m = schedule.platform().num_procs();
+  std::vector<double> p(m);
+  for (ProcId u = 0; u < m; ++u) p[u] = schedule.platform().failure_prob(u);
+
+  ReliabilityEstimate est;
+
+  // Per-set probability = base * prod_{u in F} odds_u with
+  // base = prod (1-p_u) and odds_u = p_u / (1-p_u); p_u < 1 by Platform.
+  double base = 1.0;
+  std::vector<double> odds(m);
+  for (std::size_t u = 0; u < m; ++u) {
+    base *= 1.0 - p[u];
+    odds[u] = p[u] / (1.0 - p[u]);
+  }
+
+  // Truncation point: the smallest failure-set size whose Poisson-binomial
+  // tail mass is within tolerance; the tail counts as failure.
+  const std::vector<double> dist = failure_count_distribution(p);
+  std::size_t k_max = m;
+  double cumulative = 0.0;
+  for (std::size_t k = 0; k <= m; ++k) {
+    cumulative += dist[k];
+    if (1.0 - cumulative <= options.tail_tolerance) {
+      k_max = k;
+      break;
+    }
+  }
+
+  double total_sets = 0.0;
+  for (std::size_t k = 0; k <= k_max; ++k) total_sets += binomial_count(m, k);
+
+  if (total_sets <= static_cast<double>(options.max_sets)) {
+    // Exact truncated enumeration, sizes ascending (mass mostly up front).
+    double reliable_mass = 0.0;
+    for (std::size_t k = 0; k <= k_max; ++k) {
+      est.sets_checked += for_each_failure_set(
+          m, static_cast<std::uint32_t>(k),
+          [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
+            double w = base;
+            for (ProcId u : set) w *= odds[u];
+            if (w <= 0.0) return true;  // contains a never-failing processor
+            if (survives_failures(schedule, failed)) {
+              reliable_mass += w;
+            } else {
+              record_killing_set(kills, est, set, w);
             }
-          }
-          if (!fed) ++missing;
-        }
-        if (missing < best_missing) {
-          best_missing = missing;
-          target = r;
-        }
-      }
-      SS_CHECK(target.task != kInvalidTask,
-               "no alive replica although |F| <= eps and replicas sit on distinct processors");
-
-      for (TaskId pred : dag.predecessors(t)) {
-        bool fed = false;
-        for (ReplicaRef sup : schedule.suppliers(target, pred)) {
-          if (computable[pred][sup.copy]) {
-            fed = true;
-            break;
-          }
-        }
-        if (fed) continue;
-        const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, computable);
-        SS_CHECK(sup.task != kInvalidTask, "predecessor has no computable replica to wire");
-        const EdgeId e = dag.find_edge(pred, t);
-        CommRecord comm;
-        comm.edge = e;
-        comm.src = sup;
-        comm.dst = target;
-        comm.start = comm.finish = schedule.placed(sup).finish;
-        comm.repair = true;
-        schedule.add_comm(comm);
-        ++stats.added_comms;
-      }
-      break;  // re-check from scratch: fixing t may fix everything downstream
+            return true;
+          });
     }
+    est.reliability = reliable_mass;
+    est.exact = true;
+    return est;
   }
 
-  if (stats.success && std::isfinite(schedule.period())) {
-    for (ProcId u = 0; u < schedule.platform().num_procs(); ++u) {
-      if (schedule.cin(u) > schedule.period() || schedule.cout(u) > schedule.period()) {
-        stats.period_exceeded = true;
-        break;
+  // Importance-sampled Monte Carlo: propose failures with inflated
+  // probabilities q_u so killing sets are actually drawn, reweight by the
+  // true/proposal likelihood ratio. Unbiased for the failure mass.
+  Rng rng(options.seed);
+  std::vector<double> q(m);
+  for (std::size_t u = 0; u < m; ++u) {
+    q[u] = p[u] == 0.0 ? 0.0 : std::max(p[u], options.mc_proposal_floor);
+  }
+  std::vector<bool> failed(m, false);
+  std::vector<ProcId> set;
+  double failure_mass = 0.0;
+  for (std::uint64_t i = 0; i < options.mc_samples; ++i) {
+    set.clear();
+    double weight = 1.0;
+    for (std::size_t u = 0; u < m; ++u) {
+      failed[u] = rng.bernoulli(q[u]);
+      if (failed[u]) {
+        weight *= p[u] / q[u];
+        set.push_back(static_cast<ProcId>(u));
+      } else {
+        weight *= (1.0 - p[u]) / (1.0 - q[u]);
       }
     }
+    ++est.sets_checked;
+    if (!survives_failures(schedule, failed)) {
+      failure_mass += weight;
+      double prob = base;
+      for (ProcId u : set) prob *= odds[u];
+      record_killing_set(kills, est, set, prob);
+    }
   }
+  est.reliability =
+      std::clamp(1.0 - failure_mass / static_cast<double>(options.mc_samples), 0.0, 1.0);
+  est.exact = false;
+  return est;
+}
+
+}  // namespace
+
+ReliabilityEstimate schedule_reliability(const Schedule& schedule,
+                                         const ReliabilityOptions& options) {
+  return estimate_reliability(schedule, options, nullptr);
+}
+
+RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
+                                  const ReliabilityOptions& options,
+                                  ReliabilityEstimate* achieved) {
+  SS_REQUIRE(target_reliability > 0.0 && target_reliability < 1.0,
+             "target reliability must lie in (0, 1)");
+  RepairStats stats;
+  const std::uint32_t max_rounds = max_repair_rounds(schedule);
+  const std::size_t m = schedule.platform().num_procs();
+  ReliabilityEstimate est;
+  bool est_current = false;
+
+  // Every estimate draws a fresh Monte-Carlo stream: re-sampling the same
+  // sets after wiring exactly those sets would overfit the estimate to the
+  // sample and declare success optimistically. (Exact mode ignores the
+  // seed.)
+  std::uint64_t estimates = 0;
+  const auto fresh_options = [&options, &estimates]() {
+    ReliabilityOptions o = options;
+    o.seed = options.seed + 0x9e3779b97f4a7c15ULL * ++estimates;
+    return o;
+  };
+
+  for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+    std::vector<KillingSet> kills;
+    est = estimate_reliability(schedule, fresh_options(), &kills);
+    est_current = true;
+    if (est.reliability >= target_reliability) {
+      stats.success = true;
+      break;
+    }
+    const std::uint32_t before = stats.added_comms;
+    for (const KillingSet& kill : kills) {
+      std::vector<bool> failed(m, false);
+      for (ProcId u : kill.procs) failed[u] = true;
+      // Wire until this set survives or turns out to be beyond repair
+      // (e.g. every replica of some task sits on the failed processors).
+      for (std::uint32_t guard = 0; guard < max_rounds; ++guard) {
+        if (survives_failures(schedule, failed)) break;
+        if (!repair_step(schedule, failed, stats)) break;
+        est_current = false;
+      }
+    }
+    if (stats.added_comms == before) break;  // nothing repairable remains
+  }
+
+  record_period_excess(schedule, stats);
+  if (achieved != nullptr) {
+    *achieved = est_current ? est : estimate_reliability(schedule, fresh_options(), nullptr);
+  }
+  return stats;
+}
+
+RepairStats repair_for_model(Schedule& schedule, const FaultModel& model) {
+  if (model.is_count()) {
+    return repair_fault_tolerance(schedule, model.eps());
+  }
+  ReliabilityEstimate achieved;
+  RepairStats stats = repair_to_reliability(schedule, model.target_reliability(), {}, &achieved);
+  stats.reliability = achieved.reliability;
   return stats;
 }
 

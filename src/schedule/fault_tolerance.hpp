@@ -23,6 +23,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "schedule/fault_model.hpp"
 #include "schedule/schedule.hpp"
 #include "util/rng.hpp"
 
@@ -61,6 +62,11 @@ struct RepairStats {
   /// True when an added channel pushed some port load beyond the period
   /// (recorded, not fatal: reliability takes precedence, as in the paper).
   bool period_exceeded = false;
+  /// Probabilistic repair (repair_for_model) only: the final schedule
+  /// reliability estimate, so callers need not recompute it. −1 for the
+  /// count-model repair, whose guarantee is the exhaustive ε-failure
+  /// check.
+  double reliability = -1.0;
 };
 
 /// Adds supply channels (CommRecord::repair = true) until the schedule
@@ -70,5 +76,59 @@ struct RepairStats {
 /// still describes the algorithm's own structure; the simulator does pay
 /// their port cost, keeping measured latencies honest.
 RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures);
+
+// ---------------------------------------------------------------------------
+// Probabilistic reliability (heterogeneous per-processor failure model).
+// The platform's failure probabilities p_u define independent fail-silent
+// events; the schedule reliability is the probability that every task keeps
+// a computable replica.
+
+struct ReliabilityOptions {
+  /// Probability mass of unenumerated failure sets at which the exact
+  /// enumeration truncates. Truncated mass counts as failure, so the exact
+  /// estimate is a certified lower bound.
+  double tail_tolerance = 1e-10;
+  /// Enumeration budget (failure sets); beyond it the estimator switches
+  /// to importance-sampled Monte Carlo.
+  std::uint64_t max_sets = 1u << 18;
+  /// Monte-Carlo sample count (only used above the enumeration budget).
+  std::uint64_t mc_samples = 20000;
+  /// Per-processor proposal floor for the importance sampler: failures are
+  /// drawn with q_u = max(p_u, mc_proposal_floor) and reweighted, so rare
+  /// failure events are actually observed.
+  double mc_proposal_floor = 0.2;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct ReliabilityEstimate {
+  /// P(every task keeps a computable replica). Exact mode: a lower bound
+  /// within tail_tolerance; Monte-Carlo mode: an unbiased estimate.
+  double reliability = 0.0;
+  bool exact = true;
+  std::uint64_t sets_checked = 0;
+  /// Most probable schedule-killing failure set observed (empty if none).
+  std::vector<ProcId> worst_failure;
+  double worst_failure_prob = 0.0;
+};
+
+/// Estimates the schedule reliability under the platform's failure
+/// probabilities: exact (truncated) enumeration of failure sets in order
+/// of size while the enumeration budget lasts, importance-sampled
+/// Monte Carlo above it.
+[[nodiscard]] ReliabilityEstimate schedule_reliability(const Schedule& schedule,
+                                                       const ReliabilityOptions& options = {});
+
+/// Adds supply channels until the schedule reliability reaches
+/// `target_reliability` (or no repairable killing set remains — e.g. when
+/// every replica of a task sits on the failed processors, no channel can
+/// help). `achieved` (optional) receives the final estimate.
+RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
+                                  const ReliabilityOptions& options = {},
+                                  ReliabilityEstimate* achieved = nullptr);
+
+/// Model dispatch used by the schedulers' repair pass: count models run
+/// the exhaustive ε-failure repair, probabilistic models repair until the
+/// target reliability is met.
+RepairStats repair_for_model(Schedule& schedule, const FaultModel& model);
 
 }  // namespace streamsched

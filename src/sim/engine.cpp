@@ -463,4 +463,11 @@ SimResult simulate(const Schedule& schedule, const SimOptions& options) {
   return engine.run();
 }
 
+SimResult simulate_with_sampled_failures(const Schedule& schedule, const FaultModel& model,
+                                         std::uint32_t count_crashes, Rng& rng,
+                                         SimOptions options) {
+  options.failed = model.sample_failures(schedule.platform(), count_crashes, rng);
+  return simulate(schedule, options);
+}
+
 }  // namespace streamsched

@@ -27,8 +27,10 @@
 
 #include <vector>
 
+#include "schedule/fault_model.hpp"
 #include "schedule/schedule.hpp"
 #include "sim/trace.hpp"
+#include "util/rng.hpp"
 
 namespace streamsched {
 
@@ -102,5 +104,15 @@ struct SimResult {
 /// Simulates `schedule` and returns steady-state metrics. The schedule
 /// must be complete (every replica placed).
 [[nodiscard]] SimResult simulate(const Schedule& schedule, const SimOptions& options = {});
+
+/// One crash trial under a fault model: draws a fail-silent crash set from
+/// the model (count: a uniform `count_crashes`-subset — the paper's "with
+/// c crashes" series; probabilistic: per-processor Bernoulli failures from
+/// the platform's failure probabilities) and simulates under it.
+/// `options.failed` is overwritten with the sampled set.
+[[nodiscard]] SimResult simulate_with_sampled_failures(const Schedule& schedule,
+                                                       const FaultModel& model,
+                                                       std::uint32_t count_crashes, Rng& rng,
+                                                       SimOptions options = {});
 
 }  // namespace streamsched

@@ -121,5 +121,41 @@ TEST(PlatformGenerators, InvalidRangesRejected) {
   EXPECT_THROW((void)make_heterogeneous(rng, 2, 1.0, 1.0, 1.5, 1.0), std::invalid_argument);
 }
 
+TEST(Platform, FailureProbsDefaultToZero) {
+  const Platform p = Platform::uniform(3, 1.0, 1.0);
+  for (ProcId u = 0; u < 3; ++u) EXPECT_DOUBLE_EQ(p.failure_prob(u), 0.0);
+  EXPECT_FALSE(p.has_failure_probs());
+  EXPECT_DOUBLE_EQ(p.max_failure_prob(), 0.0);
+}
+
+TEST(Platform, FailureProbSettersValidate) {
+  Platform p = Platform::uniform(3, 1.0, 1.0);
+  p.set_failure_prob(1, 0.25);
+  EXPECT_DOUBLE_EQ(p.failure_prob(1), 0.25);
+  EXPECT_TRUE(p.has_failure_probs());
+  EXPECT_DOUBLE_EQ(p.max_failure_prob(), 0.25);
+  EXPECT_THROW(p.set_failure_prob(0, -0.1), std::invalid_argument);
+  EXPECT_THROW(p.set_failure_prob(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(p.set_failure_prob(9, 0.1), std::invalid_argument);
+  EXPECT_THROW(p.set_failure_probs({0.1, 0.2}), std::invalid_argument);  // wrong size
+  p.set_failure_probs({0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(p.failure_prob(2), 0.3);
+}
+
+TEST(PlatformGenerators, ReliabilityHeterogeneousRanges) {
+  Rng rng(31);
+  const Platform p = make_reliability_heterogeneous(rng, 12, 0.02, 0.2);
+  EXPECT_TRUE(p.has_failure_probs());
+  for (ProcId u = 0; u < 12; ++u) {
+    EXPECT_GE(p.failure_prob(u), 0.02);
+    EXPECT_LE(p.failure_prob(u), 0.2);
+    EXPECT_DOUBLE_EQ(p.speed(u), 1.0);
+  }
+  EXPECT_THROW((void)make_reliability_heterogeneous(rng, 4, 0.5, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW((void)make_reliability_heterogeneous(rng, 4, 0.5, 1.0),
+               std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace streamsched

@@ -107,6 +107,187 @@ TEST(Search, MaxFailuresRespectsLatencyCap) {
   EXPECT_LE(capped.found ? capped.eps : 0, unlimited.eps);
 }
 
+TEST(Search, MinPeriodAtFullReplication) {
+  // eps = m - 1: every task runs everywhere; the load bound scales by m.
+  Rng rng(11);
+  const Dag d = make_random_layered(rng, 10, 3, 0.4, WeightRanges{});
+  const Platform p = make_homogeneous(4);
+  SchedulerOptions base;
+  base.eps = 3;  // m - 1
+  base.repair = true;
+  const auto result = find_min_period(d, p, base, rltf_schedule, 1e-2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.schedule->copies(), 4u);
+  EXPECT_GE(result.period, period_lower_bound(d, p, 3) * (1.0 - 1e-9));
+  // Full replication on distinct processors survives any m - 1 failures.
+  EXPECT_TRUE(check_fault_tolerance(*result.schedule, 3).valid);
+}
+
+TEST(Search, MinPeriodInfeasibleAtEveryPeriodCountsEvaluations) {
+  // An instance no period can fix: the scheduler itself rejects every
+  // attempt. The bracketed search must exhaust its doubling probe without
+  // ever evaluating below the analytic lower bound.
+  Dag d;
+  d.add_task("a", 4.0);
+  d.add_task("b", 4.0);
+  d.add_edge(0, 1, 1.0);
+  const Platform p = Platform::uniform(2, 1.0, 1.0);
+  SchedulerOptions base;
+  base.eps = 1;
+  double min_attempted = std::numeric_limits<double>::infinity();
+  const auto reject_all = [&](const Dag&, const Platform&, const SchedulerOptions& o) {
+    min_attempted = std::min(min_attempted, o.period);
+    return ScheduleResult::failure("rejected");
+  };
+  const auto result = find_min_period(d, p, base, reject_all);
+  EXPECT_FALSE(result.found);
+  EXPECT_EQ(result.evaluations, 64u);  // the exponential probe, nothing else
+  EXPECT_GE(min_attempted, period_lower_bound(d, p, 1));
+}
+
+TEST(Search, MinPeriodNeverReevaluatesKnownInfeasiblePeriods) {
+  // The binary-search floor follows the exponential probe: once a period
+  // failed, no strictly smaller period is attempted afterwards.
+  Rng rng(13);
+  const Dag d = make_random_layered(rng, 20, 4, 0.3, WeightRanges{});
+  const Platform p = make_homogeneous(5);
+  SchedulerOptions base;
+  base.eps = 1;
+  double max_failed = 0.0;
+  bool below_failed_after_failure = false;
+  const auto spy = [&](const Dag& dag, const Platform& platform, const SchedulerOptions& o) {
+    if (o.period < max_failed) below_failed_after_failure = true;
+    ScheduleResult r = ltf_schedule(dag, platform, o);
+    if (!r.ok()) max_failed = std::max(max_failed, o.period);
+    return r;
+  };
+  const auto result = find_min_period(d, p, base, spy, 1e-3);
+  ASSERT_TRUE(result.found);
+  EXPECT_FALSE(below_failed_after_failure);
+}
+
+TEST(Search, MaxFailuresLatencyCapExcludesReplication) {
+  // A latency cap tight enough to rule out every eps > 0 mapping still
+  // reports the eps = 0 solution instead of "not found". In the all-to-all
+  // supplier regime (use_one_to_one = false) any replicated consumer has a
+  // remote supplier, so replication provably costs an extra stage over the
+  // colocated eps = 0 chain.
+  Dag d;
+  d.add_task(1.0);
+  d.add_task(1.0);
+  d.add_edge(0, 1, 1.0);
+  const Platform p = make_homogeneous(4, 1.0);
+  SchedulerOptions base;
+  base.use_one_to_one = false;
+  const double period = 8.0;
+
+  SchedulerOptions probe = base;
+  probe.period = period;
+  probe.eps = 0;
+  const ScheduleResult solo = rltf_schedule(d, p, probe);
+  ASSERT_TRUE(solo.ok());
+  probe.eps = 1;
+  const ScheduleResult duo = rltf_schedule(d, p, probe);
+  ASSERT_TRUE(duo.ok());
+  const double cap = latency_upper_bound(*solo.schedule);
+  ASSERT_LT(cap, latency_upper_bound(*duo.schedule));
+
+  const auto unlimited = find_max_failures(
+      d, p, period, std::numeric_limits<double>::infinity(), base, rltf_schedule);
+  ASSERT_TRUE(unlimited.found);
+  ASSERT_GE(unlimited.eps, 1u);
+  const auto capped = find_max_failures(d, p, period, cap, base, rltf_schedule);
+  ASSERT_TRUE(capped.found);
+  EXPECT_EQ(capped.eps, 0u);
+  EXPECT_LE(latency_upper_bound(*capped.schedule), cap * (1 + 1e-9));
+}
+
+TEST(Search, CountModelParityOnFigure2) {
+  // The FaultModel plumbing must not change the scalar pipeline: on the
+  // paper's Figure 2 instance, scheduling through fault_model =
+  // CountModel(1) is bit-identical to the legacy eps = 1 options.
+  const Dag d = make_paper_figure2();
+  const Platform p = make_homogeneous(8, 1.0);
+  using ScheduleFn = ScheduleResult (*)(const Dag&, const Platform&, const SchedulerOptions&);
+  for (ScheduleFn schedule_fn : {ScheduleFn{ltf_schedule}, ScheduleFn{rltf_schedule}}) {
+    SchedulerOptions legacy;
+    legacy.eps = 1;
+    legacy.period = 40.0;
+    legacy.repair = true;
+    SchedulerOptions modeled = legacy;
+    modeled.eps = 0;  // must be ignored: the model wins
+    modeled.fault_model = FaultModel::count(1);
+    const ScheduleResult a = schedule_fn(d, p, legacy);
+    const ScheduleResult b = schedule_fn(d, p, modeled);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.schedule->copies(), b.schedule->copies());
+    EXPECT_EQ(num_stages(*a.schedule), num_stages(*b.schedule));
+    EXPECT_DOUBLE_EQ(latency_upper_bound(*a.schedule), latency_upper_bound(*b.schedule));
+    ASSERT_EQ(a.schedule->comms().size(), b.schedule->comms().size());
+    EXPECT_EQ(a.repair.added_comms, b.repair.added_comms);
+    for (TaskId t = 0; t < d.num_tasks(); ++t) {
+      for (CopyId c = 0; c < 2; ++c) {
+        EXPECT_EQ(a.schedule->placed({t, c}).proc, b.schedule->placed({t, c}).proc);
+        EXPECT_DOUBLE_EQ(a.schedule->placed({t, c}).start, b.schedule->placed({t, c}).start);
+      }
+    }
+  }
+}
+
+TEST(Search, MinPeriodUnderProbabilisticModel) {
+  Rng rng(17);
+  const Platform p = make_reliability_heterogeneous(rng, 8, 0.02, 0.1);
+  const Dag d = make_random_layered(rng, 16, 4, 0.3, WeightRanges{});
+  const FaultModel model = FaultModel::probabilistic(0.99);
+  const CopyId eps = model.derive_eps(p, d.num_tasks());
+  ASSERT_GE(eps, 1u);
+  SchedulerOptions base;
+  base.repair = true;
+  const auto result = find_min_period(d, p, model, base, rltf_schedule, 1e-2);
+  ASSERT_TRUE(result.found);
+  EXPECT_EQ(result.schedule->copies(), eps + 1);
+  // The bracket was seeded with the model-derived replication degree.
+  EXPECT_GE(result.period, period_lower_bound(d, p, eps) * (1.0 - 1e-9));
+}
+
+TEST(Search, MaxFailuresOwnsTheReplicationDegree) {
+  // A fault model left in `base` must not override the scan's eps: the
+  // reported eps always matches the schedule's replication degree.
+  Rng rng(29);
+  const Platform p = make_reliability_heterogeneous(rng, 6, 0.02, 0.1);
+  const Dag d = make_random_layered(rng, 10, 3, 0.4, WeightRanges{});
+  SchedulerOptions base;
+  base.fault_model = FaultModel::probabilistic(0.99);
+  const auto result = find_max_failures(d, p, 1e6, std::numeric_limits<double>::infinity(),
+                                        base, rltf_schedule);
+  ASSERT_TRUE(result.found);
+  EXPECT_GE(result.eps, 1u);
+  EXPECT_EQ(result.schedule->copies(), result.eps + 1);
+}
+
+TEST(Search, FindMaxReliabilityPrefersMoreReplicas) {
+  Rng rng(23);
+  const Platform p = make_reliability_heterogeneous(rng, 6, 0.05, 0.15);
+  const Dag d = make_random_layered(rng, 10, 3, 0.4, WeightRanges{});
+  SchedulerOptions base;
+  const double period = 1e6;  // plenty of slack: high eps feasible
+  const auto best = find_max_reliability(d, p, period,
+                                         std::numeric_limits<double>::infinity(), base,
+                                         rltf_schedule);
+  ASSERT_TRUE(best.found);
+  EXPECT_GE(best.eps, 1u);
+  ASSERT_TRUE(best.schedule.has_value());
+
+  // An eps = 0 schedule on this platform is strictly less reliable.
+  SchedulerOptions solo;
+  solo.eps = 0;
+  solo.period = period;
+  const ScheduleResult r0 = rltf_schedule(d, p, solo);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_GT(best.reliability, schedule_reliability(*r0.schedule).reliability);
+}
+
 TEST(Search, InfeasibleProblemReportsNotFound) {
   // A single task of work 10 on a speed-1 processor can never beat period
   // 10; searching with an upper bound exhausts and still finds 10 — but a

@@ -223,6 +223,68 @@ TEST(Sweep, FigureColumnsScaleWithTheAlgorithmList) {
   EXPECT_EQ(figure_diagnostics(points).num_cols(), 3u + 5u * 3u + 1u);
 }
 
+// An explicit CountModel(eps) must reproduce the legacy scalar-ε sweep bit
+// for bit: same series keys, same numbers, same crash streams.
+TEST(Sweep, ExplicitCountModelMatchesLegacySweep) {
+  const SweepConfig legacy = tiny_config();
+  SweepConfig modeled = tiny_config();
+  modeled.fault_models = {FaultModel::count(legacy.eps)};
+  const auto a = run_granularity_sweep(legacy);
+  const auto b = run_granularity_sweep(modeled);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].series.size(), b[i].series.size());
+    EXPECT_EQ(a[i].instances, b[i].instances);
+    EXPECT_DOUBLE_EQ(a[i].ff_sim0, b[i].ff_sim0);
+    for (std::size_t s = 0; s < a[i].series.size(); ++s) {
+      EXPECT_EQ(a[i].series[s].name, b[i].series[s].name);
+      EXPECT_EQ(a[i].series[s].label, b[i].series[s].label);
+      EXPECT_DOUBLE_EQ(a[i].series[s].ub, b[i].series[s].ub);
+      EXPECT_DOUBLE_EQ(a[i].series[s].sim0, b[i].series[s].sim0);
+      EXPECT_DOUBLE_EQ(a[i].series[s].simc, b[i].series[s].simc);
+      EXPECT_DOUBLE_EQ(a[i].series[s].overheadc, b[i].series[s].overheadc);
+      EXPECT_DOUBLE_EQ(a[i].series[s].repairs, b[i].series[s].repairs);
+      EXPECT_EQ(a[i].series[s].failures, b[i].series[s].failures);
+    }
+  }
+}
+
+// A sweep over several fault models produces one series per (algo, model)
+// pair with decorated keys, a reliability column for the probabilistic
+// series, and crash trials drawn from the model (no starvation after
+// repair).
+TEST(Sweep, FaultModelAxisProducesDecoratedSeries) {
+  SweepConfig config = tiny_config();
+  config.algos = {"rltf"};
+  config.fault_models = {FaultModel::count(1), FaultModel::probabilistic(0.99)};
+  config.workload.fail_prob_lo = 0.01;
+  config.workload.fail_prob_hi = 0.06;
+  config.g_min = 1.0;
+  config.g_max = 1.0;
+  config.graphs_per_point = 3;
+  const auto points = run_granularity_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].series.size(), 2u);
+  const AlgoSeries& count = points[0].at("rltf@count:eps=1");
+  const AlgoSeries& prob = points[0].at("rltf@prob:R=0.99");
+  EXPECT_EQ(count.label, "R-LTF [count:eps=1]");
+  EXPECT_EQ(prob.label, "R-LTF [prob:R=0.99]");
+  EXPECT_GT(count.sim0, 0.0);
+  EXPECT_GT(prob.sim0, 0.0);
+  EXPECT_GT(prob.simc, 0.0);
+  // Repair drives every scheduled instance to the target reliability.
+  EXPECT_GE(prob.reliability, 0.99);
+  EXPECT_DOUBLE_EQ(count.reliability, 0.0);  // count series carry no estimate
+  EXPECT_EQ(points[0].starved, 0u);
+  // The figure layer scales with the decorated series list.
+  EXPECT_EQ(figure_latency_bounds(points).num_cols(), 1u + 2u * 2u);
+  const auto tables = per_series_tables(points);
+  ASSERT_EQ(tables.size(), 2u);
+  EXPECT_EQ(tables[0].first, "rltf@count:eps=1");
+  EXPECT_EQ(tables[1].first, "rltf@prob:R=0.99");
+  EXPECT_EQ(tables[0].second.num_cols(), 12u);
+}
+
 TEST(Sweep, RejectsBadConfig) {
   SweepConfig config = tiny_config();
   config.crashes = 3;  // > eps
