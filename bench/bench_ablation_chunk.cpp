@@ -1,7 +1,9 @@
 // Ablation (ours): the iso-level chunk size B of LTF. The paper (via
 // Iso-Level CAFT [1]) argues that working on a chunk of up to B = m ready
 // tasks balances load better than classical one-task-at-a-time list
-// scheduling (B = 1). Sweeps B ∈ {1, m/2, m} at ε = 1.
+// scheduling (B = 1). Sweeps B ∈ {1, m/2, m} at ε = 1 — enumerated from
+// LTF's *declared* parameter space (`enumerate` + AlgoVariant), not by
+// poking option fields.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -18,7 +20,11 @@ int main(int argc, char** argv) {
   cli.finish();
   const Scheduler& ltf = find_scheduler("ltf");
 
-  const std::vector<std::uint32_t> chunks{1, 10, 20};  // m = 20
+  // The declared `chunk` axis: B = 1, m/2, m (m = 20).
+  std::vector<AlgoVariant> variants;
+  for (const ParamSet& params : enumerate(ltf.space, {int_axis("chunk", {1, 10, 20})})) {
+    variants.emplace_back(ltf, params);
+  }
   const std::vector<double> gs{0.4, 1.0, 1.6};
   const std::size_t graphs = std::max<std::size_t>(4, flags.graphs / 3);
 
@@ -27,7 +33,7 @@ int main(int argc, char** argv) {
     std::size_t failures = 0;
   };
   std::vector<std::vector<std::vector<Cell>>> partial(
-      gs.size(), std::vector<std::vector<Cell>>(chunks.size(), std::vector<Cell>(graphs)));
+      gs.size(), std::vector<std::vector<Cell>>(variants.size(), std::vector<Cell>(graphs)));
 
   Rng seeder(flags.seed);
   std::vector<std::uint64_t> seeds(gs.size() * graphs);
@@ -40,13 +46,12 @@ int main(int argc, char** argv) {
     WorkloadParams params;
     const Instance inst = make_instance(params, gs[gi], 1, rng);
     const double norm = normalization_factor(inst.period, 1);
-    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
       SchedulerOptions options;
       options.eps = 1;
       options.period = inst.period;
-      options.chunk = chunks[ci];
-      const auto r = ltf.schedule(inst.dag, inst.platform, options);
-      Cell& cell = partial[gi][ci][j];
+      const auto r = variants[vi].schedule(inst.dag, inst.platform, options);
+      Cell& cell = partial[gi][vi][j];
       if (!r.ok()) {
         ++cell.failures;
         continue;
@@ -64,19 +69,19 @@ int main(int argc, char** argv) {
 
   std::cout << "=== Ablation: LTF iso-level chunk size B (eps = 1, m = 20, " << graphs
             << " graphs/point) ===\n\n";
-  Table t({"granularity", "B", "stages", "norm. latency bound", "util stddev",
+  Table t({"granularity", "variant", "stages", "norm. latency bound", "util stddev",
            "failures"});
   for (std::size_t gi = 0; gi < gs.size(); ++gi) {
-    for (std::size_t ci = 0; ci < chunks.size(); ++ci) {
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
       RunningStats stages, latency, spread;
       std::size_t failures = 0;
-      for (const auto& c : partial[gi][ci]) {
+      for (const auto& c : partial[gi][vi]) {
         stages.merge(c.stages);
         latency.merge(c.latency);
         spread.merge(c.util_spread);
         failures += c.failures;
       }
-      t.add_row({Table::fmt(gs[gi], 1), std::to_string(chunks[ci]),
+      t.add_row({Table::fmt(gs[gi], 1), variants[vi].params().to_string(),
                  Table::fmt(stages.mean(), 2), Table::fmt(latency.mean(), 1),
                  Table::fmt(spread.mean(), 3), std::to_string(failures)});
     }

@@ -1,7 +1,14 @@
 // Ablation (ours): what do R-LTF's ingredients buy?
-//   - full R-LTF (Rule 1 merges + chained one-to-one supplier selection)
-//   - Rule 1 disabled (spread placements only)
-//   - one-to-one disabled (all-to-all replication wiring)
+//
+// The full 2×2 grid over R-LTF's *declared* rule knobs — `rule1`
+// (stage-preserving merges) × `one_to_one` (chained supplier selection) —
+// enumerated from the registry parameter space via `enumerate`, so the
+// bench has no hand-written loop over option fields and picks up any
+// future knob ranges automatically:
+//   - rltf[one_to_one=on,rule1=on]    full R-LTF
+//   - rltf[one_to_one=on,rule1=off]   spread placements only
+//   - rltf[one_to_one=off,rule1=on]   all-to-all replication wiring
+//   - rltf[one_to_one=off,rule1=off]  both ablated
 // Reported per granularity: mean stage count, normalized latency bound and
 // remote communications. This quantifies the paper's claim that reducing
 // the stage count should take priority over communication overhead.
@@ -15,12 +22,6 @@
 namespace {
 
 using namespace streamsched;
-
-struct Variant {
-  std::string name;
-  bool use_rule1;
-  bool use_one_to_one;
-};
 
 struct Cell {
   RunningStats stages, latency, comms;
@@ -45,11 +46,13 @@ int main(int argc, char** argv) {
   cli.finish();
   const Scheduler& rltf = find_scheduler("rltf");
 
-  const std::vector<Variant> variants{
-      {"R-LTF full", true, true},
-      {"no Rule 1", false, true},
-      {"no one-to-one", true, false},
-  };
+  // Cartesian grid over the declared rule axes (first value = enabled, so
+  // the full algorithm leads the table).
+  std::vector<AlgoVariant> variants;
+  for (const ParamSet& params :
+       enumerate(rltf.space, {bool_axis("rule1"), bool_axis("one_to_one")})) {
+    variants.emplace_back(rltf, params);
+  }
   const std::vector<double> gs{0.4, 1.0, 1.6};
   const std::size_t graphs = std::max<std::size_t>(4, flags.graphs / 3);
 
@@ -71,12 +74,10 @@ int main(int argc, char** argv) {
     for (std::size_t vi = 0; vi < variants.size(); ++vi) {
       SchedulerOptions options;
       options.eps = 1;
-      options.use_rule1 = variants[vi].use_rule1;
-      options.use_one_to_one = variants[vi].use_one_to_one;
       // Escalate the period when the variant cannot fit (the all-to-all
       // ablation needs far more port budget); latency stays normalized by
       // the actual period.
-      auto [r, factor] = schedule_with_period_escalation(rltf, inst, options);
+      auto [r, factor] = schedule_with_period_escalation(variants[vi], inst, options);
       Cell& cell = partial[gi][vi][j];
       if (!r.ok()) {
         ++cell.failures;
@@ -96,9 +97,9 @@ int main(int argc, char** argv) {
     for (std::size_t vi = 0; vi < variants.size(); ++vi) {
       Cell total;
       for (const Cell& c : partial[gi][vi]) total.merge(c);
-      t.add_row({Table::fmt(gs[gi], 1), variants[vi].name, Table::fmt(total.stages.mean(), 2),
-                 Table::fmt(total.latency.mean(), 1), Table::fmt(total.comms.mean(), 1),
-                 std::to_string(total.failures)});
+      t.add_row({Table::fmt(gs[gi], 1), variants[vi].params().to_string(),
+                 Table::fmt(total.stages.mean(), 2), Table::fmt(total.latency.mean(), 1),
+                 Table::fmt(total.comms.mean(), 1), std::to_string(total.failures)});
     }
   }
   std::cout << t.to_ascii();

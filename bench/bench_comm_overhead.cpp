@@ -46,7 +46,7 @@ int main(int argc, char** argv) {
             << "one-to-one target: e*(eps+1); naive scheme: e*(eps+1)^2\n\n";
 
   std::vector<std::string> headers{"graph", "eps", "e", "e(eps+1)"};
-  for (const Scheduler* algo : flags.algos) headers.push_back(algo->label + " comms");
+  for (const AlgoVariant& algo : flags.algos) headers.push_back(algo.label() + " comms");
   headers.emplace_back("LTF naive (1-1 off)");
   headers.emplace_back("e(eps+1)^2");
   Table t(std::move(headers));
@@ -61,8 +61,8 @@ int main(int argc, char** argv) {
       const auto e = fam.dag.num_edges();
       std::vector<std::string> row{fam.name, std::to_string(eps), std::to_string(e),
                                    std::to_string(e * (eps + 1))};
-      for (const Scheduler* algo : flags.algos) {
-        const auto r = algo->schedule(fam.dag, platform, options);
+      for (const AlgoVariant& algo : flags.algos) {
+        const auto r = algo.schedule(fam.dag, platform, options);
         row.push_back(r.ok() ? std::to_string(num_total_comms(*r.schedule)) : "FAIL");
       }
       row.push_back(ltf_naive.ok() ? std::to_string(num_total_comms(*ltf_naive.schedule))

@@ -7,7 +7,10 @@
 //   --threads N     sweep worker threads, 0 = hardware (env STREAMSCHED_THREADS)
 //   --seed S        master seed (env STREAMSCHED_SEED)
 //   --csv PREFIX    write <PREFIX><name>.csv next to the printed tables
-//   --algo A[,B..]  registered algorithms to run; `help` lists the registry,
+//   --algo A[,B..]  algorithm variants to run — registry names with
+//                   optional bound parameters from the algorithm's
+//                   declared space, e.g. `rltf[chunk=4,rule1=off],ltf`;
+//                   `help` lists the registry with each parameter space,
 //                   `all` selects everything (env STREAMSCHED_ALGO)
 //   --fault-model M[,M..]  fault models for the sweep series, e.g.
 //                   `count:eps=2` or `prob:R=0.999`; empty keeps the
@@ -20,9 +23,11 @@
 #include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/registry.hpp"
+#include "core/variant.hpp"
 #include "exp/figures.hpp"
 #include "exp/sweep.hpp"
 #include "schedule/fault_model.hpp"
@@ -36,25 +41,20 @@ struct CommonFlags {
   std::size_t threads = 0;
   std::uint64_t seed = 42;
   std::string csv_prefix;
-  /// Selected registry entries (empty when the bench disabled `--algo`).
-  std::vector<const Scheduler*> algos;
+  /// Selected algorithm variants (empty when the bench disabled `--algo`
+  /// or help was requested).
+  std::vector<AlgoVariant> algos;
   /// Fault models from `--fault-model` (empty: the bench's scalar-ε
   /// default applies).
   std::vector<FaultModel> fault_models;
   /// Failure probability range applied to generated platforms.
   double fail_prob_lo = 0.0;
   double fail_prob_hi = 0.0;
-  /// `--algo=help` was given: the listing is printed, the caller exits.
+  /// `--algo=help` was given: the listing (including each algorithm's
+  /// declared parameter space) is printed, the caller exits successfully.
   bool help = false;
 
   [[nodiscard]] bool help_requested() const { return help; }
-
-  [[nodiscard]] std::vector<std::string> algo_names() const {
-    std::vector<std::string> names;
-    names.reserve(algos.size());
-    for (const Scheduler* algo : algos) names.push_back(algo->name);
-    return names;
-  }
 };
 
 /// An empty `algo_fallback` disables the `--algo` flag entirely — for
@@ -74,8 +74,9 @@ inline CommonFlags parse_common(Cli& cli, const std::string& algo_fallback = "lt
       cli.get_int("seed", static_cast<std::int64_t>(flags.seed), "STREAMSCHED_SEED"));
   flags.csv_prefix = cli.get_string("csv", "", "STREAMSCHED_CSV_PREFIX");
   if (!algo_fallback.empty()) {
-    flags.algos = schedulers_from_cli(cli, algo_fallback);
-    flags.help = flags.algos.empty();
+    AlgoSelection selection = schedulers_from_cli(cli, algo_fallback);
+    flags.algos = std::move(selection.variants);
+    flags.help = selection.help;
     if (fault_model_flag) {
       flags.fault_models = fault_models_from_cli(cli, "");
       flags.fail_prob_lo = cli.get_double("fail-prob-lo", 0.0, "STREAMSCHED_FAIL_PROB_LO");
@@ -98,16 +99,16 @@ inline void ensure_fail_prob_range(double& lo, double& hi) {
 
 inline SweepConfig sweep_config(const CommonFlags& flags, CopyId eps, std::uint32_t crashes) {
   SweepConfig config;
-  config.algos = flags.algo_names();
+  config.algos = flags.algos;
   config.eps = eps;
   config.crashes = crashes;
   config.fault_models = flags.fault_models;
   config.workload.fail_prob_lo = flags.fail_prob_lo;
   config.workload.fail_prob_hi = flags.fail_prob_hi;
-  const bool has_probabilistic =
-      std::any_of(flags.fault_models.begin(), flags.fault_models.end(),
-                  [](const FaultModel& m) { return m.is_probabilistic(); });
-  if (has_probabilistic) {
+  // The series grid decides whether failure probabilities matter: a
+  // probabilistic series can come from --fault-model *or* from a variant
+  // binding R (e.g. --algo='rltf[R=0.99]').
+  if (sweep_has_probabilistic_series(config)) {
     ensure_fail_prob_range(config.workload.fail_prob_lo, config.workload.fail_prob_hi);
   }
   config.graphs_per_point = flags.graphs;
@@ -133,6 +134,10 @@ inline void run_and_render_sweep(const CommonFlags& flags, const SweepConfig& co
   maybe_write_csv(flags, csv_stem + "_bounds", figure_latency_bounds(points));
   maybe_write_csv(flags, csv_stem + "_crash", figure_latency_crash(points, config.crashes));
   maybe_write_csv(flags, csv_stem + "_overhead", figure_overhead(points, config.crashes));
+  if (!points.empty() && points.front().series.size() > 1) {
+    maybe_write_csv(flags, csv_stem + "_tournament", figure_tournament(points));
+    maybe_write_csv(flags, csv_stem + "_winloss", tournament_matrix(points));
+  }
   if (!flags.csv_prefix.empty()) {
     for (const std::string& path :
          write_series_csvs(points, flags.csv_prefix + csv_stem + "_")) {

@@ -16,7 +16,7 @@ int main(int argc, char** argv) {
   const auto flags = bench::parse_common(cli, "rltf,ltf");
   cli.finish();
   if (flags.help_requested()) return 0;
-  const std::vector<const Scheduler*>& algos = flags.algos;
+  const std::vector<AlgoVariant>& algos = flags.algos;
 
   // The c = 0..ε axis is inherently a count-model experiment; an explicit
   // `--fault-model=count:eps=N` moves the replication degree.
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
       options.period = inst.period * factor;
       bool all_ok = true;
       for (std::size_t a = 0; a < algos.size(); ++a) {
-        results[a] = algos[a]->schedule(inst.dag, inst.platform, options);
+        results[a] = algos[a].schedule(inst.dag, inst.platform, options);
         all_ok = all_ok && results[a].ok();
       }
       if (all_ok) {
@@ -117,8 +117,8 @@ int main(int argc, char** argv) {
   std::cout << "=== Crash sensitivity: normalized latency vs crash count (eps = " << eps
             << ", " << graphs << " graphs) ===\n\n";
   std::vector<std::string> headers{"crashes c"};
-  for (const Scheduler* algo : algos) headers.push_back(algo->label + " latency");
-  headers.push_back(algos.front()->label + " self-timed");
+  for (const AlgoVariant& algo : algos) headers.push_back(algo.label() + " latency");
+  headers.push_back(algos.front().label() + " self-timed");
   headers.emplace_back("starved runs");
   Table t(std::move(headers));
   for (std::uint32_t c = 0; c <= eps; ++c) {

@@ -56,8 +56,8 @@ int main(int argc, char** argv) {
       SchedulerOptions options;
       options.eps = 1;
       options.period = period;
-      for (const Scheduler* algo : flags.algos) {
-        report(t, algo->label, m, period, algo->schedule(dag, platform, options));
+      for (const AlgoVariant& algo : flags.algos) {
+        report(t, algo.label(), m, period, algo.schedule(dag, platform, options));
       }
     }
   }

@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const auto flags = bench::parse_common(cli, "ltf,rltf,heft,stage_pack");
   cli.finish();
   if (flags.help_requested()) return 0;
-  const std::vector<const Scheduler*>& algos = flags.algos;
+  const std::vector<AlgoVariant>& algos = flags.algos;
 
   const std::size_t graphs = std::max<std::size_t>(6, flags.graphs / 4);
   if (flags.fault_models.size() > 1) {
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
     base.fault_model = model;
     const double lb = period_lower_bound(inst.dag, inst.platform, base);
     for (std::size_t a = 0; a < algos.size(); ++a) {
-      const Scheduler& algo = *algos[a];
+      const AlgoVariant& algo = algos[a];
       const auto fn = [&algo](const Dag& d, const Platform& p, const SchedulerOptions& o) {
         return algo.schedule(d, p, o);
       };
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
       ratio.add(ratios[a][j]);
       stage.add(stages[a][j]);
     }
-    t.add_row({algos[a]->label, Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
+    t.add_row({algos[a].label(), Table::fmt(ratio.mean(), 2), Table::fmt(ratio.max(), 2),
                Table::fmt(stage.mean(), 2), Table::fmt(eval.mean(), 1),
                std::to_string(infeasible)});
   }

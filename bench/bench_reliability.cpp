@@ -77,7 +77,7 @@ int main(int argc, char** argv) {
       for (std::size_t ti = 0; ti < targets.size(); ++ti) {
         Cell& cell = per_graph[j][a][ti];
         const FaultModel model = FaultModel::probabilistic(targets[ti]);
-        Rng crash_rng = Rng(seeds[j]).fork(cell_tag(flags.algos[a]->name, model));
+        Rng crash_rng = Rng(seeds[j]).fork(cell_tag(flags.algos[a].name(), model));
         const CopyId eps = model.derive_eps(inst.platform, inst.dag.num_tasks());
         const double period = calibrate_period(inst.dag, inst.platform, eps,
                                                params.headroom, params.comm_share);
@@ -85,7 +85,7 @@ int main(int argc, char** argv) {
         options.fault_model = model;
         options.repair = true;
         auto [result, factor] = schedule_with_period_escalation(
-            *flags.algos[a], inst.dag, inst.platform, period, options);
+            flags.algos[a], inst.dag, inst.platform, period, options);
         if (!result.ok()) {
           ++cell.failures;
           continue;
@@ -136,7 +136,7 @@ int main(int argc, char** argv) {
         merged.failures += cell.failures;
         merged.starved += cell.starved;
       }
-      t.add_row({flags.algos[a]->label, Table::fmt(targets[ti], 4),
+      t.add_row({flags.algos[a].label(), Table::fmt(targets[ti], 4),
                  Table::fmt(merged.eps.mean(), 2), Table::fmt(merged.reliability.mean(), 6),
                  Table::fmt(merged.ub.mean(), 1), Table::fmt(merged.sim0.mean(), 1),
                  Table::fmt(merged.simc.mean(), 1), std::to_string(merged.starved),

@@ -1,0 +1,32 @@
+# Release-mode sweep smoke test with pinned golden series numbers (ROADMAP
+# "CI hardening"): runs bench_fig3_eps1 with pinned arguments and
+# byte-compares the per-series CSVs against the checked-in goldens in
+# tests/golden/. The goldens were captured from the pre-variant pipeline,
+# so this also pins the "no variant parameters -> bit-identical sweep"
+# guarantee of the parameter-space redesign. The sweep is deterministic in
+# the seed regardless of thread count, and the arithmetic is plain IEEE
+# (+,-,*,/,sqrt), so the comparison is exact.
+#
+# Expected -D definitions: BENCH (bench_fig3_eps1 binary), GOLDEN_DIR
+# (tests/golden), WORK_DIR (scratch directory for the produced CSVs).
+file(MAKE_DIRECTORY "${WORK_DIR}")
+execute_process(
+  COMMAND "${BENCH}" --graphs 3 --threads 2 --seed 42 --csv "${WORK_DIR}/smoke_"
+  RESULT_VARIABLE run_result
+  OUTPUT_QUIET)
+if(NOT run_result EQUAL 0)
+  message(FATAL_ERROR "bench_fig3_eps1 exited with '${run_result}'")
+endif()
+foreach(series ltf rltf)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/smoke_fig3_${series}.csv"
+            "${GOLDEN_DIR}/fig3_smoke_${series}.csv"
+    RESULT_VARIABLE diff_result)
+  if(NOT diff_result EQUAL 0)
+    message(FATAL_ERROR
+            "sweep series '${series}' deviates from the pinned golden numbers "
+            "(${WORK_DIR}/smoke_fig3_${series}.csv vs "
+            "${GOLDEN_DIR}/fig3_smoke_${series}.csv)")
+  endif()
+endforeach()

@@ -1,11 +1,12 @@
 // Quickstart: build a workflow, schedule it with any registered algorithm
-// (default R-LTF) under a throughput and a reliability constraint, inspect
-// the mapping, and simulate the pipelined execution with and without a
-// crash.
+// variant (default R-LTF) under a throughput and a reliability constraint,
+// inspect the mapping, and simulate the pipelined execution with and
+// without a crash.
 //
-//   ./examples/quickstart                 # R-LTF
-//   ./examples/quickstart --algo=ltf      # any registry name
-//   ./examples/quickstart --algo=help     # list the registered schedulers
+//   ./examples/quickstart                        # R-LTF
+//   ./examples/quickstart --algo=ltf             # any registry name
+//   ./examples/quickstart --algo='rltf[rule1=off]'  # bind declared tunables
+//   ./examples/quickstart --algo=help            # list schedulers + spaces
 #include <iostream>
 
 #include "core/streamsched.hpp"
@@ -14,17 +15,18 @@
 using namespace streamsched;
 
 int main(int argc, char** argv) {
-  std::vector<const Scheduler*> algos;
+  AlgoSelection selection;
   try {
     Cli cli(argc, argv);
-    algos = schedulers_from_cli(cli, "rltf");
+    selection = schedulers_from_cli(cli, "rltf");
     cli.finish();
   } catch (const std::invalid_argument& e) {
-    std::cerr << e.what() << "\n(use --algo=help to list the registered schedulers)\n";
+    std::cerr << e.what() << "\n(use --algo=help to list the registered schedulers "
+              << "and their parameter spaces)\n";
     return 1;
   }
-  if (algos.empty()) return 0;  // --algo=help printed the registry listing
-  const Scheduler& algo = *algos.front();
+  if (selection.help_requested()) return 0;  // the listing was printed
+  const AlgoVariant& algo = selection.variants.front();
 
   // 1. The application: a small audio-processing workflow.
   //    capture -> [fft, gain] -> mix -> encode
@@ -51,7 +53,7 @@ int main(int argc, char** argv) {
   options.period = 15.0;
   options.repair = true;  // enforce the eps-failure guarantee
 
-  std::cout << "scheduling with " << algo.label << " (" << algo.name << ")\n\n";
+  std::cout << "scheduling with " << algo.label() << " (" << algo.name() << ")\n\n";
   const ScheduleResult result = algo.schedule(dag, platform, options);
   if (!result.ok()) {
     std::cerr << "scheduling failed: " << result.error << '\n';

@@ -63,4 +63,6 @@ ScheduleResult heft_schedule(const Dag& dag, const Platform& platform,
   return result;
 }
 
+ParamSpace heft_param_space() { return scheduler_base_params(); }
+
 }  // namespace streamsched

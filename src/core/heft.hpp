@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/options.hpp"
+#include "core/param_space.hpp"
 #include "graph/dag.hpp"
 #include "platform/platform.hpp"
 
@@ -24,5 +25,9 @@ namespace streamsched {
 
 [[nodiscard]] ScheduleResult heft_schedule(const Dag& dag, const Platform& platform,
                                            const SchedulerOptions& options);
+
+/// HEFT's declared tunables: the shared base parameters only (replication
+/// is the naive all-to-all scheme; there is no chunk/one-to-one knob).
+[[nodiscard]] ParamSpace heft_param_space();
 
 }  // namespace streamsched

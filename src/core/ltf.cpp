@@ -155,4 +155,22 @@ ScheduleResult ltf_schedule(const Dag& dag, const Platform& platform,
   return result;
 }
 
+ParamSpace ltf_param_space() {
+  ParamSpace space;
+  space.add_int("chunk", 0, 0, 4096,
+                "iso-level chunk size B of the critical-task selection; 0 = number of "
+                "processors m",
+                [](SchedulerOptions& options, const ParamValue& value) {
+                  options.chunk = static_cast<std::uint32_t>(std::get<std::int64_t>(value));
+                });
+  space.add_bool("one_to_one", true,
+                 "one-to-one mapping procedure; off = every replica receives from all "
+                 "predecessor replicas (the (eps+1)^2 communication regime)",
+                 [](SchedulerOptions& options, const ParamValue& value) {
+                   options.use_one_to_one = std::get<bool>(value);
+                 });
+  space.include(scheduler_base_params());
+  return space;
+}
+
 }  // namespace streamsched

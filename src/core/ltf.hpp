@@ -17,6 +17,7 @@
 #pragma once
 
 #include "core/options.hpp"
+#include "core/param_space.hpp"
 #include "graph/dag.hpp"
 #include "platform/platform.hpp"
 
@@ -24,5 +25,9 @@ namespace streamsched {
 
 [[nodiscard]] ScheduleResult ltf_schedule(const Dag& dag, const Platform& platform,
                                           const SchedulerOptions& options);
+
+/// LTF's declared tunables: `chunk` (iso-level chunk size B), `one_to_one`
+/// (the one-to-one mapping procedure), plus the shared base parameters.
+[[nodiscard]] ParamSpace ltf_param_space();
 
 }  // namespace streamsched

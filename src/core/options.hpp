@@ -1,5 +1,12 @@
 // Scheduler configuration and result types shared by every algorithm in
 // core/ (LTF, R-LTF, HEFT, stage packing).
+//
+// Every tunable field below is *declared* in the owning algorithms'
+// parameter spaces (core/param_space.hpp, built in each core/<algo>.cpp):
+// experiment code should bind values through a validated `ParamSet` /
+// `AlgoVariant` (core/variant.hpp) rather than poking fields, so ranges
+// are checked and series labels derive from the bound values. Direct field
+// access remains for programmatic callers that construct options whole.
 #pragma once
 
 #include <limits>

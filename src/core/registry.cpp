@@ -4,13 +4,10 @@
 #include <stdexcept>
 #include <utility>
 
-#include <iostream>
-
 #include "core/heft.hpp"
 #include "core/ltf.hpp"
 #include "core/rltf.hpp"
 #include "core/stage_pack.hpp"
-#include "util/cli.hpp"
 
 namespace streamsched {
 
@@ -24,19 +21,20 @@ SchedulerRegistry::SchedulerRegistry() {
          options.eps = 0;
          options.fault_model.reset();
          options.repair = false;
-       }});
+       },
+       ParamSpace{}});
   add({"ltf", "LTF",
        "top-down iso-level list scheduling with one-to-one replication (Algorithm 4.1)",
-       ltf_schedule, {}});
+       ltf_schedule, {}, ltf_param_space()});
   add({"rltf", "R-LTF",
        "bottom-up LTF with stage-preserving merges and chained suppliers (paper §4.2)",
-       rltf_schedule, {}});
+       rltf_schedule, {}, rltf_param_space()});
   add({"heft", "HEFT",
        "upward-rank EFT list scheduling, naive all-to-all replication (baseline [9])",
-       heft_schedule, {}});
+       heft_schedule, {}, heft_param_space()});
   add({"stage_pack", "StagePack",
        "topological stage packing with disjoint lane replication (survey baselines)",
-       stage_pack_schedule, {}});
+       stage_pack_schedule, {}, stage_pack_param_space()});
 }
 
 SchedulerRegistry& SchedulerRegistry::instance() {
@@ -96,37 +94,14 @@ std::vector<const Scheduler*> resolve_schedulers(const std::vector<std::string>&
 
 std::string registry_listing() {
   std::ostringstream os;
-  os << "registered schedulers:\n";
+  os << "registered schedulers (select with --algo=<name>[<param>=<value>,...]):\n";
   for (const Scheduler& entry : SchedulerRegistry::instance().all()) {
     os << "  " << entry.name;
     for (std::size_t pad = entry.name.size(); pad < 12; ++pad) os << ' ';
     os << "[" << entry.label << "] " << entry.summary << '\n';
+    os << entry.space.describe("      ");
   }
   return os.str();
-}
-
-std::vector<const Scheduler*> schedulers_from_cli(Cli& cli, const std::string& fallback_csv) {
-  const std::vector<std::string> names = cli.get_list("algo", fallback_csv, "STREAMSCHED_ALGO");
-  if (names.empty()) {
-    throw std::invalid_argument("--algo selected no algorithms; try --algo=help");
-  }
-  for (const std::string& name : names) {
-    if (name == "help") {
-      std::cout << registry_listing();
-      return {};
-    }
-  }
-  std::vector<const Scheduler*> out;
-  for (const std::string& name : names) {
-    if (name == "all") {
-      for (const Scheduler& entry : SchedulerRegistry::instance().all()) {
-        out.push_back(&entry);
-      }
-      continue;
-    }
-    out.push_back(&find_scheduler(name));
-  }
-  return out;
 }
 
 }  // namespace streamsched

@@ -2,11 +2,14 @@
 //
 // Every scheduling algorithm in core/ is described by a `Scheduler` entry
 // (registry name, display label, scheduling function, optional default
-// option tweaks) and registered in a process-global registry. The
-// experiment pipeline (exp/sweep, exp/figures), the bench drivers and the
-// examples look algorithms up by name, so adding a scheduler to the
-// registry makes it immediately available to every sweep, figure and
-// `--algo=<name>` flag without touching those layers.
+// option tweaks, and a declared `ParamSpace` of its tunables) and
+// registered in a process-global registry. The experiment pipeline
+// (exp/sweep, exp/figures), the bench drivers and the examples look
+// algorithms up by name, so adding a scheduler to the registry makes it
+// immediately available to every sweep, figure and `--algo=<name>` flag
+// without touching those layers. Parameterized selections — "this
+// algorithm with these bound tunables" — are `AlgoVariant`s
+// (core/variant.hpp).
 #pragma once
 
 #include <deque>
@@ -15,6 +18,7 @@
 #include <vector>
 
 #include "core/options.hpp"
+#include "core/param_space.hpp"
 #include "graph/dag.hpp"
 #include "platform/platform.hpp"
 
@@ -36,6 +40,11 @@ struct Scheduler {
   std::string summary;  ///< one-line description for `--algo=help`
   SchedulerFn fn;
   SchedulerTweak tweak;  ///< may be empty (no adjustments)
+  /// Declared tunables of this algorithm (name, kind, default, range,
+  /// doc). Empty for algorithms without knobs (the fault-free reference).
+  /// Variant specs (`rltf[chunk=4]`), ablation enumeration and the
+  /// `--algo=help` listing all validate against this space.
+  ParamSpace space;
 
   /// The caller's options with this algorithm's default tweaks applied.
   [[nodiscard]] SchedulerOptions adjusted(SchedulerOptions options) const {
@@ -89,17 +98,8 @@ class SchedulerRegistry {
 [[nodiscard]] std::vector<const Scheduler*> resolve_schedulers(
     const std::vector<std::string>& names);
 
-/// Human-readable listing of every registered algorithm (for --algo=help).
+/// Human-readable listing of every registered algorithm and its declared
+/// parameter space (for --algo=help).
 [[nodiscard]] std::string registry_listing();
-
-class Cli;
-
-/// Registers and reads a `--algo=<name>[,<name>...]` flag (default:
-/// `fallback_csv`) and resolves it against the registry. `--algo=help`
-/// prints the registry listing to stdout and returns an empty vector — the
-/// caller should exit; `--algo=all` selects every registered algorithm.
-/// Unknown names throw std::invalid_argument.
-[[nodiscard]] std::vector<const Scheduler*> schedulers_from_cli(
-    Cli& cli, const std::string& fallback_csv);
 
 }  // namespace streamsched

@@ -277,4 +277,28 @@ ScheduleResult fault_free_schedule(const Dag& dag, const Platform& platform, dou
   return rltf_schedule(dag, platform, options);
 }
 
+ParamSpace rltf_param_space() {
+  ParamSpace space;
+  space.add_int("chunk", 0, 0, 4096,
+                "iso-level chunk size B of the bottom-up selection; 0 = number of "
+                "processors m",
+                [](SchedulerOptions& options, const ParamValue& value) {
+                  options.chunk = static_cast<std::uint32_t>(std::get<std::int64_t>(value));
+                });
+  space.add_bool("one_to_one", true,
+                 "chained one-to-one supplier selection (Rule 2); off = all-to-all "
+                 "replication wiring",
+                 [](SchedulerOptions& options, const ParamValue& value) {
+                   options.use_one_to_one = std::get<bool>(value);
+                 });
+  space.add_bool("rule1", true,
+                 "Rule 1: stage-preserving merges onto the processors of stage-critical "
+                 "successors",
+                 [](SchedulerOptions& options, const ParamValue& value) {
+                   options.use_rule1 = std::get<bool>(value);
+                 });
+  space.include(scheduler_base_params());
+  return space;
+}
+
 }  // namespace streamsched

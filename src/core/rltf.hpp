@@ -23,6 +23,7 @@
 #pragma once
 
 #include "core/options.hpp"
+#include "core/param_space.hpp"
 #include "graph/dag.hpp"
 #include "platform/platform.hpp"
 
@@ -30,6 +31,11 @@ namespace streamsched {
 
 [[nodiscard]] ScheduleResult rltf_schedule(const Dag& dag, const Platform& platform,
                                            const SchedulerOptions& options);
+
+/// R-LTF's declared tunables: `chunk`, `one_to_one` (chained supplier
+/// selection), `rule1` (stage-preserving merges), plus the shared base
+/// parameters.
+[[nodiscard]] ParamSpace rltf_param_space();
 
 /// The paper's fault-free reference schedule: R-LTF without replication
 /// (ε = 0), assuming a completely safe system. The overhead metric of §5

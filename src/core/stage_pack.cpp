@@ -128,4 +128,6 @@ ScheduleResult stage_pack_schedule(const Dag& dag, const Platform& platform,
   return result;
 }
 
+ParamSpace stage_pack_param_space() { return scheduler_base_params(); }
+
 }  // namespace streamsched

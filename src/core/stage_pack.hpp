@@ -18,6 +18,7 @@
 #pragma once
 
 #include "core/options.hpp"
+#include "core/param_space.hpp"
 #include "graph/dag.hpp"
 #include "platform/platform.hpp"
 
@@ -25,5 +26,9 @@ namespace streamsched {
 
 [[nodiscard]] ScheduleResult stage_pack_schedule(const Dag& dag, const Platform& platform,
                                                  const SchedulerOptions& options);
+
+/// StagePack's declared tunables: the shared base parameters only (lane
+/// replication is fixed by construction).
+[[nodiscard]] ParamSpace stage_pack_param_space();
 
 }  // namespace streamsched

@@ -1,0 +1,140 @@
+#include "core/variant.hpp"
+
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/cli.hpp"
+
+namespace streamsched {
+
+AlgoVariant::AlgoVariant(const Scheduler& algo, ParamSet params) : algo_(&algo) {
+  // Rebind every (name, value) through this algorithm's space: names must
+  // be declared here and the setters/canonical ordering always come from
+  // the owning space, even when `params` was built against a different
+  // space whose names happen to coincide.
+  for (const std::string& name : params.names()) {
+    params_.set(algo.space, name, *params.find(name), algo.name);
+  }
+}
+
+AlgoVariant::AlgoVariant(const std::string& spec) : AlgoVariant(parse(spec)) {}
+
+AlgoVariant::AlgoVariant(const char* spec) : AlgoVariant(parse(std::string(spec))) {}
+
+AlgoVariant AlgoVariant::parse(const std::string& spec) {
+  const std::string text = trim_spec(spec);
+  const std::size_t bracket = text.find('[');
+  std::string name = trim_spec(text.substr(0, bracket));
+  if (name.empty()) {
+    throw std::invalid_argument("empty algorithm name in variant spec '" + spec + "'");
+  }
+  std::string bindings;
+  if (bracket != std::string::npos) {
+    if (text.back() != ']' || text.size() < bracket + 2) {
+      throw std::invalid_argument("variant spec '" + spec +
+                                  "' is missing the closing ']' (grammar: name[k=v,...])");
+    }
+    bindings = text.substr(bracket + 1, text.size() - bracket - 2);
+  }
+  const Scheduler& algo = find_scheduler(name);
+  ParamSet params = ParamSet::parse(algo.space, bindings, name);
+  // Checked on the parsed set, not the raw text, so "rltf[,]" and
+  // "rltf[ ]" are rejected like "rltf[]" instead of silently degrading to
+  // the plain algorithm.
+  if (bracket != std::string::npos && params.empty()) {
+    throw std::invalid_argument("empty parameter list in variant spec '" + spec +
+                                "' (drop the brackets for the plain algorithm)");
+  }
+  return AlgoVariant(algo, std::move(params));
+}
+
+const Scheduler& AlgoVariant::algo() const {
+  if (algo_ == nullptr) throw std::logic_error("empty AlgoVariant has no algorithm");
+  return *algo_;
+}
+
+std::string AlgoVariant::name() const {
+  const std::string bound = params_.to_string();
+  return bound.empty() ? algo().name : algo().name + "[" + bound + "]";
+}
+
+std::string AlgoVariant::label() const {
+  const std::string bound = params_.to_string();
+  return bound.empty() ? algo().label : algo().label + "[" + bound + "]";
+}
+
+SchedulerOptions AlgoVariant::adjusted(SchedulerOptions options) const {
+  options = algo().adjusted(std::move(options));
+  params_.apply(options);
+  return options;
+}
+
+ScheduleResult AlgoVariant::schedule(const Dag& dag, const Platform& platform,
+                                     const SchedulerOptions& options) const {
+  return algo().fn(dag, platform, adjusted(options));
+}
+
+std::vector<std::string> split_variant_specs(const std::string& csv) {
+  std::vector<std::string> specs;
+  std::string current;
+  int depth = 0;
+  for (char ch : csv) {
+    if (ch == '[') ++depth;
+    if (ch == ']') {
+      --depth;
+      if (depth < 0) {
+        throw std::invalid_argument("unbalanced ']' in algorithm list '" + csv + "'");
+      }
+    }
+    if (ch == ',' && depth == 0) {
+      if (const std::string spec = trim_spec(current); !spec.empty()) specs.push_back(spec);
+      current.clear();
+      continue;
+    }
+    current += ch;
+  }
+  if (depth != 0) {
+    throw std::invalid_argument("unbalanced '[' in algorithm list '" + csv + "'");
+  }
+  if (const std::string spec = trim_spec(current); !spec.empty()) specs.push_back(spec);
+  return specs;
+}
+
+std::vector<AlgoVariant> parse_variants(const std::vector<std::string>& specs) {
+  std::vector<AlgoVariant> variants;
+  for (const std::string& spec : specs) {
+    if (spec == "all") {
+      for (const Scheduler& entry : SchedulerRegistry::instance().all()) {
+        variants.emplace_back(entry);
+      }
+      continue;
+    }
+    variants.push_back(AlgoVariant::parse(spec));
+  }
+  return variants;
+}
+
+std::vector<AlgoVariant> parse_variants(const std::string& csv) {
+  return parse_variants(split_variant_specs(csv));
+}
+
+AlgoSelection schedulers_from_cli(Cli& cli, const std::string& fallback_csv) {
+  const std::string csv = cli.get_string("algo", fallback_csv, "STREAMSCHED_ALGO");
+  const std::vector<std::string> specs = split_variant_specs(csv);
+  if (specs.empty()) {
+    throw std::invalid_argument("--algo selected no algorithms; try --algo=help");
+  }
+  AlgoSelection selection;
+  for (const std::string& spec : specs) {
+    if (spec == "help") {
+      std::cout << registry_listing();
+      selection.help = true;
+      return selection;
+    }
+  }
+  selection.variants = parse_variants(specs);
+  return selection;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,117 @@
+// Algorithm variants: "registry algorithm + bound parameter set", the unit
+// the whole experiment layer consumes.
+//
+// A variant names a registered scheduler and binds values for some of its
+// declared tunables (core/param_space.hpp). The textual grammar is
+//
+//   rltf                       the plain algorithm (defaults)
+//   rltf[chunk=4,rule1=off]    algorithm with bound parameters
+//
+// and round-trips: `AlgoVariant::parse(v.name()) == v`. Series keys and
+// display labels in sweeps/figures derive from the variant, so
+// `--algo='rltf[chunk=4,rule1=off],ltf'` produces distinctly-labeled
+// series end to end without any bench-local option poking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/param_space.hpp"
+#include "core/registry.hpp"
+
+namespace streamsched {
+
+class AlgoVariant {
+ public:
+  AlgoVariant() = default;
+
+  /// The plain algorithm — no parameters bound.
+  /*implicit*/ AlgoVariant(const Scheduler& algo) : algo_(&algo) {}
+
+  /// Algorithm with a parameter set. Every bound name must be declared in
+  /// `algo.space` — a set built against another algorithm's space throws
+  /// std::invalid_argument here (its values would otherwise be silently
+  /// ignored by the algorithm while still decorating the series label).
+  AlgoVariant(const Scheduler& algo, ParamSet params);
+
+  /// Implicit spec parsing so algorithm lists read naturally:
+  /// `config.algos = {"ltf", "rltf[chunk=4]"}`. Throws like `parse`.
+  /*implicit*/ AlgoVariant(const std::string& spec);
+  /*implicit*/ AlgoVariant(const char* spec);
+
+  /// Parses `name` or `name[param=value,...]` against the registry and the
+  /// algorithm's declared space. Throws std::invalid_argument on unknown
+  /// algorithms, unknown parameters, syntax errors and out-of-range
+  /// values, each diagnostic naming the offending spec.
+  [[nodiscard]] static AlgoVariant parse(const std::string& spec);
+
+  /// The underlying registry entry. Throws std::logic_error on a
+  /// default-constructed (empty) variant.
+  [[nodiscard]] const Scheduler& algo() const;
+
+  [[nodiscard]] const ParamSet& params() const { return params_; }
+  [[nodiscard]] bool valid() const { return algo_ != nullptr; }
+
+  /// Canonical spec / series key: `rltf[chunk=4,rule1=off]`, or the bare
+  /// registry name when no parameters are bound (so unparameterized
+  /// variants key series exactly like the pre-variant pipeline).
+  [[nodiscard]] std::string name() const;
+
+  /// Display label: `R-LTF[chunk=4,rule1=off]`, or the bare label.
+  [[nodiscard]] std::string label() const;
+
+  /// The caller's options with the algorithm's default tweaks applied,
+  /// then the bound parameters — one validated step replacing scattered
+  /// field pokes (parameters win over tweaks).
+  [[nodiscard]] SchedulerOptions adjusted(SchedulerOptions options) const;
+
+  /// Runs the algorithm with the adjusted options.
+  [[nodiscard]] ScheduleResult schedule(const Dag& dag, const Platform& platform,
+                                        const SchedulerOptions& options) const;
+
+  /// Same algorithm, same bound (name, value) pairs.
+  friend bool operator==(const AlgoVariant& a, const AlgoVariant& b) {
+    return a.algo_ == b.algo_ && a.params_ == b.params_;
+  }
+
+ private:
+  const Scheduler* algo_ = nullptr;  ///< registry entries are never removed
+  ParamSet params_;
+};
+
+/// Splits a comma-separated variant list on top-level commas only —
+/// commas inside `[...]` belong to the spec: `"rltf[chunk=4,rule1=off],ltf"`
+/// yields two items. Empty items are dropped. Throws std::invalid_argument
+/// on unbalanced brackets.
+[[nodiscard]] std::vector<std::string> split_variant_specs(const std::string& csv);
+
+/// Parses a comma-separated variant list (`split_variant_specs` +
+/// `AlgoVariant::parse`; `all` expands to every registered algorithm).
+[[nodiscard]] std::vector<AlgoVariant> parse_variants(const std::string& csv);
+
+/// Same on an already-split spec list.
+[[nodiscard]] std::vector<AlgoVariant> parse_variants(const std::vector<std::string>& specs);
+
+/// What `--algo` selected. `help` is the explicit help-requested signal:
+/// when set, the registry listing (with each algorithm's declared
+/// parameter space) has been printed and `variants` is empty — the caller
+/// should exit successfully instead of running.
+struct AlgoSelection {
+  std::vector<AlgoVariant> variants;
+  bool help = false;
+
+  [[nodiscard]] bool help_requested() const { return help; }
+};
+
+class Cli;
+
+/// Registers and reads a `--algo=<spec>[,<spec>...]` flag (default:
+/// `fallback_csv`, env STREAMSCHED_ALGO) and resolves it against the
+/// registry. Specs may bind declared parameters (`rltf[chunk=4,rule1=off]`);
+/// `--algo=all` selects every registered algorithm; `--algo=help` prints
+/// the registry listing with each algorithm's parameter space and returns
+/// `help = true`. Unknown algorithms/parameters and invalid values throw
+/// std::invalid_argument.
+[[nodiscard]] AlgoSelection schedulers_from_cli(Cli& cli, const std::string& fallback_csv);
+
+}  // namespace streamsched

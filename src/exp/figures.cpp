@@ -100,6 +100,104 @@ Table figure_diagnostics(const std::vector<PointStats>& points) {
   return t;
 }
 
+namespace {
+
+// A series competes at a point only when it scheduled at least one
+// instance there (an empty accumulator reports a 0 mean, which would win
+// every contest spuriously).
+bool competes(const AlgoSeries& s, double AlgoSeries::* metric) {
+  return s.*metric > 0.0;
+}
+
+// Index of the series with the lowest `metric`, and the runner-up margin
+// in % (0 when fewer than two series compete). Returns npos when nothing
+// competes.
+std::pair<std::size_t, double> point_winner(const PointStats& p,
+                                            double AlgoSeries::* metric) {
+  std::size_t best = std::string::npos;
+  std::size_t second = std::string::npos;
+  for (std::size_t i = 0; i < p.series.size(); ++i) {
+    if (!competes(p.series[i], metric)) continue;
+    if (best == std::string::npos || p.series[i].*metric < p.series[best].*metric) {
+      second = best;
+      best = i;
+    } else if (second == std::string::npos ||
+               p.series[i].*metric < p.series[second].*metric) {
+      second = i;
+    }
+  }
+  double margin = 0.0;
+  if (best != std::string::npos && second != std::string::npos &&
+      p.series[best].*metric > 0.0) {
+    margin = 100.0 * (p.series[second].*metric - p.series[best].*metric) /
+             p.series[best].*metric;
+  }
+  return {best, margin};
+}
+
+}  // namespace
+
+Table figure_tournament(const std::vector<PointStats>& points) {
+  (void)layout(points);  // asserts a non-empty, uniform series set
+  Table t({"granularity", "winner 0-crash", "margin %", "winner c-crash", "margin %",
+           "winner oh0 %"});
+  for (const PointStats& p : points) {
+    const auto [best0, margin0] = point_winner(p, &AlgoSeries::sim0);
+    const auto [bestc, marginc] = point_winner(p, &AlgoSeries::simc);
+    std::vector<std::string> row{Table::fmt(p.granularity, 2)};
+    if (best0 == std::string::npos) {
+      row.insert(row.end(), {"-", "-"});
+    } else {
+      row.insert(row.end(), {p.series[best0].label, Table::fmt(margin0, 1)});
+    }
+    if (bestc == std::string::npos) {
+      row.insert(row.end(), {"-", "-", "-"});
+    } else {
+      row.insert(row.end(), {p.series[bestc].label, Table::fmt(marginc, 1),
+                             Table::fmt(p.series[bestc].overhead0, 1)});
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+Table tournament_matrix(const std::vector<PointStats>& points) {
+  const std::vector<AlgoSeries>& series = layout(points);
+  std::vector<std::string> headers{"wins on c-crash latency"};
+  for (const AlgoSeries& s : series) headers.push_back("vs " + s.label);
+  headers.emplace_back("vs FF");
+  Table t(std::move(headers));
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    std::vector<std::string> row{series[i].label};
+    for (std::size_t j = 0; j < series.size(); ++j) {
+      if (i == j) {
+        row.emplace_back("-");
+        continue;
+      }
+      std::size_t wins = 0;
+      for (const PointStats& p : points) {
+        const AlgoSeries& a = p.series[i];
+        const AlgoSeries& b = p.series[j];
+        if (competes(a, &AlgoSeries::simc) && competes(b, &AlgoSeries::simc) &&
+            a.simc < b.simc) {
+          ++wins;
+        }
+      }
+      row.push_back(std::to_string(wins) + "/" + std::to_string(points.size()));
+    }
+    std::size_t ff_wins = 0;
+    for (const PointStats& p : points) {
+      const AlgoSeries& a = p.series[i];
+      if (competes(a, &AlgoSeries::sim0) && p.ff_sim0 > 0.0 && a.overhead0 <= 0.0) {
+        ++ff_wins;
+      }
+    }
+    row.push_back(std::to_string(ff_wins) + "/" + std::to_string(points.size()));
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
 std::vector<std::pair<std::string, Table>> per_series_tables(
     const std::vector<PointStats>& points) {
   std::vector<std::pair<std::string, Table>> tables;
@@ -157,6 +255,11 @@ std::string render_figure(const std::vector<PointStats>& points, const std::stri
   os << "(c) Fault-tolerance overhead (%) vs. fault-free schedule\n"
      << figure_overhead(points, crashes).to_ascii() << '\n';
   os << "(d) Diagnostics\n" << figure_diagnostics(points).to_ascii();
+  if (layout(points).size() > 1) {
+    os << "\n(e) Tournament: per-point winners and win/loss matrix\n"
+       << figure_tournament(points).to_ascii() << '\n'
+       << tournament_matrix(points).to_ascii();
+  }
   return os.str();
 }
 

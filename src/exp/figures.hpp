@@ -31,7 +31,23 @@ namespace streamsched {
 /// fault-free baseline.
 [[nodiscard]] Table figure_diagnostics(const std::vector<PointStats>& points);
 
-/// Renders all panels with captions, ready to print.
+/// Tournament report: per granularity point, the winning series (lowest
+/// mean simulated latency) without and with crashes, the winner's margin
+/// over the runner-up (%), and the winner's overhead versus the fault-free
+/// baseline. Series that scheduled no instance at a point are excluded
+/// from that point's contest.
+[[nodiscard]] Table figure_tournament(const std::vector<PointStats>& points);
+
+/// Win/loss matrix over the whole sweep: cell (row, col) counts the
+/// granularity points where the row series strictly beat the column series
+/// on crash-sim latency. The trailing "vs FF" column counts the points
+/// where the row series' no-crash latency stayed within the fault-free
+/// baseline (overhead <= 0) — the ROADMAP's "wins versus the fault-free
+/// baseline".
+[[nodiscard]] Table tournament_matrix(const std::vector<PointStats>& points);
+
+/// Renders all panels with captions, ready to print (the tournament
+/// panels are appended when the sweep carries more than one series).
 [[nodiscard]] std::string render_figure(const std::vector<PointStats>& points,
                                         const std::string& title, std::uint32_t crashes);
 

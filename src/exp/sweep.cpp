@@ -14,12 +14,20 @@ namespace streamsched {
 
 namespace {
 
-// One sweep series: an (algorithm, fault model) pair with its key/label.
-// With no fault models configured the key degenerates to the registry name
-// and every stream/label is bit-identical to the pre-fault-model sweep.
+// One sweep series: an (algorithm variant, fault model) pair with its
+// key/label. With no fault models configured the key degenerates to the
+// variant name — and for unparameterized variants to the bare registry
+// name, bit-identical to the pre-variant sweep.
 struct SeriesSpec {
-  const Scheduler* algo = nullptr;
+  AlgoVariant variant;
+  /// The fault-model axis value — decorates the series key/label.
   FaultModel model;
+  /// The model the series is actually measured under: `model` unless the
+  /// variant binds the base params `eps`/`R`, which override it. Drives
+  /// replication-degree derivation, period calibration, crash sampling and
+  /// the reliability column, so a variant that overrides the model is
+  /// measured consistently with what it schedules for.
+  FaultModel effective;
   std::string name;
   std::string label;
 };
@@ -29,20 +37,38 @@ std::vector<FaultModel> effective_models(const SweepConfig& config) {
   return {FaultModel::count(config.eps)};
 }
 
-// Resolves the (algorithm, model) series grid; throws on unknown names.
+// Resolves the (variant, model) series grid; series keys derive from the
+// variants, so two variants of the same algorithm with different bound
+// parameters get distinct series. Duplicate keys (the same variant twice,
+// or two variants whose canonical specs coincide) throw — they would
+// silently share crash streams and overwrite each other's columns.
 std::vector<SeriesSpec> build_series(const SweepConfig& config) {
-  const std::vector<const Scheduler*> schedulers = resolve_schedulers(config.algos);
   const std::vector<FaultModel> models = effective_models(config);
   const bool decorate = models.size() > 1 || models.front().is_probabilistic();
   std::vector<SeriesSpec> series;
-  series.reserve(schedulers.size() * models.size());
-  for (const Scheduler* algo : schedulers) {
+  series.reserve(config.algos.size() * models.size());
+  for (const AlgoVariant& variant : config.algos) {
     for (const FaultModel& model : models) {
       SeriesSpec spec;
-      spec.algo = algo;
+      spec.variant = variant;
       spec.model = model;
-      spec.name = decorate ? algo->name + "@" + model.to_string() : algo->name;
-      spec.label = decorate ? algo->label + " [" + model.to_string() + "]" : algo->label;
+      // Probe what the variant's bound parameters leave of the series
+      // model (eps resets it to a count model, R replaces it; unbound
+      // variants keep the axis model — the bit-identical legacy path).
+      SchedulerOptions probe;
+      probe.eps = config.eps;
+      probe.fault_model = model;
+      variant.params().apply(probe);
+      spec.effective = probe.model();
+      spec.name = decorate ? variant.name() + "@" + model.to_string() : variant.name();
+      spec.label = decorate ? variant.label() + " [" + model.to_string() + "]"
+                            : variant.label();
+      for (const SeriesSpec& existing : series) {
+        if (existing.name == spec.name) {
+          throw std::invalid_argument("duplicate sweep series '" + spec.name +
+                                      "'; give variants distinct parameters");
+        }
+      }
       series.push_back(std::move(spec));
     }
   }
@@ -73,14 +99,14 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
   out.sim0 = sim0.mean_latency * norm;
   if (!sim0.complete) out.starved = true;
 
-  // Crash trials are drawn from the fault model: uniform c-subsets for
-  // count models (which skip the series entirely at c = 0), Bernoulli
-  // per-processor crash sets for probabilistic ones.
-  if (config.crashes > 0 || spec.model.is_probabilistic()) {
+  // Crash trials are drawn from the series' effective fault model: uniform
+  // c-subsets for count models (which skip the series entirely at c = 0),
+  // Bernoulli per-processor crash sets for probabilistic ones.
+  if (config.crashes > 0 || spec.effective.is_probabilistic()) {
     RunningStats crash_latency;
     for (std::size_t trial = 0; trial < config.crash_trials; ++trial) {
-      const SimResult simc =
-          simulate_with_sampled_failures(schedule, spec.model, config.crashes, rng, sim_options);
+      const SimResult simc = simulate_with_sampled_failures(schedule, spec.effective,
+                                                           config.crashes, rng, sim_options);
       if (!simc.complete) {
         out.starved = true;
         continue;
@@ -96,7 +122,7 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
     out.simc = out.sim0;
   }
 
-  if (spec.model.is_probabilistic()) {
+  if (spec.effective.is_probabilistic()) {
     // The repair pass already estimated the final reliability with the
     // default budget; reuse it so the column never contradicts the
     // repair's verdict and the estimation cost is paid once.
@@ -149,21 +175,40 @@ const std::vector<double>& period_escalation_ladder() {
 }
 
 std::pair<ScheduleResult, double> schedule_with_period_escalation(
-    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    const AlgoVariant& variant, const Dag& dag, const Platform& platform, double period,
     SchedulerOptions options) {
   ScheduleResult result;
   for (double factor : period_escalation_ladder()) {
     options.period = period * factor;
-    result = scheduler.schedule(dag, platform, options);
+    result = variant.schedule(dag, platform, options);
     if (result.ok()) return {std::move(result), factor};
   }
   return {std::move(result), 0.0};
 }
 
 std::pair<ScheduleResult, double> schedule_with_period_escalation(
-    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options) {
-  return schedule_with_period_escalation(scheduler, inst.dag, inst.platform, inst.period,
+    const AlgoVariant& variant, const Instance& inst, SchedulerOptions options) {
+  return schedule_with_period_escalation(variant, inst.dag, inst.platform, inst.period,
                                          std::move(options));
+}
+
+std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    SchedulerOptions options) {
+  return schedule_with_period_escalation(AlgoVariant(scheduler), dag, platform, period,
+                                         std::move(options));
+}
+
+std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Instance& inst, SchedulerOptions options) {
+  return schedule_with_period_escalation(AlgoVariant(scheduler), inst, std::move(options));
+}
+
+bool sweep_has_probabilistic_series(const SweepConfig& config) {
+  for (const SeriesSpec& spec : build_series(config)) {
+    if (spec.effective.is_probabilistic()) return true;
+  }
+  return false;
 }
 
 InstanceRecord run_instance(const SweepConfig& config, double granularity,
@@ -207,7 +252,7 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
 
   for (std::size_t i = 0; i < series.size(); ++i) {
     const SeriesSpec& spec = series[i];
-    const CopyId model_eps = spec.model.derive_eps(inst.platform, inst.dag.num_tasks());
+    const CopyId model_eps = spec.effective.derive_eps(inst.platform, inst.dag.num_tasks());
     // Each series is scheduled at the period its replication degree was
     // calibrated for; the shared config.eps calibration is reused verbatim
     // when the degrees coincide (the legacy path).
@@ -218,10 +263,10 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
                                                  config.workload.comm_share);
     SchedulerOptions options;
     options.eps = model_eps;
-    options.fault_model = spec.model;
+    options.fault_model = spec.effective;
     options.repair = true;  // enforce the fault model's guarantee
-    auto [result, factor] =
-        schedule_with_period_escalation(*spec.algo, inst.dag, inst.platform, period, options);
+    auto [result, factor] = schedule_with_period_escalation(spec.variant, inst.dag,
+                                                            inst.platform, period, options);
     record.outcomes[i] = measure(config, spec, model_eps, std::move(result), factor,
                                  crash_rngs[i]);
   }
@@ -232,13 +277,16 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
   SS_REQUIRE(config.g_min > 0.0 && config.g_step > 0.0 && config.g_max >= config.g_min,
              "invalid granularity range");
   SS_REQUIRE(!config.algos.empty(), "sweep needs at least one algorithm");
-  for (const FaultModel& model : effective_models(config)) {
-    if (model.is_count()) {
-      SS_REQUIRE(config.crashes <= model.eps(), "cannot crash more processors than eps");
+  // Build the series grid up front so duplicate series keys fail before
+  // any work is spent, and check the crash count against each series'
+  // *effective* model (a variant may override the axis model via eps/R).
+  const std::vector<SeriesSpec> series_specs = build_series(config);
+  for (const SeriesSpec& spec : series_specs) {
+    if (spec.effective.is_count()) {
+      SS_REQUIRE(config.crashes <= spec.effective.eps(),
+                 "cannot crash more processors than eps");
     }
   }
-  // Resolve up front so an unknown name fails before any work is spent.
-  const std::vector<SeriesSpec> series_specs = build_series(config);
 
   std::vector<double> gs;
   for (double g = config.g_min; g <= config.g_max + 1e-9; g += config.g_step) gs.push_back(g);

@@ -11,15 +11,20 @@
 #include <utility>
 #include <vector>
 
-#include "core/registry.hpp"
+#include "core/variant.hpp"
 #include "exp/workload.hpp"
 
 namespace streamsched {
 
 struct SweepConfig {
   WorkloadParams workload;
-  /// Registry names of the algorithms to sweep, in series order.
-  std::vector<std::string> algos{"ltf", "rltf"};
+  /// Algorithm variants to sweep, in series order. Plain registry names
+  /// keep working (`{"ltf", "rltf"}` — the implicit AlgoVariant spec
+  /// conversion), and parameterized variants (`"rltf[chunk=4,rule1=off]"`)
+  /// get their own distinctly-keyed series. Unknown algorithms/parameters
+  /// throw at spec construction; two variants with the same derived series
+  /// key are rejected by the sweep.
+  std::vector<AlgoVariant> algos{"ltf", "rltf"};
   CopyId eps = 1;
   /// Fault models to sweep: the series are keyed (algorithm, model), one
   /// per combination. Empty means the scalar model CountModel(eps) with
@@ -75,7 +80,7 @@ struct InstanceRecord {
   double period = 0.0;      ///< nominal Δ for the requested ε
   double ff_period = 0.0;   ///< the fault-free reference's own ε=0 period
   double ff_sim0 = 0.0;     ///< fault-free latency, normalized
-  /// Series keys (registry names, or "<algo>@<model>" when fault models
+  /// Series keys (variant names, or "<variant>@<model>" when fault models
   /// are configured), in config order; parallel to `outcomes`.
   std::vector<std::string> algos;
   std::vector<AlgoOutcome> outcomes;
@@ -88,8 +93,8 @@ struct InstanceRecord {
 /// granularity point (means over the instances where the algorithm
 /// succeeded).
 struct AlgoSeries {
-  std::string name;   ///< series key: registry name, or "<algo>@<model>"
-  std::string label;  ///< display label (from the registry, plus the model)
+  std::string name;   ///< series key: variant name, or "<variant>@<model>"
+  std::string label;  ///< display label (from the variant, plus the model)
 
   double ub = 0.0;
   double sim0 = 0.0;
@@ -137,16 +142,31 @@ struct PointStats {
 /// inflation factor (the analogue of "LTF needs two more processors").
 [[nodiscard]] const std::vector<double>& period_escalation_ladder();
 
-/// Runs `scheduler` at `period` times each ladder factor until it
-/// succeeds. Returns the result and the successful factor (0.0 when every
-/// rung failed; the result then holds the last failure).
+/// Runs `variant` at `period` times each ladder factor until it succeeds.
+/// Returns the result and the successful factor (0.0 when every rung
+/// failed; the result then holds the last failure).
 [[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
-    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    const AlgoVariant& variant, const Dag& dag, const Platform& platform, double period,
     SchedulerOptions options);
 
 /// Convenience overload escalating from inst.period.
 [[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const AlgoVariant& variant, const Instance& inst, SchedulerOptions options);
+
+/// Plain-scheduler overloads (a registry entry is the no-parameter
+/// variant of itself).
+[[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
+    const Scheduler& scheduler, const Dag& dag, const Platform& platform, double period,
+    SchedulerOptions options);
+[[nodiscard]] std::pair<ScheduleResult, double> schedule_with_period_escalation(
     const Scheduler& scheduler, const Instance& inst, SchedulerOptions options);
+
+/// True when any (variant, fault model) series of the config is measured
+/// under a probabilistic model — including variants that override the
+/// model by binding the base parameter `R`. Benches use this to default
+/// the platform failure-probability range (a probabilistic series on a
+/// never-failing platform is vacuous).
+[[nodiscard]] bool sweep_has_probabilistic_series(const SweepConfig& config);
 
 /// Runs a single instance (exposed for tests and ablation benches).
 [[nodiscard]] InstanceRecord run_instance(const SweepConfig& config, double granularity,
@@ -154,7 +174,9 @@ struct PointStats {
 
 /// Runs the full sweep, parallelized over instances; deterministic in the
 /// seed regardless of thread count. Throws std::invalid_argument on an
-/// unknown algorithm name or an invalid granularity/crash configuration.
+/// invalid granularity/crash configuration or duplicate series keys
+/// (unknown algorithms/parameters already threw when the AlgoVariant
+/// specs were constructed).
 [[nodiscard]] std::vector<PointStats> run_granularity_sweep(const SweepConfig& config);
 
 }  // namespace streamsched

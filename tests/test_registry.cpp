@@ -1,12 +1,13 @@
 // Tests for the scheduler registry: built-in registration, lookup by name,
-// unknown-name errors, option tweaks, CLI selection, and every registered
-// algorithm producing a validate()-clean schedule on the paper's Figure 2
-// instance.
+// unknown-name errors, option tweaks, declared parameter spaces, CLI
+// variant selection, and every registered algorithm producing a
+// validate()-clean schedule on the paper's Figure 2 instance.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 
 #include "core/registry.hpp"
+#include "core/variant.hpp"
 #include "graph/generators.hpp"
 #include "platform/generators.hpp"
 #include "schedule/metrics.hpp"
@@ -48,9 +49,10 @@ TEST(Registry, RejectsBadRegistrations) {
   const auto noop_fn = [](const Dag&, const Platform&, const SchedulerOptions&) {
     return ScheduleResult::failure("noop");
   };
-  EXPECT_THROW(registry.add({"", "Empty", "", noop_fn, {}}), std::invalid_argument);
-  EXPECT_THROW(registry.add({"ltf", "Duplicate", "", noop_fn, {}}), std::invalid_argument);
-  EXPECT_THROW(registry.add({"fnless", "NoFn", "", {}, {}}), std::invalid_argument);
+  EXPECT_THROW(registry.add({"", "Empty", "", noop_fn, {}, {}}), std::invalid_argument);
+  EXPECT_THROW(registry.add({"ltf", "Duplicate", "", noop_fn, {}, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(registry.add({"fnless", "NoFn", "", {}, {}, {}}), std::invalid_argument);
 }
 
 TEST(Registry, ResolveSchedulersKeepsOrderAndThrowsOnUnknown) {
@@ -78,11 +80,36 @@ TEST(Registry, FaultFreeTweakForcesEpsZero) {
   EXPECT_EQ(r.schedule->copies(), 1u);  // no replication despite eps = 3
 }
 
-TEST(Registry, ListingMentionsEveryAlgorithm) {
+TEST(Registry, ListingMentionsEveryAlgorithmAndItsParameterSpace) {
   const std::string listing = registry_listing();
   for (const std::string& name : SchedulerRegistry::instance().names()) {
     EXPECT_NE(listing.find(name), std::string::npos) << name;
   }
+  // The declared spaces are part of the help listing.
+  EXPECT_NE(listing.find("chunk"), std::string::npos);
+  EXPECT_NE(listing.find("rule1"), std::string::npos);
+  EXPECT_NE(listing.find("int in [0, 4096]"), std::string::npos);
+}
+
+TEST(Registry, BuiltInsDeclareTheirTunables) {
+  const Scheduler& rltf = find_scheduler("rltf");
+  ASSERT_NE(rltf.space.find("chunk"), nullptr);
+  ASSERT_NE(rltf.space.find("one_to_one"), nullptr);
+  ASSERT_NE(rltf.space.find("rule1"), nullptr);
+  ASSERT_NE(rltf.space.find("eps"), nullptr);
+  ASSERT_NE(rltf.space.find("R"), nullptr);
+  ASSERT_NE(rltf.space.find("repair"), nullptr);
+  EXPECT_EQ(rltf.space.find("bogus"), nullptr);
+
+  const Scheduler& ltf = find_scheduler("ltf");
+  EXPECT_NE(ltf.space.find("chunk"), nullptr);
+  EXPECT_EQ(ltf.space.find("rule1"), nullptr);  // rule1 is R-LTF-only
+
+  // Baselines expose only the shared base tunables; the fault-free
+  // reference has no knobs at all.
+  EXPECT_NE(find_scheduler("heft").space.find("eps"), nullptr);
+  EXPECT_EQ(find_scheduler("heft").space.find("chunk"), nullptr);
+  EXPECT_TRUE(find_scheduler("fault_free").space.empty());
 }
 
 // The acceptance bar of the refactor: every built-in scheduler produces a
@@ -114,36 +141,61 @@ TEST(Registry, SchedulersFromCliSelectsAndHelps) {
   {
     const char* argv[] = {"prog", "--algo=ltf,rltf"};
     Cli cli(2, argv);
-    const auto algos = schedulers_from_cli(cli, "rltf");
+    const AlgoSelection selection = schedulers_from_cli(cli, "rltf");
     cli.finish();
-    ASSERT_EQ(algos.size(), 2u);
-    EXPECT_EQ(algos[0]->name, "ltf");
-    EXPECT_EQ(algos[1]->name, "rltf");
+    EXPECT_FALSE(selection.help_requested());
+    ASSERT_EQ(selection.variants.size(), 2u);
+    EXPECT_EQ(selection.variants[0].name(), "ltf");
+    EXPECT_EQ(selection.variants[1].name(), "rltf");
   }
   {
     const char* argv[] = {"prog"};
     Cli cli(1, argv);
-    const auto algos = schedulers_from_cli(cli, "stage_pack");
-    ASSERT_EQ(algos.size(), 1u);
-    EXPECT_EQ(algos[0]->name, "stage_pack");
+    const AlgoSelection selection = schedulers_from_cli(cli, "stage_pack");
+    ASSERT_EQ(selection.variants.size(), 1u);
+    EXPECT_EQ(selection.variants[0].name(), "stage_pack");
   }
   {
+    // Variant specs carry bound parameters through --algo; commas inside
+    // the brackets belong to the spec, not the list.
+    const char* argv[] = {"prog", "--algo=rltf[chunk=4,rule1=off],ltf"};
+    Cli cli(2, argv);
+    const AlgoSelection selection = schedulers_from_cli(cli, "rltf");
+    cli.finish();
+    ASSERT_EQ(selection.variants.size(), 2u);
+    EXPECT_EQ(selection.variants[0].name(), "rltf[chunk=4,rule1=off]");
+    EXPECT_EQ(selection.variants[0].label(), "R-LTF[chunk=4,rule1=off]");
+    EXPECT_EQ(selection.variants[1].name(), "ltf");
+  }
+  {
+    // The explicit help-requested signal: no sentinel empty vector the
+    // caller must "know" about.
     const char* argv[] = {"prog", "--algo=help"};
     Cli cli(2, argv);
     testing::internal::CaptureStdout();
-    const auto algos = schedulers_from_cli(cli, "rltf");
+    const AlgoSelection selection = schedulers_from_cli(cli, "rltf");
     const std::string out = testing::internal::GetCapturedStdout();
-    EXPECT_TRUE(algos.empty());
+    EXPECT_TRUE(selection.help_requested());
+    EXPECT_TRUE(selection.variants.empty());
     EXPECT_NE(out.find("registered schedulers"), std::string::npos);
+    // The listing includes each algorithm's declared parameter space.
+    EXPECT_NE(out.find("chunk"), std::string::npos);
+    EXPECT_NE(out.find("rule1"), std::string::npos);
   }
   {
     const char* argv[] = {"prog", "--algo=all"};
     Cli cli(2, argv);
-    const auto algos = schedulers_from_cli(cli, "rltf");
-    EXPECT_EQ(algos.size(), SchedulerRegistry::instance().all().size());
+    const AlgoSelection selection = schedulers_from_cli(cli, "rltf");
+    EXPECT_FALSE(selection.help_requested());
+    EXPECT_EQ(selection.variants.size(), SchedulerRegistry::instance().all().size());
   }
   {
     const char* argv[] = {"prog", "--algo=bogus"};
+    Cli cli(2, argv);
+    EXPECT_THROW((void)schedulers_from_cli(cli, "rltf"), std::invalid_argument);
+  }
+  {
+    const char* argv[] = {"prog", "--algo=rltf[chunk=4"};
     Cli cli(2, argv);
     EXPECT_THROW((void)schedulers_from_cli(cli, "rltf"), std::invalid_argument);
   }

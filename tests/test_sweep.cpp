@@ -36,7 +36,9 @@ TEST(Sweep, RunInstanceProducesConsistentRecord) {
   ASSERT_TRUE(rec.usable);
   EXPECT_GT(rec.period, 0.0);
   EXPECT_GT(rec.ff_sim0, 0.0);
-  ASSERT_EQ(rec.algos, config.algos);
+  std::vector<std::string> expected_keys;
+  for (const AlgoVariant& v : config.algos) expected_keys.push_back(v.name());
+  ASSERT_EQ(rec.algos, expected_keys);
   ASSERT_EQ(rec.outcomes.size(), config.algos.size());
   const AlgoOutcome* ltf = rec.outcome("ltf");
   const AlgoOutcome* rltf = rec.outcome("rltf");
@@ -105,7 +107,7 @@ TEST(Sweep, SeriesShapesMatchThePaper) {
 // sweep's series to match bit for bit.
 TEST(Sweep, GenericSeriesMatchFieldPairSemantics) {
   const SweepConfig config = tiny_config();
-  ASSERT_EQ(config.algos, (std::vector<std::string>{"ltf", "rltf"}));
+  ASSERT_EQ(config.algos, (std::vector<AlgoVariant>{"ltf", "rltf"}));
   const auto points = run_granularity_sweep(config);
   ASSERT_EQ(points.size(), 3u);
 
@@ -295,9 +297,94 @@ TEST(Sweep, RejectsBadConfig) {
   SweepConfig config3 = tiny_config();
   config3.algos = {};
   EXPECT_THROW((void)run_granularity_sweep(config3), std::invalid_argument);
+  // Unknown algorithms and unknown/out-of-range parameters now fail at
+  // variant-spec construction — before any sweep work is spent.
   SweepConfig config4 = tiny_config();
-  config4.algos = {"ltf", "no_such_algorithm"};
-  EXPECT_THROW((void)run_granularity_sweep(config4), std::invalid_argument);
+  EXPECT_THROW((config4.algos = {"ltf", "no_such_algorithm"}), std::invalid_argument);
+  EXPECT_THROW((config4.algos = {"rltf[bogus=1]"}), std::invalid_argument);
+  // Two variants with the same derived series key would silently share
+  // crash streams — the sweep rejects them.
+  SweepConfig config5 = tiny_config();
+  config5.algos = {"rltf", "rltf"};
+  EXPECT_THROW((void)run_granularity_sweep(config5), std::invalid_argument);
+  SweepConfig config6 = tiny_config();
+  config6.algos = {AlgoVariant("rltf[chunk=4]"), AlgoVariant("rltf[chunk=4]")};
+  EXPECT_THROW((void)run_granularity_sweep(config6), std::invalid_argument);
+}
+
+// The tentpole acceptance: variants of the same algorithm with different
+// bound parameters sweep as distinctly-keyed, distinctly-labeled series —
+// and the plain series stays bit-identical to a sweep without the extra
+// variant (series streams are keyed by variant name).
+TEST(Sweep, ParameterizedVariantsGetTheirOwnSeries) {
+  SweepConfig config = tiny_config();
+  config.algos = {"rltf", "rltf[chunk=1,rule1=off]"};
+  config.g_min = 1.0;
+  config.g_max = 1.0;
+  const auto points = run_granularity_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  ASSERT_EQ(points[0].series.size(), 2u);
+  const AlgoSeries& plain = points[0].at("rltf");
+  const AlgoSeries& ablated = points[0].at("rltf[chunk=1,rule1=off]");
+  EXPECT_EQ(plain.label, "R-LTF");
+  EXPECT_EQ(ablated.label, "R-LTF[chunk=1,rule1=off]");
+  EXPECT_TRUE(ablated.sim0 > 0.0 || ablated.failures > 0);
+
+  SweepConfig lone = tiny_config();
+  lone.algos = {"rltf"};
+  lone.g_min = 1.0;
+  lone.g_max = 1.0;
+  const auto alone = run_granularity_sweep(lone);
+  EXPECT_DOUBLE_EQ(points[0].at("rltf").sim0, alone[0].at("rltf").sim0);
+  EXPECT_DOUBLE_EQ(points[0].at("rltf").simc, alone[0].at("rltf").simc);
+  EXPECT_DOUBLE_EQ(points[0].at("rltf").ub, alone[0].at("rltf").ub);
+
+  // The figure layer derives its columns from the variant labels.
+  const Table bounds = figure_latency_bounds(points);
+  EXPECT_EQ(bounds.num_cols(), 5u);
+  const std::string rendered = render_figure(points, "variants", 1);
+  EXPECT_NE(rendered.find("R-LTF[chunk=1,rule1=off]"), std::string::npos);
+}
+
+// A variant binding the base params eps/R overrides the series' fault
+// model, and the sweep measures it consistently: the replication degree,
+// period calibration and crash sampling all follow the effective model.
+TEST(Sweep, VariantBoundEpsOverridesTheSeriesModelConsistently) {
+  SweepConfig config = tiny_config();
+  config.algos = {"rltf", "rltf[eps=2,repair=on]"};
+  config.g_min = 1.0;
+  config.g_max = 1.0;
+  const auto points = run_granularity_sweep(config);
+  ASSERT_EQ(points.size(), 1u);
+  const AlgoSeries& plain = points[0].at("rltf");
+  const AlgoSeries& boosted = points[0].at("rltf[eps=2,repair=on]");
+  EXPECT_GT(boosted.sim0, 0.0);
+  // eps=2 builds three replicas per task: strictly more supply channels
+  // than the eps=1 series on aggregate, and no starvation (the schedule
+  // tolerates the single sampled crash by a margin).
+  EXPECT_GT(boosted.comms, plain.comms);
+  EXPECT_EQ(points[0].starved, 0u);
+
+  // A variant that drops the replication below the crash count is
+  // rejected up front — the guard checks the *effective* model.
+  SweepConfig bad = tiny_config();
+  bad.algos = {"rltf[eps=0]"};
+  EXPECT_THROW((void)run_granularity_sweep(bad), std::invalid_argument);
+}
+
+// The tournament emitters (ROADMAP "win/loss matrices"): per-point winners
+// and the pairwise win/loss matrix, sized by the series list.
+TEST(Sweep, TournamentEmittersReportWinners) {
+  const auto points = run_granularity_sweep(tiny_config());
+  const Table tournament = figure_tournament(points);
+  EXPECT_EQ(tournament.num_rows(), points.size());
+  EXPECT_EQ(tournament.num_cols(), 6u);
+  const Table matrix = tournament_matrix(points);
+  EXPECT_EQ(matrix.num_rows(), 2u);        // ltf, rltf
+  EXPECT_EQ(matrix.num_cols(), 1u + 2u + 1u);  // label, 2 opponents, vs FF
+  const std::string rendered = render_figure(points, "tourney", 1);
+  EXPECT_NE(rendered.find("Tournament"), std::string::npos);
+  EXPECT_NE(rendered.find("winner"), std::string::npos);
 }
 
 }  // namespace
