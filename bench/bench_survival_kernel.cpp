@@ -1,0 +1,214 @@
+// Microbench of the compiled survival kernel (schedule/survival.hpp)
+// against the legacy per-set vector<bool> walk, across platform sizes
+// m ∈ {8, 16, 32, 64}:
+//
+//   - exact mode: end-to-end `schedule_reliability` latency and enumerated
+//     sets/sec under the default truncation budget (reported only for the
+//     m whose enumeration fits the budget — larger platforms fall to MC);
+//   - Monte-Carlo mode (enumeration budget forced to 0): the 20k-sample
+//     importance-sampled path, legacy vs oracle at one thread and oracle
+//     at `--threads` workers.
+//
+// Both kernels must agree: exact reliabilities bit-identical, MC estimates
+// identical at a fixed seed (the oracle pre-draws every sample from the
+// same stream). A mismatch aborts the bench with exit code 1.
+//
+// Results are printed and written to `--json` (default BENCH_survival.json)
+// via bench/emit_bench_json.hpp so CI can archive the perf trajectory.
+//
+// Flags: --mc-samples N (default 20000), --reps N (timing repetitions,
+// best-of; default 3), --seed S, --threads N (0 = hardware concurrency),
+// --eps E (replication degree of the benched schedules, default 2),
+// --json PATH.
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <limits>
+#include <thread>
+
+#include "core/rltf.hpp"
+#include "emit_bench_json.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace streamsched;
+
+/// Best-of-`reps` wall time of fn() in seconds.
+template <typename Fn>
+double best_seconds(std::int64_t reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::int64_t rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const auto mc_samples =
+      static_cast<std::uint64_t>(cli.get_int("mc-samples", 20000, "STREAMSCHED_MC_SAMPLES"));
+  const std::int64_t reps = cli.get_int("reps", 3, "STREAMSCHED_REPS");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, "STREAMSCHED_SEED"));
+  auto threads = static_cast<std::size_t>(cli.get_int("threads", 0, "STREAMSCHED_THREADS"));
+  const auto eps = static_cast<CopyId>(cli.get_int("eps", 2, ""));
+  const std::string json_path = cli.get_string("json", "BENCH_survival.json", "");
+  cli.finish();
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+
+  bench::BenchJson doc("survival_kernel");
+  doc.meta()
+      .add("mc_samples", mc_samples)
+      .add("reps", static_cast<std::int64_t>(reps))
+      .add("seed", seed)
+      .add("eps", static_cast<std::int64_t>(eps))
+      .add("threads", static_cast<std::uint64_t>(threads));
+
+  bool ok = true;
+  for (const std::size_t m : {8, 16, 32, 64}) {
+    Rng rng(seed + 0x9e3779b97f4a7c15ULL * m);
+    const Platform platform = make_reliability_heterogeneous(rng, m, 0.02, 0.08);
+    const Dag dag = make_random_layered(rng, 2 * m + 8, 5, 0.3, WeightRanges{});
+    SchedulerOptions options;
+    options.eps = eps;
+    options.period = std::numeric_limits<double>::infinity();
+    options.repair = true;
+    const ScheduleResult r = rltf_schedule(dag, platform, options);
+    if (!r.ok()) {
+      std::cerr << "m=" << m << ": scheduling failed (" << r.error << "), skipping\n";
+      continue;
+    }
+    const Schedule& schedule = *r.schedule;
+    std::cout << "m=" << m << "  tasks=" << dag.num_tasks() << "  copies=" << schedule.copies()
+              << "  comms=" << schedule.comms().size() << '\n';
+
+    ReliabilityOptions oracle_opts;
+    ReliabilityOptions legacy_opts;
+    legacy_opts.kernel = SurvivalKernel::kLegacy;
+
+    // --- exact mode (only when the default budget keeps it exact) -------
+    const ReliabilityEstimate probe = schedule_reliability(schedule, oracle_opts);
+    if (probe.exact) {
+      const double t_legacy =
+          best_seconds(reps, [&] { (void)schedule_reliability(schedule, legacy_opts); });
+      const double t_oracle =
+          best_seconds(reps, [&] { (void)schedule_reliability(schedule, oracle_opts); });
+      const ReliabilityEstimate legacy = schedule_reliability(schedule, legacy_opts);
+      const auto k_max = static_cast<std::uint64_t>(probe.k_max);
+      if (legacy.reliability != probe.reliability ||
+          legacy.sets_checked != probe.sets_checked) {
+        std::cerr << "MISMATCH m=" << m << " exact: legacy=" << legacy.reliability
+                  << " oracle=" << probe.reliability << '\n';
+        ok = false;
+      }
+      const double speedup = t_legacy / t_oracle;
+      std::cout << "  exact  k_max=" << k_max << "  sets=" << probe.sets_checked
+                << "  legacy=" << t_legacy * 1e3 << "ms  oracle=" << t_oracle * 1e3
+                << "ms  speedup=" << speedup << "x\n";
+      doc.add_result()
+          .add("m", static_cast<std::uint64_t>(m))
+          .add("mode", "exact")
+          .add("kernel", "legacy")
+          .add("k_max", k_max)
+          .add("sets_checked", legacy.sets_checked)
+          .add("seconds", t_legacy)
+          .add("sets_per_sec", static_cast<double>(legacy.sets_checked) / t_legacy)
+          .add("reliability", legacy.reliability);
+      doc.add_result()
+          .add("m", static_cast<std::uint64_t>(m))
+          .add("mode", "exact")
+          .add("kernel", "oracle")
+          .add("k_max", k_max)
+          .add("sets_checked", probe.sets_checked)
+          .add("seconds", t_oracle)
+          .add("sets_per_sec", static_cast<double>(probe.sets_checked) / t_oracle)
+          .add("reliability", probe.reliability)
+          .add("speedup_vs_legacy", speedup)
+          .add("match_legacy", legacy.reliability == probe.reliability);
+    } else {
+      std::cout << "  exact  skipped (enumeration beyond budget)\n";
+      doc.add_result()
+          .add("m", static_cast<std::uint64_t>(m))
+          .add("mode", "exact")
+          .add("kernel", "none")
+          .add("skipped", true)
+          .add("reason", "enumeration beyond max_sets budget");
+    }
+
+    // --- Monte-Carlo mode (forced) --------------------------------------
+    ReliabilityOptions mc_oracle = oracle_opts;
+    mc_oracle.max_sets = 0;
+    mc_oracle.mc_samples = mc_samples;
+    ReliabilityOptions mc_legacy = mc_oracle;
+    mc_legacy.kernel = SurvivalKernel::kLegacy;
+    ReliabilityOptions mc_threaded = mc_oracle;
+    mc_threaded.mc_threads = threads;
+
+    const double t_mc_legacy =
+        best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_legacy); });
+    const double t_mc_oracle =
+        best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_oracle); });
+    const double t_mc_threaded =
+        best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_threaded); });
+    const ReliabilityEstimate mc_l = schedule_reliability(schedule, mc_legacy);
+    const ReliabilityEstimate mc_o = schedule_reliability(schedule, mc_oracle);
+    const ReliabilityEstimate mc_t = schedule_reliability(schedule, mc_threaded);
+    if (mc_l.reliability != mc_o.reliability || mc_o.reliability != mc_t.reliability) {
+      std::cerr << "MISMATCH m=" << m << " mc: legacy=" << mc_l.reliability
+                << " oracle=" << mc_o.reliability << " threaded=" << mc_t.reliability << '\n';
+      ok = false;
+    }
+    std::cout << "  mc     samples=" << mc_samples << "  legacy=" << t_mc_legacy * 1e3
+              << "ms  oracle=" << t_mc_oracle * 1e3 << "ms ("
+              << t_mc_legacy / t_mc_oracle << "x)  oracle@" << threads << "t="
+              << t_mc_threaded * 1e3 << "ms (" << t_mc_legacy / t_mc_threaded << "x)\n";
+    doc.add_result()
+        .add("m", static_cast<std::uint64_t>(m))
+        .add("mode", "mc")
+        .add("kernel", "legacy")
+        .add("mc_threads", std::uint64_t{1})
+        .add("sets_checked", mc_l.sets_checked)
+        .add("seconds", t_mc_legacy)
+        .add("sets_per_sec", static_cast<double>(mc_l.sets_checked) / t_mc_legacy)
+        .add("reliability", mc_l.reliability);
+    doc.add_result()
+        .add("m", static_cast<std::uint64_t>(m))
+        .add("mode", "mc")
+        .add("kernel", "oracle")
+        .add("mc_threads", std::uint64_t{1})
+        .add("sets_checked", mc_o.sets_checked)
+        .add("seconds", t_mc_oracle)
+        .add("sets_per_sec", static_cast<double>(mc_o.sets_checked) / t_mc_oracle)
+        .add("reliability", mc_o.reliability)
+        .add("speedup_vs_legacy", t_mc_legacy / t_mc_oracle)
+        .add("match_legacy", mc_l.reliability == mc_o.reliability);
+    doc.add_result()
+        .add("m", static_cast<std::uint64_t>(m))
+        .add("mode", "mc")
+        .add("kernel", "oracle")
+        .add("mc_threads", static_cast<std::uint64_t>(threads))
+        .add("sets_checked", mc_t.sets_checked)
+        .add("seconds", t_mc_threaded)
+        .add("sets_per_sec", static_cast<double>(mc_t.sets_checked) / t_mc_threaded)
+        .add("reliability", mc_t.reliability)
+        .add("speedup_vs_legacy", t_mc_legacy / t_mc_threaded)
+        .add("match_legacy", mc_l.reliability == mc_t.reliability);
+  }
+
+  doc.write(json_path);
+  std::cout << "(wrote " << json_path << ")\n";
+  if (!ok) {
+    std::cerr << "kernel mismatch detected — see above\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Minimal JSON emission for perf benches: a BenchJson document is a named
+// set of top-level metadata fields plus a flat "results" array of records,
+// written to a file like BENCH_survival.json so CI can archive the perf
+// trajectory run over run. Insertion order is preserved, doubles are
+// emitted with round-trip precision (non-finite values become null), and
+// strings are escaped — just enough JSON for machine-diffable bench
+// output, not a general-purpose serializer.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace streamsched::bench {
+
+class JsonObject {
+ public:
+  JsonObject& add(const std::string& key, const std::string& value) {
+    return put(key, quote(value));
+  }
+  JsonObject& add(const std::string& key, const char* value) {
+    return put(key, quote(value));
+  }
+  JsonObject& add(const std::string& key, bool value) {
+    return put(key, value ? "true" : "false");
+  }
+  JsonObject& add(const std::string& key, double value) {
+    return put(key, number(value));
+  }
+  JsonObject& add(const std::string& key, std::uint64_t value) {
+    return put(key, std::to_string(value));
+  }
+  JsonObject& add(const std::string& key, std::int64_t value) {
+    return put(key, std::to_string(value));
+  }
+
+  [[nodiscard]] std::string str(int indent = 0) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    std::string out = "{";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out += i == 0 ? "" : ",";
+      out += "\n" + pad + "  " + quote(fields_[i].first) + ": " + fields_[i].second;
+    }
+    out += "\n" + pad + "}";
+    return out;
+  }
+
+  static std::string quote(const std::string& s) {
+    std::string out = "\"";
+    for (char ch : s) {
+      switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(ch) < 0x20) {
+            std::ostringstream esc;
+            esc << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+                << static_cast<int>(static_cast<unsigned char>(ch));
+            out += esc.str();
+          } else {
+            out += ch;
+          }
+      }
+    }
+    return out + "\"";
+  }
+
+  static std::string number(double value) {
+    if (!(value == value) || value == std::numeric_limits<double>::infinity() ||
+        value == -std::numeric_limits<double>::infinity()) {
+      return "null";  // JSON has no inf/nan
+    }
+    std::ostringstream out;
+    out << std::setprecision(std::numeric_limits<double>::max_digits10) << value;
+    return out.str();
+  }
+
+ private:
+  JsonObject& put(const std::string& key, std::string serialized) {
+    fields_.emplace_back(key, std::move(serialized));
+    return *this;
+  }
+
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// One bench document: `meta()` fields land at the top level next to the
+/// bench name, each `add_result()` record joins the "results" array.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  JsonObject& meta() { return meta_; }
+  JsonObject& add_result() {
+    results_.emplace_back();
+    return results_.back();
+  }
+
+  [[nodiscard]] std::string str() const {
+    std::string out = "{\n  \"bench\": " + JsonObject::quote(name_);
+    const std::string meta = meta_.str();
+    // Splice the metadata object's fields (strip its braces) after "bench".
+    if (meta.size() > 3) {
+      out += ',';
+      out.append(meta, 1, meta.size() - 3);
+    }
+    out += ",\n  \"results\": [";
+    for (std::size_t i = 0; i < results_.size(); ++i) {
+      out += i == 0 ? "\n    " : ",\n    ";
+      out += results_[i].str(4);
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  void write(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+    out << str();
+  }
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::deque<JsonObject> results_;  // stable references from add_result()
+};
+
+}  // namespace streamsched::bench

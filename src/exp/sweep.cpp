@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/rltf.hpp"
 #include "schedule/metrics.hpp"
+#include "schedule/survival.hpp"
 #include "sim/engine.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
@@ -101,12 +103,18 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
 
   // Crash trials are drawn from the series' effective fault model: uniform
   // c-subsets for count models (which skip the series entirely at c = 0),
-  // Bernoulli per-processor crash sets for probabilistic ones.
+  // Bernoulli per-processor crash sets for probabilistic ones. The oracle
+  // is compiled once per schedule so trials whose sampled set kills the
+  // schedule skip the event simulation (identical outcome: the trial
+  // starves either way).
   if (config.crashes > 0 || spec.effective.is_probabilistic()) {
+    std::optional<SurvivalOracle> oracle;
+    if (schedule.copies() <= 64) oracle.emplace(schedule);  // oracle mask width
     RunningStats crash_latency;
     for (std::size_t trial = 0; trial < config.crash_trials; ++trial) {
       const SimResult simc = simulate_with_sampled_failures(schedule, spec.effective,
-                                                           config.crashes, rng, sim_options);
+                                                           config.crashes, rng, sim_options,
+                                                           oracle ? &*oracle : nullptr);
       if (!simc.complete) {
         out.starved = true;
         continue;
@@ -250,17 +258,28 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
   record.ff_sim0 = simulate(*ff.schedule, sim_options).mean_latency *
                    normalization_factor(record.ff_period, 0);
 
+  // Period calibration is memoized per distinct replication degree: several
+  // series (e.g. probabilistic models deriving the same ε) would otherwise
+  // redo the identical calibration sweep per series.
+  std::vector<std::pair<CopyId, double>> period_cache;
+  const auto calibrated_period = [&](CopyId model_eps) {
+    for (const auto& [eps, period] : period_cache) {
+      if (eps == model_eps) return period;
+    }
+    const double period = calibrate_period(inst.dag, inst.platform, model_eps,
+                                           config.workload.headroom, config.workload.comm_share);
+    period_cache.emplace_back(model_eps, period);
+    return period;
+  };
+
   for (std::size_t i = 0; i < series.size(); ++i) {
     const SeriesSpec& spec = series[i];
     const CopyId model_eps = spec.effective.derive_eps(inst.platform, inst.dag.num_tasks());
     // Each series is scheduled at the period its replication degree was
     // calibrated for; the shared config.eps calibration is reused verbatim
     // when the degrees coincide (the legacy path).
-    const double period = model_eps == config.eps
-                              ? inst.period
-                              : calibrate_period(inst.dag, inst.platform, model_eps,
-                                                 config.workload.headroom,
-                                                 config.workload.comm_share);
+    const double period =
+        model_eps == config.eps ? inst.period : calibrated_period(model_eps);
     SchedulerOptions options;
     options.eps = model_eps;
     options.fault_model = spec.effective;

@@ -4,7 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "schedule/survival.hpp"
 #include "util/assert.hpp"
+#include "util/thread_pool.hpp"
 
 namespace streamsched {
 
@@ -55,10 +57,13 @@ bool survives_failures(const Schedule& schedule, const std::vector<bool>& failed
 
 namespace {
 
-// Calls visit(failed) for every subset of {0..m-1} of size k; stops early
-// when visit returns false. Returns the number of subsets visited.
+// Legacy enumerator kept verbatim for the kLegacy estimator path (the
+// baseline bench_survival_kernel measures against): calls visit(failed)
+// for every subset of {0..m-1} of size k, refilling `failed` O(m) per
+// combination; stops early when visit returns false. The oracle path uses
+// the incremental ProcSet enumerator in schedule/survival.hpp instead.
 template <typename Visit>
-std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, Visit&& visit) {
+std::uint64_t for_each_failure_set_legacy(std::size_t m, std::uint32_t k, Visit&& visit) {
   std::vector<ProcId> subset(k);
   std::vector<bool> failed(m, false);
   std::uint64_t visited = 0;
@@ -88,15 +93,17 @@ std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, Visit&& visit
   }
 }
 
-}  // namespace
-
-FtCheckResult check_fault_tolerance(const Schedule& schedule, std::uint32_t max_failures) {
-  const std::size_t m = schedule.platform().num_procs();
+// Exhaustive size-`max_failures` check against an already-compiled oracle;
+// `failed` is the caller's reusable ProcSet. The repair loop calls this
+// every round, patching the oracle between rounds instead of recompiling.
+FtCheckResult check_with_oracle(SurvivalOracle& oracle, ProcSet& failed,
+                                std::uint32_t max_failures) {
+  const std::size_t m = oracle.num_procs();
   SS_REQUIRE(max_failures < m, "cannot fail all processors");
   FtCheckResult result;
   result.sets_checked = for_each_failure_set(
-      m, max_failures, [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
-        if (!survives_failures(schedule, failed)) {
+      m, max_failures, failed, [&](const ProcSet& f, const std::vector<ProcId>& set) {
+        if (!oracle.survives(f)) {
           result.valid = false;
           result.counterexample = set;
           return false;
@@ -106,19 +113,61 @@ FtCheckResult check_fault_tolerance(const Schedule& schedule, std::uint32_t max_
   return result;
 }
 
+}  // namespace
+
+FtCheckResult check_fault_tolerance(const Schedule& schedule, std::uint32_t max_failures) {
+  const std::size_t m = schedule.platform().num_procs();
+  if (schedule.copies() > 64) {
+    // Beyond the oracle's mask width: the legacy kernel handles arbitrary
+    // replication degrees.
+    SS_REQUIRE(max_failures < m, "cannot fail all processors");
+    FtCheckResult result;
+    result.sets_checked = for_each_failure_set_legacy(
+        m, max_failures,
+        [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
+          if (!survives_failures(schedule, failed)) {
+            result.valid = false;
+            result.counterexample = set;
+            return false;
+          }
+          return true;
+        });
+    return result;
+  }
+  SurvivalOracle oracle(schedule);
+  ProcSet failed(m);
+  return check_with_oracle(oracle, failed, max_failures);
+}
+
 FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
                                             std::uint32_t max_failures, std::uint64_t samples,
                                             Rng& rng) {
   const std::size_t m = schedule.platform().num_procs();
   SS_REQUIRE(max_failures < m, "cannot fail all processors");
   FtCheckResult result;
-  std::vector<bool> failed(m, false);
+  if (schedule.copies() > 64) {
+    std::vector<bool> failed(m, false);
+    for (std::uint64_t i = 0; i < samples; ++i) {
+      const auto set =
+          rng.sample_without_replacement(static_cast<std::uint32_t>(m), max_failures);
+      std::fill(failed.begin(), failed.end(), false);
+      for (auto p : set) failed[p] = true;
+      ++result.sets_checked;
+      if (!survives_failures(schedule, failed)) {
+        result.valid = false;
+        result.counterexample.assign(set.begin(), set.end());
+        return result;
+      }
+    }
+    return result;
+  }
+  SurvivalOracle oracle(schedule);
+  ProcSet failed(m);
   for (std::uint64_t i = 0; i < samples; ++i) {
     const auto set = rng.sample_without_replacement(static_cast<std::uint32_t>(m), max_failures);
-    std::fill(failed.begin(), failed.end(), false);
-    for (auto p : set) failed[p] = true;
+    failed.assign(set);
     ++result.sets_checked;
-    if (!survives_failures(schedule, failed)) {
+    if (!oracle.survives(failed)) {
       result.valid = false;
       result.counterexample.assign(set.begin(), set.end());
       return result;
@@ -130,15 +179,16 @@ FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
 namespace {
 
 // Picks the cheapest computable supplier replica of `pred` to feed `r`:
-// colocated first, then minimal added port load.
+// colocated first, then minimal added port load. `alive` holds the
+// oracle's computability masks under the current failure set.
 ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId pred,
-                                const std::vector<std::vector<bool>>& computable) {
+                                const std::vector<std::uint64_t>& alive) {
   const ProcId here = schedule.placed(r).proc;
   ReplicaRef best{kInvalidTask, 0};
   double best_cost = std::numeric_limits<double>::infinity();
   for (CopyId c = 0; c < schedule.copies(); ++c) {
     const ReplicaRef cand{pred, c};
-    if (!computable[pred][c]) continue;
+    if (((alive[pred] >> c) & 1) == 0) continue;
     if (schedule.has_supplier(r, cand)) continue;  // already wired, didn't help
     const ProcId from = schedule.placed(cand).proc;
     double cost;
@@ -161,9 +211,112 @@ ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId p
 // Wires supply channels fixing the topologically first task that has no
 // computable replica under `failed` (one task per call, mirroring the
 // original repair rounds: fixing it may fix everything downstream).
-// Returns false when the set is beyond repair — no alive replica of the
-// dead task, or a starving predecessor with no computable replica to wire.
-bool repair_step(Schedule& schedule, const std::vector<bool>& failed, RepairStats& stats) {
+// `alive` is the oracle's computability under `failed` (stale after this
+// call: the caller patches the oracle with the comms added here and
+// recomputes). Returns false when the set is beyond repair — no alive
+// replica of the dead task, or a starving predecessor with no computable
+// replica to wire.
+bool repair_step(Schedule& schedule, const ProcSet& failed,
+                 const std::vector<std::uint64_t>& alive, RepairStats& stats) {
+  const Dag& dag = schedule.dag();
+
+  for (TaskId t : dag.topological_order()) {
+    if (alive[t] != 0) continue;  // some replica is computable
+
+    // Choose the alive replica with the fewest starving predecessors.
+    ReplicaRef target{kInvalidTask, 0};
+    std::size_t best_missing = std::numeric_limits<std::size_t>::max();
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (failed.test(schedule.placed(r).proc)) continue;
+      std::size_t missing = 0;
+      for (TaskId pred : dag.predecessors(t)) {
+        bool fed = false;
+        for (ReplicaRef sup : schedule.suppliers(r, pred)) {
+          if ((alive[pred] >> sup.copy) & 1) {
+            fed = true;
+            break;
+          }
+        }
+        if (!fed) ++missing;
+      }
+      if (missing < best_missing) {
+        best_missing = missing;
+        target = r;
+      }
+    }
+    if (target.task == kInvalidTask) return false;
+
+    for (TaskId pred : dag.predecessors(t)) {
+      bool fed = false;
+      for (ReplicaRef sup : schedule.suppliers(target, pred)) {
+        if ((alive[pred] >> sup.copy) & 1) {
+          fed = true;
+          break;
+        }
+      }
+      if (fed) continue;
+      const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, alive);
+      if (sup.task == kInvalidTask) return false;
+      const EdgeId e = dag.find_edge(pred, t);
+      CommRecord comm;
+      comm.edge = e;
+      comm.src = sup;
+      comm.dst = target;
+      comm.start = comm.finish = schedule.placed(sup).finish;
+      comm.repair = true;
+      schedule.add_comm(comm);
+      ++stats.added_comms;
+    }
+    return true;
+  }
+  return true;  // nothing dead: the schedule already survives this set
+}
+
+// Runs one repair step under `failed` and patches `oracle` with the added
+// supply channels, so the oracle stays current without a recompile.
+bool repair_step_patched(Schedule& schedule, SurvivalOracle& oracle, const ProcSet& failed,
+                         std::vector<std::uint64_t>& alive, RepairStats& stats) {
+  oracle.computable(failed, alive);
+  std::size_t wired = schedule.comms().size();
+  const bool repaired = repair_step(schedule, failed, alive, stats);
+  for (; wired < schedule.comms().size(); ++wired) {
+    oracle.add_comm(schedule.comms()[wired]);
+  }
+  return repaired;
+}
+
+// Legacy repair step on the vector<vector<bool>> computability matrix —
+// the fallback for replication degrees beyond the oracle's 64-copy mask
+// width. Logic mirrors repair_step / pick_repair_supplier above.
+ReplicaRef pick_repair_supplier_legacy(const Schedule& schedule, ReplicaRef r, TaskId pred,
+                                       const std::vector<std::vector<bool>>& computable) {
+  const ProcId here = schedule.placed(r).proc;
+  ReplicaRef best{kInvalidTask, 0};
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (CopyId c = 0; c < schedule.copies(); ++c) {
+    const ReplicaRef cand{pred, c};
+    if (!computable[pred][c]) continue;
+    if (schedule.has_supplier(r, cand)) continue;
+    const ProcId from = schedule.placed(cand).proc;
+    double cost;
+    if (from == here) {
+      cost = 0.0;
+    } else {
+      const EdgeId e = schedule.dag().find_edge(pred, r.task);
+      const double dur = schedule.platform().comm_time(schedule.dag().edge(e).volume, from, here);
+      cost = dur + std::max(schedule.cout(from), schedule.cin(here));
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+bool repair_step_legacy(Schedule& schedule, const std::vector<bool>& failed,
+                        RepairStats& stats) {
   const Dag& dag = schedule.dag();
   const auto computable = computable_replicas(schedule, failed);
 
@@ -172,7 +325,6 @@ bool repair_step(Schedule& schedule, const std::vector<bool>& failed, RepairStat
         std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; });
     if (!dead) continue;
 
-    // Choose the alive replica with the fewest starving predecessors.
     ReplicaRef target{kInvalidTask, 0};
     std::size_t best_missing = std::numeric_limits<std::size_t>::max();
     for (CopyId c = 0; c < schedule.copies(); ++c) {
@@ -205,7 +357,7 @@ bool repair_step(Schedule& schedule, const std::vector<bool>& failed, RepairStat
         }
       }
       if (fed) continue;
-      const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, computable);
+      const ReplicaRef sup = pick_repair_supplier_legacy(schedule, target, pred, computable);
       if (sup.task == kInvalidTask) return false;
       const EdgeId e = dag.find_edge(pred, t);
       CommRecord comm;
@@ -248,15 +400,37 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
   RepairStats stats;
   const std::uint32_t max_rounds = max_repair_rounds(schedule);
 
+  if (schedule.copies() > 64) {
+    // Legacy fallback beyond the oracle's mask width.
+    std::vector<bool> failed(schedule.platform().num_procs(), false);
+    for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+      const FtCheckResult check = check_fault_tolerance(schedule, max_failures);
+      if (check.valid) {
+        stats.success = true;
+        break;
+      }
+      std::fill(failed.begin(), failed.end(), false);
+      for (ProcId p : check.counterexample) failed[p] = true;
+      const bool repaired = repair_step_legacy(schedule, failed, stats);
+      SS_CHECK(repaired,
+               "failure set of size <= eps is beyond repair although replicas sit on "
+               "distinct processors");
+    }
+    record_period_excess(schedule, stats);
+    return stats;
+  }
+
+  SurvivalOracle oracle(schedule);
+  ProcSet failed(schedule.platform().num_procs());
+  std::vector<std::uint64_t> alive;
   for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
-    const FtCheckResult check = check_fault_tolerance(schedule, max_failures);
+    const FtCheckResult check = check_with_oracle(oracle, failed, max_failures);
     if (check.valid) {
       stats.success = true;
       break;
     }
-    std::vector<bool> failed(schedule.platform().num_procs(), false);
-    for (ProcId p : check.counterexample) failed[p] = true;
-    const bool repaired = repair_step(schedule, failed, stats);
+    failed.assign(check.counterexample);
+    const bool repaired = repair_step_patched(schedule, oracle, failed, alive, stats);
     SS_CHECK(repaired,
              "failure set of size <= eps is beyond repair although replicas sit on "
              "distinct processors");
@@ -314,49 +488,65 @@ void record_killing_set(std::vector<KillingSet>* kills, ReliabilityEstimate& est
   kills->push_back(KillingSet{set, prob});
 }
 
-ReliabilityEstimate estimate_reliability(const Schedule& schedule,
-                                         const ReliabilityOptions& options,
-                                         std::vector<KillingSet>* kills) {
-  const std::size_t m = schedule.platform().num_procs();
-  std::vector<double> p(m);
-  for (ProcId u = 0; u < m; ++u) p[u] = schedule.platform().failure_prob(u);
-
-  ReliabilityEstimate est;
-
-  // Per-set probability = base * prod_{u in F} odds_u with
-  // base = prod (1-p_u) and odds_u = p_u / (1-p_u); p_u < 1 by Platform.
+// Per-processor failure weights shared by both kernels: base = prod (1-p_u)
+// and odds_u = p_u / (1-p_u), so a set's probability is base * prod odds.
+// Also the exact-enumeration truncation point k_max (smallest size whose
+// Poisson-binomial tail mass is within tolerance) and the resulting
+// enumeration size. Identical arithmetic for both kernels keeps the
+// exact-mode sums bit-identical.
+struct FailureWeights {
+  std::vector<double> p;
+  std::vector<double> odds;
   double base = 1.0;
-  std::vector<double> odds(m);
+  std::size_t k_max = 0;
+  double total_sets = 0.0;
+};
+
+FailureWeights failure_weights(const Schedule& schedule, const ReliabilityOptions& options) {
+  const std::size_t m = schedule.platform().num_procs();
+  FailureWeights fw;
+  fw.p.resize(m);
+  for (ProcId u = 0; u < m; ++u) fw.p[u] = schedule.platform().failure_prob(u);
+
+  fw.odds.resize(m);
   for (std::size_t u = 0; u < m; ++u) {
-    base *= 1.0 - p[u];
-    odds[u] = p[u] / (1.0 - p[u]);
+    fw.base *= 1.0 - fw.p[u];
+    fw.odds[u] = fw.p[u] / (1.0 - fw.p[u]);  // p_u < 1 by Platform
   }
 
-  // Truncation point: the smallest failure-set size whose Poisson-binomial
-  // tail mass is within tolerance; the tail counts as failure.
-  const std::vector<double> dist = failure_count_distribution(p);
-  std::size_t k_max = m;
+  const std::vector<double> dist = failure_count_distribution(fw.p);
+  fw.k_max = m;
   double cumulative = 0.0;
   for (std::size_t k = 0; k <= m; ++k) {
     cumulative += dist[k];
     if (1.0 - cumulative <= options.tail_tolerance) {
-      k_max = k;
+      fw.k_max = k;
       break;
     }
   }
+  for (std::size_t k = 0; k <= fw.k_max; ++k) fw.total_sets += binomial_count(m, k);
+  return fw;
+}
 
-  double total_sets = 0.0;
-  for (std::size_t k = 0; k <= k_max; ++k) total_sets += binomial_count(m, k);
+// The pre-oracle estimator, kept verbatim as the measured baseline
+// (options.kernel == kLegacy): per-set vector<bool> + survives_failures.
+ReliabilityEstimate estimate_reliability_legacy(const Schedule& schedule,
+                                                const ReliabilityOptions& options,
+                                                std::vector<KillingSet>* kills) {
+  const std::size_t m = schedule.platform().num_procs();
+  const FailureWeights fw = failure_weights(schedule, options);
+  ReliabilityEstimate est;
+  est.k_max = fw.k_max;
 
-  if (total_sets <= static_cast<double>(options.max_sets)) {
+  if (fw.total_sets <= static_cast<double>(options.max_sets)) {
     // Exact truncated enumeration, sizes ascending (mass mostly up front).
     double reliable_mass = 0.0;
-    for (std::size_t k = 0; k <= k_max; ++k) {
-      est.sets_checked += for_each_failure_set(
+    for (std::size_t k = 0; k <= fw.k_max; ++k) {
+      est.sets_checked += for_each_failure_set_legacy(
           m, static_cast<std::uint32_t>(k),
           [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
-            double w = base;
-            for (ProcId u : set) w *= odds[u];
+            double w = fw.base;
+            for (ProcId u : set) w *= fw.odds[u];
             if (w <= 0.0) return true;  // contains a never-failing processor
             if (survives_failures(schedule, failed)) {
               reliable_mass += w;
@@ -377,7 +567,7 @@ ReliabilityEstimate estimate_reliability(const Schedule& schedule,
   Rng rng(options.seed);
   std::vector<double> q(m);
   for (std::size_t u = 0; u < m; ++u) {
-    q[u] = p[u] == 0.0 ? 0.0 : std::max(p[u], options.mc_proposal_floor);
+    q[u] = fw.p[u] == 0.0 ? 0.0 : std::max(fw.p[u], options.mc_proposal_floor);
   }
   std::vector<bool> failed(m, false);
   std::vector<ProcId> set;
@@ -388,17 +578,17 @@ ReliabilityEstimate estimate_reliability(const Schedule& schedule,
     for (std::size_t u = 0; u < m; ++u) {
       failed[u] = rng.bernoulli(q[u]);
       if (failed[u]) {
-        weight *= p[u] / q[u];
+        weight *= fw.p[u] / q[u];
         set.push_back(static_cast<ProcId>(u));
       } else {
-        weight *= (1.0 - p[u]) / (1.0 - q[u]);
+        weight *= (1.0 - fw.p[u]) / (1.0 - q[u]);
       }
     }
     ++est.sets_checked;
     if (!survives_failures(schedule, failed)) {
       failure_mass += weight;
-      double prob = base;
-      for (ProcId u : set) prob *= odds[u];
+      double prob = fw.base;
+      for (ProcId u : set) prob *= fw.odds[u];
       record_killing_set(kills, est, set, prob);
     }
   }
@@ -408,11 +598,133 @@ ReliabilityEstimate estimate_reliability(const Schedule& schedule,
   return est;
 }
 
+// Oracle-kernel estimator. Exact mode reuses the legacy enumeration order
+// and summation order, swapping only the survival check — the reliability
+// is bit-identical. Monte-Carlo mode pre-draws every sample from the
+// options.seed stream exactly as the legacy sampler does (same draws, same
+// weights), evaluates survival over the stored bitsets — fanned out over
+// mc_threads workers when requested — and reduces in sample order, so the
+// estimate is identical to the legacy kernel's for every thread count.
+ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
+                                                const SurvivalOracle& oracle,
+                                                const ReliabilityOptions& options,
+                                                std::vector<KillingSet>* kills) {
+  const std::size_t m = schedule.platform().num_procs();
+  const FailureWeights fw = failure_weights(schedule, options);
+  ReliabilityEstimate est;
+  est.k_max = fw.k_max;
+  std::vector<std::uint64_t> scratch;
+
+  if (fw.total_sets <= static_cast<double>(options.max_sets)) {
+    double reliable_mass = 0.0;
+    ProcSet failed(m);
+    for (std::size_t k = 0; k <= fw.k_max; ++k) {
+      est.sets_checked += for_each_failure_set(
+          m, static_cast<std::uint32_t>(k), failed,
+          [&](const ProcSet& f, const std::vector<ProcId>& set) {
+            double w = fw.base;
+            for (ProcId u : set) w *= fw.odds[u];
+            if (w <= 0.0) return true;  // contains a never-failing processor
+            if (oracle.survives(f, scratch)) {
+              reliable_mass += w;
+            } else {
+              record_killing_set(kills, est, set, w);
+            }
+            return true;
+          });
+    }
+    est.reliability = reliable_mass;
+    est.exact = true;
+    return est;
+  }
+
+  // Monte Carlo. Generation pass: one sequential stream, bit-identical
+  // draws and weight products to the legacy sampler.
+  Rng rng(options.seed);
+  std::vector<double> q(m);
+  for (std::size_t u = 0; u < m; ++u) {
+    q[u] = fw.p[u] == 0.0 ? 0.0 : std::max(fw.p[u], options.mc_proposal_floor);
+  }
+  const std::size_t words = (m + 63) / 64;
+  const std::size_t n = options.mc_samples;
+  std::vector<std::uint64_t> sample_words(n * words, 0);
+  std::vector<double> sample_weight(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t* w = sample_words.data() + i * words;
+    double weight = 1.0;
+    for (std::size_t u = 0; u < m; ++u) {
+      if (rng.bernoulli(q[u])) {
+        w[u >> 6] |= 1ULL << (u & 63);
+        weight *= fw.p[u] / q[u];
+      } else {
+        weight *= (1.0 - fw.p[u]) / (1.0 - q[u]);
+      }
+    }
+    sample_weight[i] = weight;
+  }
+
+  // Evaluation pass: the only stochastic-free, embarrassingly parallel
+  // part. unsigned char (not vector<bool>) so workers never share a word.
+  std::vector<unsigned char> killed(n, 0);
+  if (options.mc_threads == 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      killed[i] = oracle.survives_words(sample_words.data() + i * words, scratch) ? 0 : 1;
+    }
+  } else {
+    constexpr std::size_t kChunk = 1024;
+    const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+    parallel_for_indices(n_chunks, options.mc_threads, [&](std::size_t chunk) {
+      std::vector<std::uint64_t> local_scratch;
+      const std::size_t end = std::min(n, (chunk + 1) * kChunk);
+      for (std::size_t i = chunk * kChunk; i < end; ++i) {
+        killed[i] =
+            oracle.survives_words(sample_words.data() + i * words, local_scratch) ? 0 : 1;
+      }
+    });
+  }
+
+  // Reduction in sample order: same summation order and killing-set
+  // recording order as the sequential legacy loop.
+  double failure_mass = 0.0;
+  std::vector<ProcId> set;
+  for (std::size_t i = 0; i < n; ++i) {
+    ++est.sets_checked;
+    if (killed[i] == 0) continue;
+    failure_mass += sample_weight[i];
+    set.clear();
+    const std::uint64_t* w = sample_words.data() + i * words;
+    for (std::size_t u = 0; u < m; ++u) {
+      if ((w[u >> 6] >> (u & 63)) & 1) set.push_back(static_cast<ProcId>(u));
+    }
+    double prob = fw.base;
+    for (ProcId u : set) prob *= fw.odds[u];
+    record_killing_set(kills, est, set, prob);
+  }
+  est.reliability =
+      std::clamp(1.0 - failure_mass / static_cast<double>(options.mc_samples), 0.0, 1.0);
+  est.exact = false;
+  return est;
+}
+
+// Kernel dispatch; `oracle` may be null (compiled on demand for kOracle).
+// Replication degrees beyond the oracle's 64-copy mask width always fall
+// back to the legacy kernel.
+ReliabilityEstimate estimate_reliability(const Schedule& schedule, const SurvivalOracle* oracle,
+                                         const ReliabilityOptions& options,
+                                         std::vector<KillingSet>* kills) {
+  if (options.kernel == SurvivalKernel::kLegacy || schedule.copies() > 64) {
+    return estimate_reliability_legacy(schedule, options, kills);
+  }
+  if (oracle != nullptr) return estimate_reliability_oracle(schedule, *oracle, options, kills);
+  const SurvivalOracle local(schedule);
+  return estimate_reliability_oracle(schedule, local, options, kills);
+}
+
 }  // namespace
 
 ReliabilityEstimate schedule_reliability(const Schedule& schedule,
                                          const ReliabilityOptions& options) {
-  return estimate_reliability(schedule, options, nullptr);
+  return estimate_reliability(schedule, nullptr, options, nullptr);
 }
 
 RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
@@ -437,9 +749,49 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
     return o;
   };
 
+  if (schedule.copies() > 64) {
+    // Legacy fallback beyond the oracle's mask width (the estimator
+    // dispatch falls back likewise). The failure buffer stays hoisted.
+    std::vector<bool> failed(m, false);
+    for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+      std::vector<KillingSet> kills;
+      est = estimate_reliability(schedule, nullptr, fresh_options(), &kills);
+      est_current = true;
+      if (est.reliability >= target_reliability) {
+        stats.success = true;
+        break;
+      }
+      const std::uint32_t before = stats.added_comms;
+      for (const KillingSet& kill : kills) {
+        std::fill(failed.begin(), failed.end(), false);
+        for (ProcId u : kill.procs) failed[u] = true;
+        for (std::uint32_t guard = 0; guard < max_rounds; ++guard) {
+          if (survives_failures(schedule, failed)) break;
+          if (!repair_step_legacy(schedule, failed, stats)) break;
+          est_current = false;
+        }
+      }
+      if (stats.added_comms == before) break;  // nothing repairable remains
+    }
+    record_period_excess(schedule, stats);
+    if (achieved != nullptr) {
+      *achieved =
+          est_current ? est : estimate_reliability(schedule, nullptr, fresh_options(), nullptr);
+    }
+    return stats;
+  }
+
+  // The repair loop's survival checks always run on the oracle (patched as
+  // channels are wired); only the estimates dispatch on options.kernel.
+  // The failure set and computability buffers are hoisted and reused
+  // across every killing set and round.
+  SurvivalOracle oracle(schedule);
+  ProcSet failed(m);
+  std::vector<std::uint64_t> alive;
+
   for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
     std::vector<KillingSet> kills;
-    est = estimate_reliability(schedule, fresh_options(), &kills);
+    est = estimate_reliability(schedule, &oracle, fresh_options(), &kills);
     est_current = true;
     if (est.reliability >= target_reliability) {
       stats.success = true;
@@ -447,13 +799,12 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
     }
     const std::uint32_t before = stats.added_comms;
     for (const KillingSet& kill : kills) {
-      std::vector<bool> failed(m, false);
-      for (ProcId u : kill.procs) failed[u] = true;
+      failed.assign(kill.procs);
       // Wire until this set survives or turns out to be beyond repair
       // (e.g. every replica of some task sits on the failed processors).
       for (std::uint32_t guard = 0; guard < max_rounds; ++guard) {
-        if (survives_failures(schedule, failed)) break;
-        if (!repair_step(schedule, failed, stats)) break;
+        if (oracle.survives(failed)) break;
+        if (!repair_step_patched(schedule, oracle, failed, alive, stats)) break;
         est_current = false;
       }
     }
@@ -462,7 +813,8 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
 
   record_period_excess(schedule, stats);
   if (achieved != nullptr) {
-    *achieved = est_current ? est : estimate_reliability(schedule, fresh_options(), nullptr);
+    *achieved = est_current ? est
+                            : estimate_reliability(schedule, &oracle, fresh_options(), nullptr);
   }
   return stats;
 }

@@ -83,6 +83,17 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
 // events; the schedule reliability is the probability that every task keeps
 // a computable replica.
 
+/// Which survival kernel drives the estimator. kOracle compiles the
+/// schedule once into bitmask arrays (schedule/survival.hpp) and evaluates
+/// each failure set allocation-free; kLegacy re-walks the comm records per
+/// set via `survives_failures`. The kernels are boolean-identical (pinned
+/// by the parity suite), so exact-mode reliabilities are bit-identical and
+/// Monte-Carlo estimates identical at a fixed seed; kLegacy exists as the
+/// baseline for bench_survival_kernel and the parity tests. Schedules with
+/// more than 64 replicas per task exceed the oracle's mask width; every
+/// entry point falls back to the legacy kernel for them automatically.
+enum class SurvivalKernel { kOracle, kLegacy };
+
 struct ReliabilityOptions {
   /// Probability mass of unenumerated failure sets at which the exact
   /// enumeration truncates. Truncated mass counts as failure, so the exact
@@ -98,6 +109,13 @@ struct ReliabilityOptions {
   /// failure events are actually observed.
   double mc_proposal_floor = 0.2;
   std::uint64_t seed = 0x5eedULL;
+  SurvivalKernel kernel = SurvivalKernel::kOracle;
+  /// Worker threads for the Monte-Carlo survival evaluation (1 = inline,
+  /// 0 = hardware concurrency). The estimate is the same for every value:
+  /// all failure sets are pre-drawn from `seed`'s single sequential stream
+  /// (bit-identical to the legacy sampler), only the survival checks fan
+  /// out, and the reduction runs in sample order.
+  std::size_t mc_threads = 1;
 };
 
 struct ReliabilityEstimate {
@@ -106,6 +124,9 @@ struct ReliabilityEstimate {
   double reliability = 0.0;
   bool exact = true;
   std::uint64_t sets_checked = 0;
+  /// Truncation point of the exact enumeration: failure sets of size
+  /// <= k_max were (or would be) enumerated. Informational in MC mode.
+  std::size_t k_max = 0;
   /// Most probable schedule-killing failure set observed (empty if none).
   std::vector<ProcId> worst_failure;
   double worst_failure_prob = 0.0;

@@ -1,0 +1,87 @@
+#include "schedule/survival.hpp"
+
+namespace streamsched {
+
+SurvivalOracle::SurvivalOracle(const Schedule& schedule)
+    : num_procs_(schedule.platform().num_procs()),
+      num_tasks_(schedule.dag().num_tasks()),
+      copies_(schedule.copies()) {
+  SS_REQUIRE(copies_ <= 64, "survival oracle supports at most 64 replicas per task");
+  const Dag& dag = schedule.dag();
+  topo_ = dag.topological_order();
+
+  placed_mask_.assign(num_tasks_, 0);
+  proc_.assign(num_tasks_ * copies_, kInvalidProc);
+  pred_offset_.assign(num_tasks_ + 1, 0);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    pred_offset_[t + 1] =
+        pred_offset_[t] + static_cast<std::uint32_t>(dag.predecessors(t).size());
+  }
+  pred_task_.resize(pred_offset_[num_tasks_]);
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    const auto preds = dag.predecessors(t);
+    for (std::size_t j = 0; j < preds.size(); ++j) pred_task_[pred_offset_[t] + j] = preds[j];
+  }
+  sup_mask_.assign(pred_task_.size() * copies_, 0);
+
+  for (TaskId t = 0; t < num_tasks_; ++t) {
+    for (CopyId c = 0; c < copies_; ++c) {
+      const ReplicaRef r{t, c};
+      if (!schedule.is_placed(r)) continue;
+      placed_mask_[t] |= 1ULL << c;
+      proc_[t * copies_ + c] = schedule.placed(r).proc;
+    }
+  }
+  for (const CommRecord& comm : schedule.comms()) add_comm(comm);
+}
+
+void SurvivalOracle::add_comm(const CommRecord& comm) {
+  const TaskId t = comm.dst.task;
+  for (std::uint32_t j = pred_offset_[t]; j < pred_offset_[t + 1]; ++j) {
+    if (pred_task_[j] == comm.src.task) {
+      sup_mask_[static_cast<std::size_t>(j) * copies_ + comm.dst.copy] |= 1ULL << comm.src.copy;
+      return;
+    }
+  }
+  SS_CHECK(false, "comm source is not a predecessor of its destination");
+}
+
+template <bool kEarlyExit>
+bool SurvivalOracle::propagate(const std::uint64_t* failed_words, std::uint64_t* alive) const {
+  for (const TaskId t : topo_) {
+    std::uint64_t a = placed_mask_[t];
+    const ProcId* procs = proc_.data() + static_cast<std::size_t>(t) * copies_;
+    for (std::uint64_t bits = a; bits != 0; bits &= bits - 1) {
+      const int c = std::countr_zero(bits);
+      const ProcId u = procs[c];
+      if ((failed_words[u >> 6] >> (u & 63)) & 1) a &= ~(1ULL << c);
+    }
+    for (std::uint32_t j = pred_offset_[t]; a != 0 && j < pred_offset_[t + 1]; ++j) {
+      const std::uint64_t pred_alive = alive[pred_task_[j]];
+      const std::uint64_t* sup = sup_mask_.data() + static_cast<std::size_t>(j) * copies_;
+      for (std::uint64_t bits = a; bits != 0; bits &= bits - 1) {
+        const int c = std::countr_zero(bits);
+        if ((pred_alive & sup[c]) == 0) a &= ~(1ULL << c);
+      }
+    }
+    if constexpr (kEarlyExit) {
+      if (a == 0) return false;
+    }
+    alive[t] = a;  // dead tasks store 0; downstream masks then clear themselves
+  }
+  return true;
+}
+
+bool SurvivalOracle::survives_words(const std::uint64_t* failed_words,
+                                    std::vector<std::uint64_t>& scratch) const {
+  scratch.resize(num_tasks_);
+  return propagate<true>(failed_words, scratch.data());
+}
+
+void SurvivalOracle::computable(const ProcSet& failed, std::vector<std::uint64_t>& alive) const {
+  SS_REQUIRE(failed.size() == num_procs_, "failure set size != processor count");
+  alive.resize(num_tasks_);
+  propagate<false>(failed.words(), alive.data());
+}
+
+}  // namespace streamsched

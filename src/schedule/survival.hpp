@@ -1,0 +1,195 @@
+// Compiled survival kernel for fault-tolerance analysis.
+//
+// `schedule_reliability()` and the repair passes evaluate the same question
+// — "does the schedule survive failure set F?" — for up to 2^18 enumerated
+// sets plus tens of thousands of Monte-Carlo samples per call. The legacy
+// kernel (`survives_failures` in fault_tolerance.hpp) re-allocates a
+// vector<vector<bool>> computability matrix and re-walks every CommRecord
+// per set. `SurvivalOracle` compiles the schedule ONCE into flat arrays —
+// per-replica processor ids, per-task placed-replica masks, and
+// per-(replica, predecessor) supplier-copy masks (replica counts are
+// capped at 64, so each mask is a single uint64_t) — after which one
+// failure set costs a single allocation-free topological pass over
+// bitmasks: alive[t] starts as the placed copies on alive processors and
+// each predecessor slot clears the copies whose supplier mask misses
+// alive[pred].
+//
+// The oracle is a pure function of the schedule's placements and comms; it
+// must be re-created (or patched via `add_comm`) when the repair pass adds
+// supply channels. Its booleans are identical to the legacy kernel's —
+// pinned by the randomized parity suite in tests/test_survival.cpp — which
+// is what lets the exact reliability estimator keep bit-identical sums
+// while only swapping the survival check.
+//
+// `ProcSet` is the reusable dynamic bitset of failed processors shared by
+// the enumerator, the Monte-Carlo sampler, the fault-tolerance checkers
+// and the repair loops; `for_each_failure_set` enumerates fixed-size
+// failure sets in lexicographic order, toggling only the combination
+// suffix that changes between consecutive sets instead of refilling the
+// whole set O(m) per combination.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "schedule/schedule.hpp"
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+/// Dynamic bitset over processor ids (the failure set of one survival
+/// query). Word granularity so the oracle can test membership branch-free.
+class ProcSet {
+ public:
+  ProcSet() = default;
+  explicit ProcSet(std::size_t num_procs) { resize(num_procs); }
+
+  /// Resizes to `num_procs` bits, all clear.
+  void resize(std::size_t num_procs) {
+    size_ = num_procs;
+    words_.assign((num_procs + 63) / 64, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  void clear() { std::fill(words_.begin(), words_.end(), 0); }
+
+  void set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(std::size_t i) const {
+    return ((words_[i >> 6] >> (i & 63)) & 1) != 0;
+  }
+
+  [[nodiscard]] std::size_t count() const {
+    std::size_t n = 0;
+    for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+    return n;
+  }
+
+  /// Clears, then sets every id in `procs` (a list of processor ids, NOT
+  /// a per-processor boolean mask — a vector<bool> here would silently set
+  /// bits 0/1 only, hence the assert).
+  template <typename Container>
+  void assign(const Container& procs) {
+    static_assert(!std::is_same_v<typename Container::value_type, bool>,
+                  "ProcSet::assign takes processor ids, not a boolean mask");
+    clear();
+    for (auto p : procs) set(static_cast<std::size_t>(p));
+  }
+
+  [[nodiscard]] const std::uint64_t* words() const { return words_.data(); }
+  [[nodiscard]] std::size_t num_words() const { return words_.size(); }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// A schedule compiled for fast survival queries. Immutable flat arrays +
+/// a scratch buffer; `survives(failed)` is allocation-free. Thread-safe
+/// when every thread brings its own scratch (the const overloads).
+class SurvivalOracle {
+ public:
+  explicit SurvivalOracle(const Schedule& schedule);
+
+  [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
+  [[nodiscard]] std::size_t num_tasks() const { return num_tasks_; }
+  [[nodiscard]] CopyId copies() const { return copies_; }
+
+  /// Incorporates a supply comm added after compilation (the repair pass
+  /// patches the oracle instead of recompiling per added channel).
+  void add_comm(const CommRecord& comm);
+
+  /// True when every task keeps at least one computable replica under
+  /// `failed`. Uses the member scratch buffer (not thread-safe).
+  [[nodiscard]] bool survives(const ProcSet& failed) {
+    SS_REQUIRE(failed.size() == num_procs_, "failure set size != processor count");
+    return survives_words(failed.words(), scratch_);
+  }
+
+  /// Thread-safe variant: the caller owns the scratch buffer (resized on
+  /// first use, then reused allocation-free).
+  [[nodiscard]] bool survives(const ProcSet& failed, std::vector<std::uint64_t>& scratch) const {
+    SS_REQUIRE(failed.size() == num_procs_, "failure set size != processor count");
+    return survives_words(failed.words(), scratch);
+  }
+
+  /// Raw-word variant for batch evaluators that store many failure sets in
+  /// one flat array; `failed_words` must hold ceil(num_procs/64) words.
+  [[nodiscard]] bool survives_words(const std::uint64_t* failed_words,
+                                    std::vector<std::uint64_t>& scratch) const;
+
+  /// Full computability masks under `failed`: alive[t] bit c set iff
+  /// replica (t, c) is computable — the bitmask equivalent of the legacy
+  /// `computable_replicas`. No early exit (dead tasks store 0).
+  void computable(const ProcSet& failed, std::vector<std::uint64_t>& alive) const;
+
+ private:
+  /// Shared alive-mask propagation over the topological order; returns
+  /// false (only when kEarlyExit) as soon as a task has no computable
+  /// replica, otherwise stores every task's mask (0 for dead tasks).
+  template <bool kEarlyExit>
+  bool propagate(const std::uint64_t* failed_words, std::uint64_t* alive) const;
+
+  std::size_t num_procs_ = 0;
+  std::size_t num_tasks_ = 0;
+  CopyId copies_ = 0;
+  std::vector<TaskId> topo_;              // task evaluation order
+  std::vector<std::uint64_t> placed_mask_;  // [task]: bit c = replica placed
+  std::vector<ProcId> proc_;              // [task * copies + c]
+  std::vector<std::uint32_t> pred_offset_;  // [task] -> range in pred_task_
+  std::vector<TaskId> pred_task_;         // flattened predecessor lists
+  std::vector<std::uint64_t> sup_mask_;   // [pred slot * copies + c]: bits of
+                                          // pred copies supplying (task, c)
+  std::vector<std::uint64_t> scratch_;    // alive masks for the member-scratch path
+};
+
+/// Calls visit(failed, subset) for every size-k subset of {0..m-1} in
+/// lexicographic order (identical to the legacy enumeration); stops early
+/// when visit returns false. Returns the number of subsets visited.
+/// `failed` must be sized to m; it is maintained incrementally — advancing
+/// to the next combination toggles only the suffix of positions that
+/// changed — and is left cleared when the enumeration runs to completion.
+template <typename Visit>
+std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, ProcSet& failed,
+                                   Visit&& visit) {
+  SS_REQUIRE(failed.size() == m, "failure set size != processor count");
+  SS_REQUIRE(k <= m, "cannot fail more processors than exist");
+  failed.clear();
+  std::vector<ProcId> subset(k);
+  std::uint64_t visited = 0;
+  if (k == 0) {
+    ++visited;
+    visit(static_cast<const ProcSet&>(failed), subset);
+    return visited;
+  }
+  for (std::uint32_t i = 0; i < k; ++i) {
+    subset[i] = i;
+    failed.set(i);
+  }
+  for (;;) {
+    ++visited;
+    if (!visit(static_cast<const ProcSet&>(failed), subset)) return visited;
+    // Rightmost position that can still advance.
+    std::int64_t i = static_cast<std::int64_t>(k) - 1;
+    while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
+                         static_cast<ProcId>(m - k + static_cast<std::size_t>(i))) {
+      --i;
+    }
+    if (i < 0) {
+      for (ProcId p : subset) failed.reset(p);
+      return visited;
+    }
+    // Toggle only the changing suffix [i, k).
+    for (auto j = static_cast<std::size_t>(i); j < k; ++j) failed.reset(subset[j]);
+    ++subset[static_cast<std::size_t>(i)];
+    for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j) {
+      subset[j] = subset[j - 1] + 1;
+    }
+    for (auto j = static_cast<std::size_t>(i); j < k; ++j) failed.set(subset[j]);
+  }
+}
+
+}  // namespace streamsched

@@ -5,6 +5,7 @@
 #include <limits>
 #include <queue>
 
+#include "schedule/survival.hpp"
 #include "util/assert.hpp"
 
 namespace streamsched {
@@ -465,8 +466,28 @@ SimResult simulate(const Schedule& schedule, const SimOptions& options) {
 
 SimResult simulate_with_sampled_failures(const Schedule& schedule, const FaultModel& model,
                                          std::uint32_t count_crashes, Rng& rng,
-                                         SimOptions options) {
+                                         SimOptions options, const SurvivalOracle* precheck) {
   options.failed = model.sample_failures(schedule.platform(), count_crashes, rng);
+  if (precheck != nullptr) {
+    ProcSet failed(schedule.platform().num_procs());
+    failed.assign(options.failed);
+    std::vector<std::uint64_t> scratch;
+    if (!precheck->survives(failed, scratch)) {
+      // Some task keeps no computable replica, so every measured item
+      // starves on that task's downstream exits — report the starved run
+      // without running the event simulation. Busy vectors are sized like
+      // the engine's (all zero), so per-processor reads stay in bounds.
+      const std::size_t m = schedule.platform().num_procs();
+      SimResult result;
+      result.complete = false;
+      result.starved_items = options.num_items - options.warmup_items;
+      result.min_latency = 0.0;
+      result.proc_busy.assign(m, 0.0);
+      result.send_busy.assign(m, 0.0);
+      result.recv_busy.assign(m, 0.0);
+      return result;
+    }
+  }
   return simulate(schedule, options);
 }
 

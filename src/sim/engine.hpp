@@ -105,14 +105,25 @@ struct SimResult {
 /// must be complete (every replica placed).
 [[nodiscard]] SimResult simulate(const Schedule& schedule, const SimOptions& options = {});
 
+class SurvivalOracle;
+
 /// One crash trial under a fault model: draws a fail-silent crash set from
 /// the model (count: a uniform `count_crashes`-subset — the paper's "with
 /// c crashes" series; probabilistic: per-processor Bernoulli failures from
 /// the platform's failure probabilities) and simulates under it.
 /// `options.failed` is overwritten with the sampled set.
+///
+/// `precheck` (optional, compiled from the same schedule) short-circuits
+/// trials whose sampled set kills the schedule: a task without a
+/// computable replica starves every downstream exit for every item, so the
+/// run's outcome — complete = false, every measured item starved, no
+/// latencies — is known without paying for the event simulation. Only the
+/// completeness/starvation/latency summary fields are meaningful in the
+/// short-circuited result (busy times and makespan stay zero).
 [[nodiscard]] SimResult simulate_with_sampled_failures(const Schedule& schedule,
                                                        const FaultModel& model,
                                                        std::uint32_t count_crashes, Rng& rng,
-                                                       SimOptions options = {});
+                                                       SimOptions options = {},
+                                                       const SurvivalOracle* precheck = nullptr);
 
 }  // namespace streamsched

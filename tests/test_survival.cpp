@@ -1,0 +1,347 @@
+// Parity and determinism suite for the compiled survival kernel
+// (schedule/survival.hpp): the oracle must agree boolean-for-boolean with
+// the legacy `survives_failures` / `computable_replicas` walk on random
+// schedules before and after repair (all failure sets for small m, sampled
+// sets for large m), the incremental enumerator must reproduce the legacy
+// lexicographic order, exact-mode reliabilities must be bit-identical
+// across kernels, and Monte-Carlo estimates must be identical to the
+// legacy stream at one thread and across thread counts 1/2/4.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "core/rltf.hpp"
+#include "graph/generators.hpp"
+#include "helpers.hpp"
+#include "platform/generators.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/survival.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Builds a random R-LTF schedule into caller-owned dag/platform storage
+// (the Schedule references both; locals would dangle).
+Schedule random_schedule(std::uint64_t seed, std::size_t m, std::size_t tasks, CopyId eps,
+                         Dag& dag, Platform& platform, double fail_lo = 0.05,
+                         double fail_hi = 0.2) {
+  Rng rng(seed);
+  platform = make_reliability_heterogeneous(rng, m, fail_lo, fail_hi);
+  dag = make_random_layered(rng, tasks, 4, 0.4, WeightRanges{});
+  SchedulerOptions options;
+  options.eps = eps;
+  options.period = kInf;
+  ScheduleResult r = rltf_schedule(dag, platform, options);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return std::move(*r.schedule);
+}
+
+// Compares the oracle against the legacy kernel under one failure set.
+void expect_parity(const Schedule& schedule, SurvivalOracle& oracle,
+                   const std::vector<ProcId>& set) {
+  const std::size_t m = schedule.platform().num_procs();
+  std::vector<bool> failed_legacy(m, false);
+  for (ProcId p : set) failed_legacy[p] = true;
+  ProcSet failed(m);
+  failed.assign(set);
+
+  EXPECT_EQ(oracle.survives(failed), survives_failures(schedule, failed_legacy));
+
+  const auto legacy = computable_replicas(schedule, failed_legacy);
+  std::vector<std::uint64_t> alive;
+  oracle.computable(failed, alive);
+  for (TaskId t = 0; t < schedule.dag().num_tasks(); ++t) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      EXPECT_EQ(((alive[t] >> c) & 1) != 0, legacy[t][c])
+          << "task " << t << " copy " << c;
+    }
+  }
+}
+
+TEST(ProcSet, BasicsAcrossWordBoundaries) {
+  ProcSet set(130);
+  EXPECT_EQ(set.size(), 130u);
+  EXPECT_EQ(set.num_words(), 3u);
+  EXPECT_EQ(set.count(), 0u);
+  set.set(0);
+  set.set(63);
+  set.set(64);
+  set.set(129);
+  EXPECT_TRUE(set.test(0));
+  EXPECT_TRUE(set.test(63));
+  EXPECT_TRUE(set.test(64));
+  EXPECT_TRUE(set.test(129));
+  EXPECT_FALSE(set.test(1));
+  EXPECT_FALSE(set.test(128));
+  EXPECT_EQ(set.count(), 4u);
+  set.reset(63);
+  EXPECT_FALSE(set.test(63));
+  EXPECT_EQ(set.count(), 3u);
+  set.clear();
+  EXPECT_EQ(set.count(), 0u);
+  set.assign(std::vector<ProcId>{2, 65});
+  EXPECT_EQ(set.count(), 2u);
+  EXPECT_TRUE(set.test(2));
+  EXPECT_TRUE(set.test(65));
+}
+
+TEST(Survival, EnumeratorMatchesLegacyOrder) {
+  // Reference lexicographic combinations of {0..6} choose 3.
+  std::vector<std::vector<ProcId>> expected;
+  for (ProcId a = 0; a < 7; ++a) {
+    for (ProcId b = a + 1; b < 7; ++b) {
+      for (ProcId c = b + 1; c < 7; ++c) expected.push_back({a, b, c});
+    }
+  }
+
+  ProcSet failed(7);
+  std::vector<std::vector<ProcId>> seen;
+  const std::uint64_t visited =
+      for_each_failure_set(7, 3, failed, [&](const ProcSet& f, const std::vector<ProcId>& set) {
+        seen.push_back(set);
+        // The incrementally maintained bits must mirror the subset exactly.
+        std::size_t bits = 0;
+        for (std::size_t p = 0; p < 7; ++p) bits += f.test(p) ? 1 : 0;
+        EXPECT_EQ(bits, set.size());
+        for (ProcId p : set) EXPECT_TRUE(f.test(p));
+        return true;
+      });
+  EXPECT_EQ(visited, expected.size());
+  EXPECT_EQ(seen, expected);
+  EXPECT_EQ(failed.count(), 0u);  // left cleared after a full enumeration
+
+  // Early stop reports the number of sets actually visited.
+  std::uint64_t stopped = for_each_failure_set(
+      7, 3, failed, [&](const ProcSet&, const std::vector<ProcId>&) { return false; });
+  EXPECT_EQ(stopped, 1u);
+
+  // k = 0 visits exactly the empty set.
+  std::uint64_t empty_visits = 0;
+  EXPECT_EQ(for_each_failure_set(7, 0, failed,
+                                 [&](const ProcSet& f, const std::vector<ProcId>& set) {
+                                   ++empty_visits;
+                                   EXPECT_TRUE(set.empty());
+                                   EXPECT_EQ(f.count(), 0u);
+                                   return true;
+                                 }),
+            1u);
+  EXPECT_EQ(empty_visits, 1u);
+}
+
+TEST(Survival, OracleMatchesLegacyOnRandomSchedulesAndAfterRepair) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    const std::size_t m = 6;
+    Dag dag;
+    Platform platform;
+    Schedule schedule = random_schedule(seed, m, 14, seed % 2 == 0 ? 1 : 2, dag, platform);
+    SurvivalOracle oracle(schedule);
+
+    // Every subset of the 6 processors, as sets of ids.
+    std::vector<std::vector<ProcId>> subsets;
+    for (std::uint32_t mask = 0; mask < (1u << m); ++mask) {
+      std::vector<ProcId> set;
+      for (ProcId p = 0; p < m; ++p) {
+        if ((mask >> p) & 1) set.push_back(p);
+      }
+      subsets.push_back(std::move(set));
+    }
+    for (const auto& set : subsets) expect_parity(schedule, oracle, set);
+
+    // Repair rewires supply channels; the patched oracle (add_comm per new
+    // channel) must keep parity with the legacy kernel AND with an oracle
+    // recompiled from scratch.
+    const std::size_t before = schedule.comms().size();
+    (void)repair_to_reliability(schedule, 0.999);
+    for (std::size_t i = before; i < schedule.comms().size(); ++i) {
+      oracle.add_comm(schedule.comms()[i]);
+    }
+    SurvivalOracle fresh(schedule);
+    ProcSet failed(m);
+    for (const auto& set : subsets) {
+      expect_parity(schedule, oracle, set);
+      failed.assign(set);
+      EXPECT_EQ(oracle.survives(failed), fresh.survives(failed));
+    }
+  }
+}
+
+TEST(Survival, OracleParitySampledOnLargePlatform) {
+  const std::size_t m = 40;
+  Dag dag;
+  Platform platform;
+  Schedule schedule = random_schedule(7, m, 60, 2, dag, platform, 0.02, 0.1);
+  SurvivalOracle oracle(schedule);
+  Rng rng(99);
+  for (int trial = 0; trial < 250; ++trial) {
+    const auto k = static_cast<std::uint32_t>(rng.uniform_int(0, 6));
+    const auto sample = rng.sample_without_replacement(static_cast<std::uint32_t>(m), k);
+    expect_parity(schedule, oracle, std::vector<ProcId>(sample.begin(), sample.end()));
+  }
+}
+
+TEST(Survival, ExactReliabilityBitIdenticalAcrossKernels) {
+  for (std::uint64_t seed : {3u, 5u, 8u}) {
+    Dag dag;
+    Platform platform;
+    const Schedule schedule = random_schedule(seed, 6, 14, 2, dag, platform);
+    ReliabilityOptions oracle_opts;  // defaults: exact for m = 6
+    ReliabilityOptions legacy_opts;
+    legacy_opts.kernel = SurvivalKernel::kLegacy;
+    const ReliabilityEstimate a = schedule_reliability(schedule, oracle_opts);
+    const ReliabilityEstimate b = schedule_reliability(schedule, legacy_opts);
+    ASSERT_TRUE(a.exact);
+    ASSERT_TRUE(b.exact);
+    EXPECT_EQ(a.reliability, b.reliability);  // bit-identical, not just near
+    EXPECT_EQ(a.sets_checked, b.sets_checked);
+    EXPECT_EQ(a.worst_failure, b.worst_failure);
+    EXPECT_EQ(a.worst_failure_prob, b.worst_failure_prob);
+  }
+}
+
+TEST(Survival, MonteCarloIdenticalToLegacyAtOneThread) {
+  Dag dag;
+  Platform platform;
+  const Schedule schedule = random_schedule(13, 10, 24, 1, dag, platform);
+  ReliabilityOptions base;
+  base.max_sets = 0;  // force the Monte-Carlo path
+  base.mc_samples = 3000;
+  ReliabilityOptions legacy = base;
+  legacy.kernel = SurvivalKernel::kLegacy;
+  const ReliabilityEstimate a = schedule_reliability(schedule, base);
+  const ReliabilityEstimate b = schedule_reliability(schedule, legacy);
+  ASSERT_FALSE(a.exact);
+  ASSERT_FALSE(b.exact);
+  EXPECT_EQ(a.reliability, b.reliability);  // same stream, same reduction order
+  EXPECT_EQ(a.sets_checked, b.sets_checked);
+  EXPECT_EQ(a.worst_failure, b.worst_failure);
+  EXPECT_EQ(a.worst_failure_prob, b.worst_failure_prob);
+}
+
+TEST(Survival, MonteCarloDeterministicAcrossThreadCounts) {
+  Dag dag;
+  Platform platform;
+  const Schedule schedule = random_schedule(17, 10, 24, 1, dag, platform);
+  ReliabilityOptions base;
+  base.max_sets = 0;
+  base.mc_samples = 4000;
+  ReliabilityEstimate reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ReliabilityOptions options = base;
+    options.mc_threads = threads;
+    const ReliabilityEstimate est = schedule_reliability(schedule, options);
+    if (threads == 1) {
+      reference = est;
+      continue;
+    }
+    EXPECT_EQ(est.reliability, reference.reliability) << "threads=" << threads;
+    EXPECT_EQ(est.sets_checked, reference.sets_checked) << "threads=" << threads;
+    EXPECT_EQ(est.worst_failure, reference.worst_failure) << "threads=" << threads;
+    EXPECT_EQ(est.worst_failure_prob, reference.worst_failure_prob) << "threads=" << threads;
+  }
+}
+
+TEST(Survival, RepairToReliabilityParityAcrossKernels) {
+  for (std::uint64_t seed : {4u, 9u}) {
+    Dag dag;
+    Platform platform;
+    Schedule with_oracle = random_schedule(seed, 6, 14, 1, dag, platform);
+    Schedule with_legacy = with_oracle;
+    ReliabilityOptions oracle_opts;
+    ReliabilityOptions legacy_opts;
+    legacy_opts.kernel = SurvivalKernel::kLegacy;
+    ReliabilityEstimate achieved_oracle;
+    ReliabilityEstimate achieved_legacy;
+    const RepairStats a =
+        repair_to_reliability(with_oracle, 0.995, oracle_opts, &achieved_oracle);
+    const RepairStats b =
+        repair_to_reliability(with_legacy, 0.995, legacy_opts, &achieved_legacy);
+    EXPECT_EQ(a.success, b.success);
+    EXPECT_EQ(a.added_comms, b.added_comms);
+    EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(achieved_oracle.reliability, achieved_legacy.reliability);
+    EXPECT_EQ(with_oracle.comms().size(), with_legacy.comms().size());
+  }
+}
+
+// Replication degrees beyond the oracle's 64-copy mask width must fall
+// back to the legacy kernel instead of throwing: checkers, reliability
+// estimation and repair all keep working.
+TEST(Survival, FallsBackToLegacyAboveSixtyFourCopies) {
+  const std::size_t m = 66;
+  Dag dag;
+  dag.add_task("a", 1.0);
+  dag.add_task("b", 1.0);
+  dag.add_edge(0, 1, 1.0);
+  Platform platform = Platform::uniform(m, 1.0, 0.5);
+  for (ProcId u = 0; u < m; ++u) platform.set_failure_prob(u, 0.01);
+  Schedule s(dag, platform, 64, kInf);  // 65 replicas per task
+  ASSERT_EQ(s.copies(), 65u);
+  for (CopyId c = 0; c < 65; ++c) {
+    test::place_at(s, {0, c}, c, 0.0);
+    test::place_at(s, {1, c}, c, 2.0, 2);
+    test::wire(s, 0, c, 1, c);  // colocated disjoint chains
+  }
+
+  const FtCheckResult check = check_fault_tolerance(s, 1);
+  EXPECT_TRUE(check.valid);
+  EXPECT_EQ(check.sets_checked, m);
+  Rng rng(3);
+  EXPECT_TRUE(check_fault_tolerance_sampled(s, 2, 32, rng).valid);
+  EXPECT_EQ(repair_fault_tolerance(s, 1).success, true);
+
+  ReliabilityOptions options;
+  options.max_sets = 0;  // keep the forced-MC path small
+  options.mc_samples = 200;
+  const ReliabilityEstimate est = schedule_reliability(s, options);
+  EXPECT_GE(est.reliability, 0.0);
+  ReliabilityEstimate achieved;
+  const RepairStats stats = repair_to_reliability(s, 0.5, options, &achieved);
+  EXPECT_TRUE(stats.success);
+}
+
+// The crash-trial precheck must be outcome-equivalent to running the full
+// event simulation: same completeness verdict, same starvation accounting,
+// same measured latency, for both surviving and killed sampled sets.
+TEST(Survival, SimulationPrecheckMatchesFullSimulation) {
+  Dag dag = make_chain(2, 4.0, 2.0);
+  Platform platform = Platform::uniform(4, 1.0, 0.5);
+  for (ProcId u = 0; u < 4; ++u) platform.set_failure_prob(u, 0.3);
+  // Crossed chains: both copies of task b feed from a's copy on P0, so a
+  // P0 failure kills the schedule while other singletons are survivable.
+  Schedule s(dag, platform, 1, 1000.0);
+  test::place_at(s, {0, 0}, 0, 0.0);
+  test::place_at(s, {0, 1}, 2, 0.0);
+  s.place({1, 0}, 1, 10.0, 14.0, 2);
+  s.place({1, 1}, 3, 10.0, 14.0, 2);
+  test::wire(s, 0, 0, 1, 0);
+  test::wire(s, 0, 0, 1, 1);
+
+  const FaultModel model = FaultModel::probabilistic(0.9);
+  const SurvivalOracle oracle(s);
+  Rng rng_plain(31);
+  Rng rng_precheck(31);
+  bool saw_killed = false;
+  bool saw_survived = false;
+  for (int trial = 0; trial < 40; ++trial) {
+    const SimResult plain = simulate_with_sampled_failures(s, model, 0, rng_plain);
+    const SimResult checked =
+        simulate_with_sampled_failures(s, model, 0, rng_precheck, {}, &oracle);
+    EXPECT_EQ(plain.complete, checked.complete) << "trial " << trial;
+    EXPECT_EQ(plain.starved_items, checked.starved_items) << "trial " << trial;
+    EXPECT_EQ(plain.mean_latency, checked.mean_latency) << "trial " << trial;
+    (plain.complete ? saw_survived : saw_killed) = true;
+  }
+  // The failure probability of 0.3 per processor makes both outcomes near
+  // certain over 40 trials; losing one side would leave the precheck
+  // untested.
+  EXPECT_TRUE(saw_killed);
+  EXPECT_TRUE(saw_survived);
+}
+
+}  // namespace
+}  // namespace streamsched
