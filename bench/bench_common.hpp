@@ -20,6 +20,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <iostream>
 #include <string>
@@ -126,11 +127,30 @@ inline void maybe_write_csv(const CommonFlags& flags, const std::string& name,
 }
 
 /// Runs the sweep, prints all figure panels and writes the per-panel and
-/// per-series CSVs — the whole body of a Figure 3/4-style driver.
+/// per-series CSVs — the whole body of a Figure 3/4-style driver. Also
+/// reports the crash-trial throughput of the batched compiled-engine path
+/// (an upper bound on wall time: scheduling, repair and the clean
+/// simulations share it).
 inline void run_and_render_sweep(const CommonFlags& flags, const SweepConfig& config,
                                  const std::string& title, const std::string& csv_stem) {
+  const auto wall_start = std::chrono::steady_clock::now();
   const auto points = run_granularity_sweep(config);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
   std::cout << render_figure(points, title, config.crashes) << '\n';
+  if (config.crashes > 0 || sweep_has_probabilistic_series(config)) {
+    std::size_t series = 0;
+    std::size_t instances = 0;
+    for (const auto& p : points) {
+      series = std::max(series, p.series.size());
+      instances += p.instances;
+    }
+    const double trials =
+        static_cast<double>(instances * series) * static_cast<double>(config.crash_trials);
+    std::cout << "(sweep wall " << wall << "s; ~" << trials
+              << " crash trials via the compiled engine — " << trials / wall
+              << " trials/sec incl. scheduling+repair)\n";
+  }
   maybe_write_csv(flags, csv_stem + "_bounds", figure_latency_bounds(points));
   maybe_write_csv(flags, csv_stem + "_crash", figure_latency_crash(points, config.crashes));
   maybe_write_csv(flags, csv_stem + "_overhead", figure_overhead(points, config.crashes));

@@ -9,6 +9,7 @@
 
 #include "bench_common.hpp"
 #include "core/streamsched.hpp"
+#include "sim/program.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -97,12 +98,15 @@ int main(int argc, char** argv) {
                                  ? result.repair.reliability
                                  : schedule_reliability(schedule).reliability);
         cell.ub.add(latency_upper_bound(schedule) * norm);
-        const SimResult sim0 = simulate(schedule);
+        // Compile once, replay per trial (same draws as the per-trial
+        // simulate_with_sampled_failures loop — see sim/program.hpp).
+        const SimProgram program(schedule, SimOptions{});
+        SimState sim_state;
+        const SimResult sim0 = program.run(sim_state);
         cell.sim0.add(sim0.mean_latency * norm);
         RunningStats crash_latency;
-        for (std::size_t trial = 0; trial < trials; ++trial) {
-          const SimResult simc =
-              simulate_with_sampled_failures(schedule, model, 0, crash_rng);
+        for (const SimResult& simc :
+             simulate_crash_trials(program, model, 0, trials, crash_rng)) {
           if (!simc.complete) {
             ++cell.starved;
             continue;

@@ -8,6 +8,7 @@
 #include "schedule/metrics.hpp"
 #include "schedule/survival.hpp"
 #include "sim/engine.hpp"
+#include "sim/program.hpp"
 #include "util/assert.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -94,10 +95,15 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
   out.remote_comms = num_remote_comms(schedule);
   out.repair_added = result.repair.added_comms;
 
+  // The schedule is compiled once (sim/program.hpp); the clean run and
+  // every crash trial replay the compiled program — bit-identical to the
+  // per-trial `simulate()` loop, minus the per-trial recompilation.
   SimOptions sim_options;
   sim_options.num_items = config.sim_items;
   sim_options.warmup_items = config.sim_warmup;
-  const SimResult sim0 = simulate(schedule, sim_options);
+  const SimProgram program(schedule, sim_options);
+  SimState sim_state;
+  const SimResult sim0 = program.run(sim_options, sim_state);
   out.sim0 = sim0.mean_latency * norm;
   if (!sim0.complete) out.starved = true;
 
@@ -111,10 +117,9 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
     std::optional<SurvivalOracle> oracle;
     if (schedule.copies() <= 64) oracle.emplace(schedule);  // oracle mask width
     RunningStats crash_latency;
-    for (std::size_t trial = 0; trial < config.crash_trials; ++trial) {
-      const SimResult simc = simulate_with_sampled_failures(schedule, spec.effective,
-                                                           config.crashes, rng, sim_options,
-                                                           oracle ? &*oracle : nullptr);
+    for (const SimResult& simc :
+         simulate_crash_trials(program, spec.effective, config.crashes, config.crash_trials,
+                               rng, oracle ? &*oracle : nullptr)) {
       if (!simc.complete) {
         out.starved = true;
         continue;
@@ -125,7 +130,8 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
     // can lose every trial (sampled sets may exceed the repaired
     // coverage); a spurious 0 would deflate the aggregated means, so the
     // sentinel excludes the instance from the crash series instead.
-    out.simc = crash_latency.count() > 0 ? crash_latency.mean() : -1.0;
+    out.simc =
+        crash_latency.count() > 0 ? crash_latency.mean() : AlgoOutcome::kNoCrashData;
   } else {
     out.simc = out.sim0;
   }
@@ -346,7 +352,7 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
         }
         acc.ub.add(out.ub);
         acc.sim0.add(out.sim0);
-        if (out.simc >= 0.0) acc.simc.add(out.simc);
+        if (out.has_crash_series()) acc.simc.add(out.simc);
         acc.stages.add(out.stages);
         acc.comms.add(static_cast<double>(out.remote_comms));
         acc.repairs.add(out.repair_added);
@@ -354,7 +360,7 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
         if (out.reliability >= 0.0) acc.reliability.add(out.reliability);
         if (rec.ff_sim0 > 0.0) {
           acc.oh0.add(100.0 * (out.sim0 - rec.ff_sim0) / rec.ff_sim0);
-          if (out.simc >= 0.0) acc.ohc.add(100.0 * (out.simc - rec.ff_sim0) / rec.ff_sim0);
+          if (out.has_crash_series()) acc.ohc.add(100.0 * (out.simc - rec.ff_sim0) / rec.ff_sim0);
         }
         if (out.starved) ++ps.starved;
       }

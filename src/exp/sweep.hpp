@@ -72,6 +72,15 @@ struct AlgoOutcome {
   /// Estimated schedule reliability (probabilistic fault models only;
   /// −1 when the series runs a count model).
   double reliability = -1.0;
+
+  /// Stored in `simc` when no crash trial survived (probabilistic series
+  /// whose sampled sets all exceeded the repaired coverage). The stored
+  /// value keeps the sentinel for CSV/golden-byte stability; consumers ask
+  /// `has_crash_series()` instead of comparing against the magic number.
+  static constexpr double kNoCrashData = -1.0;
+  /// True when the crash-latency column holds a measured mean (at least
+  /// one crash trial completed; the c = 0 path copies sim0).
+  [[nodiscard]] bool has_crash_series() const { return simc >= 0.0; }
 };
 
 struct InstanceRecord {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <thread>
 
 #include "schedule/survival.hpp"
 #include "util/assert.hpp"
@@ -598,13 +599,92 @@ ReliabilityEstimate estimate_reliability_legacy(const Schedule& schedule,
   return est;
 }
 
+// Shared fan-out of pure survival checks over a flat array of failure-set
+// word rows: fixed 1024-row chunks (independent of the worker count, so
+// the work partition never influences anything observable), one scratch
+// buffer per task, results as bytes so workers never share a word.
+void parallel_survival_check(const SurvivalOracle& oracle, const std::uint64_t* set_words,
+                             std::size_t n, std::size_t words, std::size_t workers,
+                             std::vector<unsigned char>& killed) {
+  killed.assign(n, 0);
+  constexpr std::size_t kChunk = 1024;
+  const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
+  parallel_for_indices(n_chunks, workers, [&](std::size_t chunk) {
+    std::vector<std::uint64_t> local_scratch;
+    const std::size_t end = std::min(n, (chunk + 1) * kChunk);
+    for (std::size_t i = chunk * kChunk; i < end; ++i) {
+      killed[i] = oracle.survives_words(set_words + i * words, local_scratch) ? 0 : 1;
+    }
+  });
+}
+
+// Parallel exact enumeration: materializes every failure set of the
+// truncated enumeration as bitset words (in enumeration order), fans the
+// survival checks out over `workers` in fixed contiguous chunks, then
+// reduces the weighted mass in enumeration order. Because the weights and
+// the summation order are exactly the serial kernel's (only the survival
+// booleans are computed out of order — and they are pure), the returned
+// reliability is bit-identical for every worker count and to the serial
+// path. Memory: one word-row per set, bounded by options.max_sets.
+void exact_reliability_parallel(const SurvivalOracle& oracle, const FailureWeights& fw,
+                                std::size_t m, std::size_t workers,
+                                ReliabilityEstimate& est, std::vector<KillingSet>* kills) {
+  const std::size_t words = (m + 63) / 64;
+  std::vector<std::uint64_t> set_words;
+  std::vector<double> set_weight;  // parallel to the stored rows
+  ProcSet failed(m);
+  for (std::size_t k = 0; k <= fw.k_max; ++k) {
+    est.sets_checked += for_each_failure_set(
+        m, static_cast<std::uint32_t>(k), failed,
+        [&](const ProcSet& f, const std::vector<ProcId>& set) {
+          // Zero-weight sets (a never-failing processor) contribute
+          // nothing and are skipped before the survival check by the
+          // serial kernel too; they still count as enumerated above. The
+          // weight (ascending-id multiply order, as serial) is stored so
+          // the reduction need not re-decode and re-multiply every row.
+          double w = fw.base;
+          for (ProcId u : set) w *= fw.odds[u];
+          if (w > 0.0) {
+            set_words.insert(set_words.end(), f.words(), f.words() + words);
+            set_weight.push_back(w);
+          }
+          return true;
+        });
+  }
+  const std::size_t n = set_weight.size();
+
+  std::vector<unsigned char> killed;
+  parallel_survival_check(oracle, set_words.data(), n, words, workers, killed);
+
+  // Ordered reduction: mass summed in enumeration order — the serial
+  // kernel's arithmetic. Only killed rows decode their processor set.
+  double reliable_mass = 0.0;
+  std::vector<ProcId> set;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (killed[i] == 0) {
+      reliable_mass += set_weight[i];
+      continue;
+    }
+    const std::uint64_t* w_row = set_words.data() + i * words;
+    set.clear();
+    for (std::size_t u = 0; u < m; ++u) {
+      if ((w_row[u >> 6] >> (u & 63)) & 1) set.push_back(static_cast<ProcId>(u));
+    }
+    record_killing_set(kills, est, set, set_weight[i]);
+  }
+  est.reliability = reliable_mass;
+  est.exact = true;
+}
+
 // Oracle-kernel estimator. Exact mode reuses the legacy enumeration order
 // and summation order, swapping only the survival check — the reliability
-// is bit-identical. Monte-Carlo mode pre-draws every sample from the
-// options.seed stream exactly as the legacy sampler does (same draws, same
-// weights), evaluates survival over the stored bitsets — fanned out over
-// mc_threads workers when requested — and reduces in sample order, so the
-// estimate is identical to the legacy kernel's for every thread count.
+// is bit-identical (and, above one exact_thread, fans the survival checks
+// out without touching the arithmetic). Monte-Carlo mode pre-draws every
+// sample from the options.seed stream exactly as the legacy sampler does
+// (same draws, same weights), evaluates survival over the stored bitsets —
+// fanned out over mc_threads workers when requested — and reduces in
+// sample order, so the estimate is identical to the legacy kernel's for
+// every thread count.
 ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
                                                 const SurvivalOracle& oracle,
                                                 const ReliabilityOptions& options,
@@ -616,6 +696,18 @@ ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
   std::vector<std::uint64_t> scratch;
 
   if (fw.total_sets <= static_cast<double>(options.max_sets)) {
+    const std::size_t exact_workers =
+        options.exact_threads == 0
+            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+            : options.exact_threads;
+    // Size floor: materialization + fan-out only pay off on enumerations
+    // of at least a few chunks. The floor depends only on the enumeration
+    // size — never on the thread count — so results stay bit-identical
+    // for every exact_threads value either way.
+    if (exact_workers > 1 && fw.total_sets >= 4096.0) {
+      exact_reliability_parallel(oracle, fw, m, exact_workers, est, kills);
+      return est;
+    }
     double reliable_mass = 0.0;
     ProcSet failed(m);
     for (std::size_t k = 0; k <= fw.k_max; ++k) {
@@ -664,23 +756,16 @@ ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
   }
 
   // Evaluation pass: the only stochastic-free, embarrassingly parallel
-  // part. unsigned char (not vector<bool>) so workers never share a word.
-  std::vector<unsigned char> killed(n, 0);
+  // part (parallel_survival_check, shared with the exact fan-out).
+  std::vector<unsigned char> killed;
   if (options.mc_threads == 1) {
+    killed.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       killed[i] = oracle.survives_words(sample_words.data() + i * words, scratch) ? 0 : 1;
     }
   } else {
-    constexpr std::size_t kChunk = 1024;
-    const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
-    parallel_for_indices(n_chunks, options.mc_threads, [&](std::size_t chunk) {
-      std::vector<std::uint64_t> local_scratch;
-      const std::size_t end = std::min(n, (chunk + 1) * kChunk);
-      for (std::size_t i = chunk * kChunk; i < end; ++i) {
-        killed[i] =
-            oracle.survives_words(sample_words.data() + i * words, local_scratch) ? 0 : 1;
-      }
-    });
+    parallel_survival_check(oracle, sample_words.data(), n, words, options.mc_threads,
+                            killed);
   }
 
   // Reduction in sample order: same summation order and killing-set

@@ -116,6 +116,13 @@ struct ReliabilityOptions {
   /// (bit-identical to the legacy sampler), only the survival checks fan
   /// out, and the reduction runs in sample order.
   std::size_t mc_threads = 1;
+  /// Worker threads for the EXACT enumeration (1 = inline, 0 = hardware
+  /// concurrency; oracle kernel only — kLegacy stays serial). The
+  /// enumeration is partitioned into contiguous lexicographic ranges whose
+  /// survival checks fan out; the weighted reduction then walks the sets
+  /// in enumeration order, so the reliability is bit-identical for every
+  /// thread count and to the serial kernel.
+  std::size_t exact_threads = 1;
 };
 
 struct ReliabilityEstimate {

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "schedule/survival.hpp"
+#include "sim/program.hpp"
 #include "util/assert.hpp"
 
 namespace streamsched {
@@ -457,9 +458,31 @@ class Engine {
   SimResult result_;
 };
 
+// Summary of a trial whose sampled crash set kills the schedule: some task
+// keeps no computable replica, so every measured item starves on that
+// task's downstream exits — the outcome is known without running the event
+// simulation. Busy vectors are sized like the engine's (all zero), so
+// per-processor reads stay in bounds.
+SimResult killed_trial_result(std::size_t num_procs, const SimOptions& options) {
+  SimResult result;
+  result.complete = false;
+  result.starved_items = options.num_items - options.warmup_items;
+  result.min_latency = 0.0;
+  result.proc_busy.assign(num_procs, 0.0);
+  result.send_busy.assign(num_procs, 0.0);
+  result.recv_busy.assign(num_procs, 0.0);
+  return result;
+}
+
 }  // namespace
 
 SimResult simulate(const Schedule& schedule, const SimOptions& options) {
+  const SimProgram program(schedule, options);
+  SimState state;
+  return program.run(options, state);
+}
+
+SimResult simulate_legacy(const Schedule& schedule, const SimOptions& options) {
   Engine engine(schedule, options);
   return engine.run();
 }
@@ -473,22 +496,44 @@ SimResult simulate_with_sampled_failures(const Schedule& schedule, const FaultMo
     failed.assign(options.failed);
     std::vector<std::uint64_t> scratch;
     if (!precheck->survives(failed, scratch)) {
-      // Some task keeps no computable replica, so every measured item
-      // starves on that task's downstream exits — report the starved run
-      // without running the event simulation. Busy vectors are sized like
-      // the engine's (all zero), so per-processor reads stay in bounds.
-      const std::size_t m = schedule.platform().num_procs();
-      SimResult result;
-      result.complete = false;
-      result.starved_items = options.num_items - options.warmup_items;
-      result.min_latency = 0.0;
-      result.proc_busy.assign(m, 0.0);
-      result.send_busy.assign(m, 0.0);
-      result.recv_busy.assign(m, 0.0);
-      return result;
+      return killed_trial_result(schedule.platform().num_procs(), options);
     }
   }
   return simulate(schedule, options);
+}
+
+std::vector<SimResult> simulate_crash_trials(const SimProgram& program, const FaultModel& model,
+                                             std::uint32_t count_crashes, std::size_t trials,
+                                             Rng& rng, const SurvivalOracle* precheck) {
+  const Schedule& schedule = program.schedule();
+  const std::size_t m = schedule.platform().num_procs();
+
+  // Draw every crash set up front: sampling is the only rng consumer of
+  // the per-trial loop, so the draws (and therefore the results) are
+  // bit-identical to interleaved draw-then-simulate.
+  std::vector<std::vector<ProcId>> crash_sets(trials);
+  for (auto& set : crash_sets) {
+    set = model.sample_failures(schedule.platform(), count_crashes, rng);
+  }
+
+  std::vector<SimResult> results;
+  results.reserve(trials);
+  SimState state;
+  SimOptions options = program.options();
+  ProcSet failed(m);
+  std::vector<std::uint64_t> scratch;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    options.failed = std::move(crash_sets[trial]);
+    if (precheck != nullptr) {
+      failed.assign(options.failed);
+      if (!precheck->survives(failed, scratch)) {
+        results.push_back(killed_trial_result(m, options));
+        continue;
+      }
+    }
+    results.push_back(program.run(options, state));
+  }
+  return results;
 }
 
 }  // namespace streamsched

@@ -22,7 +22,11 @@
 // reservation rule the schedule builders use.
 //
 // The paper's "with c crash" latency series (Figs. 3(b), 4(b)) and the
-// "with 0 crash" series are produced by this engine.
+// "with 0 crash" series are produced by this engine. Two implementations
+// share these semantics bit-for-bit: the compiled `SimProgram`
+// (sim/program.hpp), which `simulate()` routes through, and the original
+// per-call engine preserved as `simulate_legacy` — the measured baseline
+// of bench_sim_engine and the reference of the parity suite.
 #pragma once
 
 #include <vector>
@@ -102,10 +106,22 @@ struct SimResult {
 };
 
 /// Simulates `schedule` and returns steady-state metrics. The schedule
-/// must be complete (every replica placed).
+/// must be complete (every replica placed). Routed through the compiled
+/// engine (sim/program.hpp): compile once, run once — bit-identical to
+/// `simulate_legacy`. Callers running many trials on one schedule should
+/// compile a `SimProgram` themselves (or use `simulate_crash_trials`) so
+/// the compilation is paid once, not per trial.
 [[nodiscard]] SimResult simulate(const Schedule& schedule, const SimOptions& options = {});
 
+/// The pre-compilation engine, kept verbatim as the measured baseline for
+/// bench_sim_engine and the parity suite (tests/test_sim_program.cpp): it
+/// re-derives the full static replica/transfer structure from the schedule
+/// on every call.
+[[nodiscard]] SimResult simulate_legacy(const Schedule& schedule,
+                                        const SimOptions& options = {});
+
 class SurvivalOracle;
+class SimProgram;
 
 /// One crash trial under a fault model: draws a fail-silent crash set from
 /// the model (count: a uniform `count_crashes`-subset — the paper's "with
@@ -125,5 +141,19 @@ class SurvivalOracle;
                                                        std::uint32_t count_crashes, Rng& rng,
                                                        SimOptions options = {},
                                                        const SurvivalOracle* precheck = nullptr);
+
+/// Batched crash trials on a compiled program: draws all `trials` crash
+/// sets up front from `rng` (the same sequential draws the per-trial
+/// `simulate_with_sampled_failures` loop makes — the simulations never
+/// consume the stream), short-circuits trials whose sampled set kills the
+/// schedule via the optional `precheck` oracle, and replays the compiled
+/// program once per surviving trial on a single reused SimState arena. One
+/// sweep point thus pays schedule compilation once instead of
+/// `crash_trials` times. Results are per trial, in draw order, and
+/// bit-identical to the per-trial loop (including the short-circuited
+/// starved summaries).
+[[nodiscard]] std::vector<SimResult> simulate_crash_trials(
+    const SimProgram& program, const FaultModel& model, std::uint32_t count_crashes,
+    std::size_t trials, Rng& rng, const SurvivalOracle* precheck = nullptr);
 
 }  // namespace streamsched

@@ -203,6 +203,36 @@ TEST(Survival, ExactReliabilityBitIdenticalAcrossKernels) {
   }
 }
 
+TEST(Survival, ExactReliabilityDeterministicAcrossThreadCounts) {
+  // Large enough that the parallel exact path engages (the size floor is
+  // 4096 enumerated sets): the partitioned survival fan-out plus ordered
+  // reduction must be bit-identical for every exact_threads value AND to
+  // the serial kernels (oracle and legacy walk the same arithmetic).
+  Dag dag;
+  Platform platform;
+  const Schedule schedule = random_schedule(23, 16, 30, 2, dag, platform);
+  ReliabilityOptions serial;  // exact_threads = 1
+  const ReliabilityEstimate reference = schedule_reliability(schedule, serial);
+  ASSERT_TRUE(reference.exact);
+  ASSERT_GT(reference.sets_checked, 4096u) << "scenario too small to engage the fan-out";
+  ReliabilityOptions legacy;
+  legacy.kernel = SurvivalKernel::kLegacy;
+  const ReliabilityEstimate legacy_est = schedule_reliability(schedule, legacy);
+  EXPECT_EQ(reference.reliability, legacy_est.reliability);
+  for (const std::size_t threads : {2u, 4u}) {
+    ReliabilityOptions options;
+    options.exact_threads = threads;
+    const ReliabilityEstimate est = schedule_reliability(schedule, options);
+    ASSERT_TRUE(est.exact);
+    EXPECT_EQ(est.reliability, reference.reliability) << "threads=" << threads;
+    EXPECT_EQ(est.sets_checked, reference.sets_checked) << "threads=" << threads;
+    EXPECT_EQ(est.k_max, reference.k_max) << "threads=" << threads;
+    EXPECT_EQ(est.worst_failure, reference.worst_failure) << "threads=" << threads;
+    EXPECT_EQ(est.worst_failure_prob, reference.worst_failure_prob)
+        << "threads=" << threads;
+  }
+}
+
 TEST(Survival, MonteCarloIdenticalToLegacyAtOneThread) {
   Dag dag;
   Platform platform;
