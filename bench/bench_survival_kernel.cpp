@@ -1,17 +1,22 @@
-// Microbench of the compiled survival kernel (schedule/survival.hpp)
-// against the legacy per-set vector<bool> walk, across platform sizes
-// m ∈ {8, 16, 32, 64}:
+// Microbench of the survival kernels (schedule/survival.hpp) — the
+// bit-sliced batch kernel vs the per-set compiled oracle vs the legacy
+// vector<bool> walk — across platform sizes m ∈ {8, 16, 32, 64}:
 //
 //   - exact mode: end-to-end `schedule_reliability` latency and enumerated
 //     sets/sec under the default truncation budget (reported only for the
-//     m whose enumeration fits the budget — larger platforms fall to MC);
+//     m whose enumeration fits the budget — larger platforms fall to MC),
+//     legacy vs per-set oracle vs batch;
 //   - Monte-Carlo mode (enumeration budget forced to 0): the 20k-sample
-//     importance-sampled path, legacy vs oracle at one thread and oracle
-//     at `--threads` workers.
+//     importance-sampled path, legacy and per-set oracle at one thread,
+//     batch at one thread and at `--threads` workers;
+//   - repair mode: end-to-end `repair_to_reliability` on an unrepaired
+//     schedule (exact estimates, truncation loosened so m = 32 stays
+//     enumerable), legacy vs per-set re-enumeration vs the batch kernel's
+//     incremental killing-set cache.
 //
-// Both kernels must agree: exact reliabilities bit-identical, MC estimates
-// identical at a fixed seed (the oracle pre-draws every sample from the
-// same stream). A mismatch aborts the bench with exit code 1.
+// All kernels must agree: exact reliabilities bit-identical, MC estimates
+// identical at a fixed seed, repair stats (rounds, added channels,
+// achieved reliability) identical. A mismatch aborts with exit code 1.
 //
 // Results are printed and written to `--json` (default BENCH_survival.json)
 // via bench/emit_bench_json.hpp so CI can archive the perf trajectory.
@@ -19,7 +24,8 @@
 // Flags: --mc-samples N (default 20000), --reps N (timing repetitions,
 // best-of; default 3), --seed S, --threads N (0 = hardware concurrency),
 // --eps E (replication degree of the benched schedules, default 2),
-// --json PATH.
+// --gate X (fail unless batch exact speedup over the per-set oracle at
+// m=16 is >= X; 0 disables), --json PATH.
 #include <chrono>
 #include <cmath>
 #include <iostream>
@@ -61,6 +67,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, "STREAMSCHED_SEED"));
   auto threads = static_cast<std::size_t>(cli.get_int("threads", 0, "STREAMSCHED_THREADS"));
   const auto eps = static_cast<CopyId>(cli.get_int("eps", 2, ""));
+  const double gate = cli.get_double("gate", 0.0, "");
   const std::string json_path = cli.get_string("json", "BENCH_survival.json", "");
   cli.finish();
   if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
@@ -71,9 +78,11 @@ int main(int argc, char** argv) {
       .add("reps", static_cast<std::int64_t>(reps))
       .add("seed", seed)
       .add("eps", static_cast<std::int64_t>(eps))
-      .add("threads", static_cast<std::uint64_t>(threads));
+      .add("threads", static_cast<std::uint64_t>(threads))
+      .add("gate", gate);
 
   bool ok = true;
+  double gate_speedup = -1.0;  // batch-over-per-set exact at m=16
   for (const std::size_t m : {8, 16, 32, 64}) {
     Rng rng(seed + 0x9e3779b97f4a7c15ULL * m);
     const Platform platform = make_reliability_heterogeneous(rng, m, 0.02, 0.08);
@@ -91,29 +100,39 @@ int main(int argc, char** argv) {
     std::cout << "m=" << m << "  tasks=" << dag.num_tasks() << "  copies=" << schedule.copies()
               << "  comms=" << schedule.comms().size() << '\n';
 
+    ReliabilityOptions batch_opts;  // default kernel: kBatch
     ReliabilityOptions oracle_opts;
+    oracle_opts.kernel = SurvivalKernel::kOracle;
     ReliabilityOptions legacy_opts;
     legacy_opts.kernel = SurvivalKernel::kLegacy;
 
     // --- exact mode (only when the default budget keeps it exact) -------
-    const ReliabilityEstimate probe = schedule_reliability(schedule, oracle_opts);
+    const ReliabilityEstimate probe = schedule_reliability(schedule, batch_opts);
     if (probe.exact) {
       const double t_legacy =
           best_seconds(reps, [&] { (void)schedule_reliability(schedule, legacy_opts); });
       const double t_oracle =
           best_seconds(reps, [&] { (void)schedule_reliability(schedule, oracle_opts); });
+      const double t_batch =
+          best_seconds(reps, [&] { (void)schedule_reliability(schedule, batch_opts); });
       const ReliabilityEstimate legacy = schedule_reliability(schedule, legacy_opts);
+      const ReliabilityEstimate oracle = schedule_reliability(schedule, oracle_opts);
       const auto k_max = static_cast<std::uint64_t>(probe.k_max);
       if (legacy.reliability != probe.reliability ||
-          legacy.sets_checked != probe.sets_checked) {
+          legacy.sets_checked != probe.sets_checked ||
+          oracle.reliability != probe.reliability) {
         std::cerr << "MISMATCH m=" << m << " exact: legacy=" << legacy.reliability
-                  << " oracle=" << probe.reliability << '\n';
+                  << " oracle=" << oracle.reliability << " batch=" << probe.reliability << '\n';
         ok = false;
       }
-      const double speedup = t_legacy / t_oracle;
+      const double speedup_oracle = t_legacy / t_oracle;
+      const double speedup_batch = t_legacy / t_batch;
+      const double batch_vs_oracle = t_oracle / t_batch;
+      if (m == 16) gate_speedup = batch_vs_oracle;
       std::cout << "  exact  k_max=" << k_max << "  sets=" << probe.sets_checked
-                << "  legacy=" << t_legacy * 1e3 << "ms  oracle=" << t_oracle * 1e3
-                << "ms  speedup=" << speedup << "x\n";
+                << "  legacy=" << t_legacy * 1e3 << "ms  oracle=" << t_oracle * 1e3 << "ms ("
+                << speedup_oracle << "x)  batch=" << t_batch * 1e3 << "ms (" << speedup_batch
+                << "x legacy, " << batch_vs_oracle << "x oracle)\n";
       doc.add_result()
           .add("m", static_cast<std::uint64_t>(m))
           .add("mode", "exact")
@@ -128,11 +147,23 @@ int main(int argc, char** argv) {
           .add("mode", "exact")
           .add("kernel", "oracle")
           .add("k_max", k_max)
-          .add("sets_checked", probe.sets_checked)
+          .add("sets_checked", oracle.sets_checked)
           .add("seconds", t_oracle)
-          .add("sets_per_sec", static_cast<double>(probe.sets_checked) / t_oracle)
+          .add("sets_per_sec", static_cast<double>(oracle.sets_checked) / t_oracle)
+          .add("reliability", oracle.reliability)
+          .add("speedup_vs_legacy", speedup_oracle)
+          .add("match_legacy", legacy.reliability == oracle.reliability);
+      doc.add_result()
+          .add("m", static_cast<std::uint64_t>(m))
+          .add("mode", "exact")
+          .add("kernel", "batch")
+          .add("k_max", k_max)
+          .add("sets_checked", probe.sets_checked)
+          .add("seconds", t_batch)
+          .add("sets_per_sec", static_cast<double>(probe.sets_checked) / t_batch)
           .add("reliability", probe.reliability)
-          .add("speedup_vs_legacy", speedup)
+          .add("speedup_vs_legacy", speedup_batch)
+          .add("speedup_vs_oracle", batch_vs_oracle)
           .add("match_legacy", legacy.reliability == probe.reliability);
     } else {
       std::cout << "  exact  skipped (enumeration beyond budget)\n";
@@ -145,32 +176,40 @@ int main(int argc, char** argv) {
     }
 
     // --- Monte-Carlo mode (forced) --------------------------------------
-    ReliabilityOptions mc_oracle = oracle_opts;
-    mc_oracle.max_sets = 0;
-    mc_oracle.mc_samples = mc_samples;
-    ReliabilityOptions mc_legacy = mc_oracle;
+    ReliabilityOptions mc_batch = batch_opts;
+    mc_batch.max_sets = 0;
+    mc_batch.mc_samples = mc_samples;
+    ReliabilityOptions mc_oracle = mc_batch;
+    mc_oracle.kernel = SurvivalKernel::kOracle;
+    ReliabilityOptions mc_legacy = mc_batch;
     mc_legacy.kernel = SurvivalKernel::kLegacy;
-    ReliabilityOptions mc_threaded = mc_oracle;
+    ReliabilityOptions mc_threaded = mc_batch;
     mc_threaded.mc_threads = threads;
 
     const double t_mc_legacy =
         best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_legacy); });
     const double t_mc_oracle =
         best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_oracle); });
+    const double t_mc_batch =
+        best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_batch); });
     const double t_mc_threaded =
         best_seconds(reps, [&] { (void)schedule_reliability(schedule, mc_threaded); });
     const ReliabilityEstimate mc_l = schedule_reliability(schedule, mc_legacy);
     const ReliabilityEstimate mc_o = schedule_reliability(schedule, mc_oracle);
+    const ReliabilityEstimate mc_b = schedule_reliability(schedule, mc_batch);
     const ReliabilityEstimate mc_t = schedule_reliability(schedule, mc_threaded);
-    if (mc_l.reliability != mc_o.reliability || mc_o.reliability != mc_t.reliability) {
+    if (mc_l.reliability != mc_o.reliability || mc_o.reliability != mc_b.reliability ||
+        mc_b.reliability != mc_t.reliability) {
       std::cerr << "MISMATCH m=" << m << " mc: legacy=" << mc_l.reliability
-                << " oracle=" << mc_o.reliability << " threaded=" << mc_t.reliability << '\n';
+                << " oracle=" << mc_o.reliability << " batch=" << mc_b.reliability
+                << " threaded=" << mc_t.reliability << '\n';
       ok = false;
     }
     std::cout << "  mc     samples=" << mc_samples << "  legacy=" << t_mc_legacy * 1e3
-              << "ms  oracle=" << t_mc_oracle * 1e3 << "ms ("
-              << t_mc_legacy / t_mc_oracle << "x)  oracle@" << threads << "t="
-              << t_mc_threaded * 1e3 << "ms (" << t_mc_legacy / t_mc_threaded << "x)\n";
+              << "ms  oracle=" << t_mc_oracle * 1e3 << "ms (" << t_mc_legacy / t_mc_oracle
+              << "x)  batch=" << t_mc_batch * 1e3 << "ms (" << t_mc_legacy / t_mc_batch
+              << "x)  batch@" << threads << "t=" << t_mc_threaded * 1e3 << "ms ("
+              << t_mc_legacy / t_mc_threaded << "x)\n";
     doc.add_result()
         .add("m", static_cast<std::uint64_t>(m))
         .add("mode", "mc")
@@ -194,7 +233,19 @@ int main(int argc, char** argv) {
     doc.add_result()
         .add("m", static_cast<std::uint64_t>(m))
         .add("mode", "mc")
-        .add("kernel", "oracle")
+        .add("kernel", "batch")
+        .add("mc_threads", std::uint64_t{1})
+        .add("sets_checked", mc_b.sets_checked)
+        .add("seconds", t_mc_batch)
+        .add("sets_per_sec", static_cast<double>(mc_b.sets_checked) / t_mc_batch)
+        .add("reliability", mc_b.reliability)
+        .add("speedup_vs_legacy", t_mc_legacy / t_mc_batch)
+        .add("speedup_vs_oracle", t_mc_oracle / t_mc_batch)
+        .add("match_legacy", mc_l.reliability == mc_b.reliability);
+    doc.add_result()
+        .add("m", static_cast<std::uint64_t>(m))
+        .add("mode", "mc")
+        .add("kernel", "batch")
         .add("mc_threads", static_cast<std::uint64_t>(threads))
         .add("sets_checked", mc_t.sets_checked)
         .add("seconds", t_mc_threaded)
@@ -204,11 +255,108 @@ int main(int argc, char** argv) {
         .add("match_legacy", mc_l.reliability == mc_t.reliability);
   }
 
+  // --- repair loop ------------------------------------------------------
+  // End-to-end `repair_to_reliability` on an UNREPAIRED schedule, so the
+  // killing-set verification loop actually wires channels over several
+  // rounds. Failure probabilities and truncation are chosen so the exact
+  // estimator stays enumerable at m = 32 (k_max ~ 5): this is the regime
+  // where the batch kernel's incremental cache replaces a full per-round
+  // re-enumeration. Every kernel must produce the same rounds, channels
+  // and achieved reliability.
+  for (const std::size_t m : {16, 32}) {
+    Rng rng(seed + 0xb5297a4d3ac2f1ULL * m);
+    const Platform platform = make_reliability_heterogeneous(rng, m, 0.002, 0.008);
+    const Dag dag = make_random_layered(rng, 2 * m + 8, 5, 0.3, WeightRanges{});
+    SchedulerOptions options;
+    options.eps = eps;
+    options.period = std::numeric_limits<double>::infinity();
+    options.repair = false;  // leave killing sets for repair_to_reliability
+    const ScheduleResult r = rltf_schedule(dag, platform, options);
+    if (!r.ok()) {
+      std::cerr << "repair m=" << m << ": scheduling failed (" << r.error << "), skipping\n";
+      continue;
+    }
+    ReliabilityOptions ropts;
+    ropts.tail_tolerance = 1e-6;
+    const double target = 0.999999;
+
+    struct KernelRun {
+      const char* name;
+      SurvivalKernel kernel;
+      double seconds = 0.0;
+      RepairStats stats;
+      ReliabilityEstimate achieved;
+    };
+    KernelRun runs[] = {{"legacy", SurvivalKernel::kLegacy, 0.0, {}, {}},
+                        {"oracle", SurvivalKernel::kOracle, 0.0, {}, {}},
+                        {"batch", SurvivalKernel::kBatch, 0.0, {}, {}}};
+    for (KernelRun& run : runs) {
+      ReliabilityOptions o = ropts;
+      o.kernel = run.kernel;
+      run.seconds = best_seconds(reps, [&] {
+        Schedule clone = *r.schedule;
+        run.stats = repair_to_reliability(clone, target, o, &run.achieved);
+      });
+    }
+    const KernelRun& legacy = runs[0];
+    for (const KernelRun& run : runs) {
+      if (run.stats.added_comms != legacy.stats.added_comms ||
+          run.stats.rounds != legacy.stats.rounds ||
+          run.achieved.reliability != legacy.achieved.reliability) {
+        std::cerr << "MISMATCH repair m=" << m << " kernel=" << run.name
+                  << ": added=" << run.stats.added_comms << "/" << legacy.stats.added_comms
+                  << " rounds=" << run.stats.rounds << "/" << legacy.stats.rounds
+                  << " achieved=" << run.achieved.reliability << "/"
+                  << legacy.achieved.reliability << '\n';
+        ok = false;
+      }
+    }
+    std::cout << "repair m=" << m << "  rounds=" << legacy.stats.rounds
+              << "  added=" << legacy.stats.added_comms << "  exact="
+              << (legacy.achieved.exact ? "yes" : "no") << "  legacy=" << legacy.seconds * 1e3
+              << "ms  oracle=" << runs[1].seconds * 1e3 << "ms ("
+              << legacy.seconds / runs[1].seconds << "x)  batch=" << runs[2].seconds * 1e3
+              << "ms (" << legacy.seconds / runs[2].seconds << "x legacy, "
+              << runs[1].seconds / runs[2].seconds << "x oracle)\n";
+    for (const KernelRun& run : runs) {
+      auto& row = doc.add_result()
+                      .add("m", static_cast<std::uint64_t>(m))
+                      .add("mode", "repair")
+                      .add("kernel", run.name)
+                      .add("rounds", static_cast<std::uint64_t>(run.stats.rounds))
+                      .add("added_comms", static_cast<std::uint64_t>(run.stats.added_comms))
+                      .add("exact", run.achieved.exact)
+                      .add("achieved", run.achieved.reliability)
+                      .add("seconds", run.seconds)
+                      .add("match_legacy",
+                           run.achieved.reliability == legacy.achieved.reliability);
+      if (run.kernel != SurvivalKernel::kLegacy) {
+        row.add("speedup_vs_legacy", legacy.seconds / run.seconds);
+      }
+      if (run.kernel == SurvivalKernel::kBatch) {
+        row.add("speedup_vs_oracle", runs[1].seconds / run.seconds);
+      }
+    }
+  }
+
   doc.write(json_path);
   std::cout << "(wrote " << json_path << ")\n";
   if (!ok) {
     std::cerr << "kernel mismatch detected — see above\n";
     return 1;
+  }
+  if (gate > 0.0) {
+    if (gate_speedup < 0.0) {
+      std::cerr << "gate: no m=16 exact measurement available\n";
+      return 1;
+    }
+    if (gate_speedup < gate) {
+      std::cerr << "gate: batch exact speedup over per-set oracle at m=16 is " << gate_speedup
+                << "x, below the required " << gate << "x\n";
+      return 1;
+    }
+    std::cout << "gate: batch " << gate_speedup << "x over per-set oracle at m=16 (>= " << gate
+              << "x)\n";
   }
   return 0;
 }

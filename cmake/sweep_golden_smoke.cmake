@@ -1,15 +1,34 @@
 # Release-mode sweep smoke test with pinned golden series numbers (ROADMAP
 # "CI hardening"): runs bench_fig3_eps1 with pinned arguments and
 # byte-compares the per-series CSVs against the checked-in goldens in
-# tests/golden/. The goldens were captured from the pre-variant pipeline,
-# so this also pins the "no variant parameters -> bit-identical sweep"
-# guarantee of the parameter-space redesign. The sweep is deterministic in
-# the seed regardless of thread count, and the arithmetic is plain IEEE
-# (+,-,*,/,sqrt), so the comparison is exact.
+# tests/golden/. The baseline goldens were captured from the pre-variant
+# pipeline, so the first run also pins the "no variant parameters ->
+# bit-identical sweep" guarantee of the parameter-space redesign; the
+# variant run pins a parameterized scheduler (`rltf[chunk=4]`) under both
+# the paper's count model and the probabilistic fault model, and repeats
+# at 1, 2 and 4 worker threads against the SAME goldens — the sweep is
+# deterministic in the seed regardless of thread count, and the arithmetic
+# is plain IEEE (+,-,*,/,sqrt), so every comparison is exact.
 #
 # Expected -D definitions: BENCH (bench_fig3_eps1 binary), GOLDEN_DIR
 # (tests/golden), WORK_DIR (scratch directory for the produced CSVs).
 file(MAKE_DIRECTORY "${WORK_DIR}")
+
+function(compare_series work_prefix series)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files
+            "${WORK_DIR}/${work_prefix}fig3_${series}.csv"
+            "${GOLDEN_DIR}/fig3_smoke_${series}.csv"
+    RESULT_VARIABLE diff_result)
+  if(NOT diff_result EQUAL 0)
+    message(FATAL_ERROR
+            "sweep series '${series}' deviates from the pinned golden numbers "
+            "(${WORK_DIR}/${work_prefix}fig3_${series}.csv vs "
+            "${GOLDEN_DIR}/fig3_smoke_${series}.csv)")
+  endif()
+endfunction()
+
+# Baseline series: default algorithms, scalar eps model.
 execute_process(
   COMMAND "${BENCH}" --graphs 3 --threads 2 --seed 42 --csv "${WORK_DIR}/smoke_"
   RESULT_VARIABLE run_result
@@ -18,15 +37,24 @@ if(NOT run_result EQUAL 0)
   message(FATAL_ERROR "bench_fig3_eps1 exited with '${run_result}'")
 endif()
 foreach(series ltf rltf)
+  compare_series(smoke_ "${series}")
+endforeach()
+
+# Variant + probabilistic series, pinned across thread counts: the same
+# goldens must reproduce byte-identically at 1, 2 and 4 workers.
+foreach(threads 1 2 4)
   execute_process(
-    COMMAND ${CMAKE_COMMAND} -E compare_files
-            "${WORK_DIR}/smoke_fig3_${series}.csv"
-            "${GOLDEN_DIR}/fig3_smoke_${series}.csv"
-    RESULT_VARIABLE diff_result)
-  if(NOT diff_result EQUAL 0)
+    COMMAND "${BENCH}" --graphs 3 --threads "${threads}" --seed 42
+            --algo=rltf[chunk=4] --fault-model=count:1,prob:R=0.99
+            --csv "${WORK_DIR}/smoke_t${threads}_"
+    RESULT_VARIABLE run_result
+    OUTPUT_QUIET)
+  if(NOT run_result EQUAL 0)
     message(FATAL_ERROR
-            "sweep series '${series}' deviates from the pinned golden numbers "
-            "(${WORK_DIR}/smoke_fig3_${series}.csv vs "
-            "${GOLDEN_DIR}/fig3_smoke_${series}.csv)")
+            "bench_fig3_eps1 (variant run, threads=${threads}) exited with "
+            "'${run_result}'")
   endif()
+  foreach(series rltf_chunk_4__count_eps_1 rltf_chunk_4__prob_R_0.99)
+    compare_series("smoke_t${threads}_" "${series}")
+  endforeach()
 endforeach()

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <optional>
 
 #include "core/rltf.hpp"
 #include "schedule/metrics.hpp"
@@ -114,12 +113,11 @@ AlgoOutcome measure(const SweepConfig& config, const SeriesSpec& spec, CopyId mo
   // schedule skip the event simulation (identical outcome: the trial
   // starves either way).
   if (config.crashes > 0 || spec.effective.is_probabilistic()) {
-    std::optional<SurvivalOracle> oracle;
-    if (schedule.copies() <= 64) oracle.emplace(schedule);  // oracle mask width
+    const SurvivalOracle oracle(schedule);
     RunningStats crash_latency;
     for (const SimResult& simc :
          simulate_crash_trials(program, spec.effective, config.crashes, config.crash_trials,
-                               rng, oracle ? &*oracle : nullptr)) {
+                               rng, &oracle)) {
       if (!simc.complete) {
         out.starved = true;
         continue;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <thread>
+#include <utility>
 
 #include "schedule/survival.hpp"
 #include "util/assert.hpp"
@@ -94,50 +95,86 @@ std::uint64_t for_each_failure_set_legacy(std::size_t m, std::uint32_t k, Visit&
   }
 }
 
-// Exhaustive size-`max_failures` check against an already-compiled oracle;
-// `failed` is the caller's reusable ProcSet. The repair loop calls this
-// every round, patching the oracle between rounds instead of recompiling.
-FtCheckResult check_with_oracle(SurvivalOracle& oracle, ProcSet& failed,
-                                std::uint32_t max_failures) {
-  const std::size_t m = oracle.num_procs();
-  SS_REQUIRE(max_failures < m, "cannot fail all processors");
+// Advances a size-k lexicographic combination over {0..m-1} in place;
+// false once the last combination has been consumed.
+bool next_combination(std::vector<ProcId>& subset, std::size_t m) {
+  const std::size_t k = subset.size();
+  std::int64_t i = static_cast<std::int64_t>(k) - 1;
+  while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
+                       static_cast<ProcId>(m - k + static_cast<std::size_t>(i))) {
+    --i;
+  }
+  if (i < 0) return false;
+  ++subset[static_cast<std::size_t>(i)];
+  for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  return true;
+}
+
+// Exhaustive size-k check state that persists ACROSS repair rounds. Repair
+// only ever adds supply channels and survival is monotone in the channel
+// set, so every combination verified surviving stays surviving: instead of
+// re-enumerating the full C(m, k) space per round (the `check_with_oracle`
+// re-enumeration that dominated repair at m >= 32), the next round resumes
+// at the previous counterexample and re-walks only the unverified tail.
+struct ResumableCheck {
+  ResumableCheck(std::size_t num_procs, std::uint32_t max_failures)
+      : m(num_procs), subset(max_failures) {
+    SS_REQUIRE(max_failures < m, "cannot fail all processors");
+    for (std::uint32_t i = 0; i < max_failures; ++i) subset[i] = i;
+  }
+
+  std::size_t m;
+  bool exhausted = false;
+  std::vector<ProcId> subset;           // next combination to verify
+  std::vector<std::uint64_t> rows;      // reusable 64-row block buffer
+  BatchScratch scratch;
+};
+
+// Verifies the remaining combinations in blocks of 64 through the
+// bit-sliced kernel. The enumeration stays lexicographic, so the reported
+// counterexample is exactly the set the per-set walk would find;
+// `sets_checked` counts the sets enumerated this call up to and including
+// the counterexample, matching the per-set walk on a fresh state. On a
+// kill the state re-positions AT the counterexample: after repair the next
+// call re-verifies it first.
+FtCheckResult check_with_oracle(SurvivalOracle& oracle, ResumableCheck& state) {
+  const std::size_t m = state.m;
+  const std::size_t words = (m + 63) / 64;
   FtCheckResult result;
-  result.sets_checked = for_each_failure_set(
-      m, max_failures, failed, [&](const ProcSet& f, const std::vector<ProcId>& set) {
-        if (!oracle.survives(f)) {
-          result.valid = false;
-          result.counterexample = set;
-          return false;
-        }
-        return true;
-      });
+  while (!state.exhausted) {
+    state.rows.assign(64 * words, 0);
+    std::size_t lanes = 0;
+    while (lanes < 64 && !state.exhausted) {
+      std::uint64_t* row = state.rows.data() + lanes * words;
+      for (ProcId p : state.subset) row[p >> 6] |= 1ULL << (p & 63);
+      ++lanes;
+      if (!next_combination(state.subset, m)) state.exhausted = true;
+    }
+    const std::uint64_t survived = oracle.survives_batch(state.rows.data(), lanes, state.scratch);
+    const std::uint64_t killed = ~survived & batch_lane_mask(lanes);
+    if (killed != 0) {
+      const auto lane = static_cast<std::size_t>(std::countr_zero(killed));
+      result.valid = false;
+      const std::uint64_t* row = state.rows.data() + lane * words;
+      for (std::size_t u = 0; u < m; ++u) {
+        if ((row[u >> 6] >> (u & 63)) & 1) result.counterexample.push_back(static_cast<ProcId>(u));
+      }
+      result.sets_checked += lane + 1;
+      state.subset = result.counterexample;
+      state.exhausted = false;
+      return result;
+    }
+    result.sets_checked += lanes;
+  }
   return result;
 }
 
 }  // namespace
 
 FtCheckResult check_fault_tolerance(const Schedule& schedule, std::uint32_t max_failures) {
-  const std::size_t m = schedule.platform().num_procs();
-  if (schedule.copies() > 64) {
-    // Beyond the oracle's mask width: the legacy kernel handles arbitrary
-    // replication degrees.
-    SS_REQUIRE(max_failures < m, "cannot fail all processors");
-    FtCheckResult result;
-    result.sets_checked = for_each_failure_set_legacy(
-        m, max_failures,
-        [&](const std::vector<bool>& failed, const std::vector<ProcId>& set) {
-          if (!survives_failures(schedule, failed)) {
-            result.valid = false;
-            result.counterexample = set;
-            return false;
-          }
-          return true;
-        });
-    return result;
-  }
   SurvivalOracle oracle(schedule);
-  ProcSet failed(m);
-  return check_with_oracle(oracle, failed, max_failures);
+  ResumableCheck state(schedule.platform().num_procs(), max_failures);
+  return check_with_oracle(oracle, state);
 }
 
 FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
@@ -146,22 +183,6 @@ FtCheckResult check_fault_tolerance_sampled(const Schedule& schedule,
   const std::size_t m = schedule.platform().num_procs();
   SS_REQUIRE(max_failures < m, "cannot fail all processors");
   FtCheckResult result;
-  if (schedule.copies() > 64) {
-    std::vector<bool> failed(m, false);
-    for (std::uint64_t i = 0; i < samples; ++i) {
-      const auto set =
-          rng.sample_without_replacement(static_cast<std::uint32_t>(m), max_failures);
-      std::fill(failed.begin(), failed.end(), false);
-      for (auto p : set) failed[p] = true;
-      ++result.sets_checked;
-      if (!survives_failures(schedule, failed)) {
-        result.valid = false;
-        result.counterexample.assign(set.begin(), set.end());
-        return result;
-      }
-    }
-    return result;
-  }
   SurvivalOracle oracle(schedule);
   ProcSet failed(m);
   for (std::uint64_t i = 0; i < samples; ++i) {
@@ -181,15 +202,18 @@ namespace {
 
 // Picks the cheapest computable supplier replica of `pred` to feed `r`:
 // colocated first, then minimal added port load. `alive` holds the
-// oracle's computability masks under the current failure set.
+// oracle's computability masks under the current failure set (rows of
+// `mask_words` words, one per task).
 ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId pred,
-                                const std::vector<std::uint64_t>& alive) {
+                                const std::vector<std::uint64_t>& alive,
+                                std::size_t mask_words) {
   const ProcId here = schedule.placed(r).proc;
+  const std::uint64_t* pred_alive = alive.data() + pred * mask_words;
   ReplicaRef best{kInvalidTask, 0};
   double best_cost = std::numeric_limits<double>::infinity();
   for (CopyId c = 0; c < schedule.copies(); ++c) {
     const ReplicaRef cand{pred, c};
-    if (((alive[pred] >> c) & 1) == 0) continue;
+    if (!replica_mask_test(pred_alive, c)) continue;
     if (schedule.has_supplier(r, cand)) continue;  // already wired, didn't help
     const ProcId from = schedule.placed(cand).proc;
     double cost;
@@ -218,11 +242,15 @@ ReplicaRef pick_repair_supplier(const Schedule& schedule, ReplicaRef r, TaskId p
 // replica of the dead task, or a starving predecessor with no computable
 // replica to wire.
 bool repair_step(Schedule& schedule, const ProcSet& failed,
-                 const std::vector<std::uint64_t>& alive, RepairStats& stats) {
+                 const std::vector<std::uint64_t>& alive, std::size_t mask_words,
+                 RepairStats& stats) {
   const Dag& dag = schedule.dag();
 
   for (TaskId t : dag.topological_order()) {
-    if (alive[t] != 0) continue;  // some replica is computable
+    const std::uint64_t* task_alive = alive.data() + t * mask_words;
+    bool dead = true;
+    for (std::size_t w = 0; w < mask_words && dead; ++w) dead = task_alive[w] == 0;
+    if (!dead) continue;  // some replica is computable
 
     // Choose the alive replica with the fewest starving predecessors.
     ReplicaRef target{kInvalidTask, 0};
@@ -234,7 +262,7 @@ bool repair_step(Schedule& schedule, const ProcSet& failed,
       for (TaskId pred : dag.predecessors(t)) {
         bool fed = false;
         for (ReplicaRef sup : schedule.suppliers(r, pred)) {
-          if ((alive[pred] >> sup.copy) & 1) {
+          if (replica_mask_test(alive.data() + pred * mask_words, sup.copy)) {
             fed = true;
             break;
           }
@@ -251,13 +279,13 @@ bool repair_step(Schedule& schedule, const ProcSet& failed,
     for (TaskId pred : dag.predecessors(t)) {
       bool fed = false;
       for (ReplicaRef sup : schedule.suppliers(target, pred)) {
-        if ((alive[pred] >> sup.copy) & 1) {
+        if (replica_mask_test(alive.data() + pred * mask_words, sup.copy)) {
           fed = true;
           break;
         }
       }
       if (fed) continue;
-      const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, alive);
+      const ReplicaRef sup = pick_repair_supplier(schedule, target, pred, alive, mask_words);
       if (sup.task == kInvalidTask) return false;
       const EdgeId e = dag.find_edge(pred, t);
       CommRecord comm;
@@ -280,99 +308,11 @@ bool repair_step_patched(Schedule& schedule, SurvivalOracle& oracle, const ProcS
                          std::vector<std::uint64_t>& alive, RepairStats& stats) {
   oracle.computable(failed, alive);
   std::size_t wired = schedule.comms().size();
-  const bool repaired = repair_step(schedule, failed, alive, stats);
+  const bool repaired = repair_step(schedule, failed, alive, oracle.mask_words(), stats);
   for (; wired < schedule.comms().size(); ++wired) {
     oracle.add_comm(schedule.comms()[wired]);
   }
   return repaired;
-}
-
-// Legacy repair step on the vector<vector<bool>> computability matrix —
-// the fallback for replication degrees beyond the oracle's 64-copy mask
-// width. Logic mirrors repair_step / pick_repair_supplier above.
-ReplicaRef pick_repair_supplier_legacy(const Schedule& schedule, ReplicaRef r, TaskId pred,
-                                       const std::vector<std::vector<bool>>& computable) {
-  const ProcId here = schedule.placed(r).proc;
-  ReplicaRef best{kInvalidTask, 0};
-  double best_cost = std::numeric_limits<double>::infinity();
-  for (CopyId c = 0; c < schedule.copies(); ++c) {
-    const ReplicaRef cand{pred, c};
-    if (!computable[pred][c]) continue;
-    if (schedule.has_supplier(r, cand)) continue;
-    const ProcId from = schedule.placed(cand).proc;
-    double cost;
-    if (from == here) {
-      cost = 0.0;
-    } else {
-      const EdgeId e = schedule.dag().find_edge(pred, r.task);
-      const double dur = schedule.platform().comm_time(schedule.dag().edge(e).volume, from, here);
-      cost = dur + std::max(schedule.cout(from), schedule.cin(here));
-    }
-    if (cost < best_cost) {
-      best_cost = cost;
-      best = cand;
-    }
-  }
-  return best;
-}
-
-bool repair_step_legacy(Schedule& schedule, const std::vector<bool>& failed,
-                        RepairStats& stats) {
-  const Dag& dag = schedule.dag();
-  const auto computable = computable_replicas(schedule, failed);
-
-  for (TaskId t : dag.topological_order()) {
-    const bool dead =
-        std::none_of(computable[t].begin(), computable[t].end(), [](bool b) { return b; });
-    if (!dead) continue;
-
-    ReplicaRef target{kInvalidTask, 0};
-    std::size_t best_missing = std::numeric_limits<std::size_t>::max();
-    for (CopyId c = 0; c < schedule.copies(); ++c) {
-      const ReplicaRef r{t, c};
-      if (failed[schedule.placed(r).proc]) continue;
-      std::size_t missing = 0;
-      for (TaskId pred : dag.predecessors(t)) {
-        bool fed = false;
-        for (ReplicaRef sup : schedule.suppliers(r, pred)) {
-          if (computable[pred][sup.copy]) {
-            fed = true;
-            break;
-          }
-        }
-        if (!fed) ++missing;
-      }
-      if (missing < best_missing) {
-        best_missing = missing;
-        target = r;
-      }
-    }
-    if (target.task == kInvalidTask) return false;
-
-    for (TaskId pred : dag.predecessors(t)) {
-      bool fed = false;
-      for (ReplicaRef sup : schedule.suppliers(target, pred)) {
-        if (computable[pred][sup.copy]) {
-          fed = true;
-          break;
-        }
-      }
-      if (fed) continue;
-      const ReplicaRef sup = pick_repair_supplier_legacy(schedule, target, pred, computable);
-      if (sup.task == kInvalidTask) return false;
-      const EdgeId e = dag.find_edge(pred, t);
-      CommRecord comm;
-      comm.edge = e;
-      comm.src = sup;
-      comm.dst = target;
-      comm.start = comm.finish = schedule.placed(sup).finish;
-      comm.repair = true;
-      schedule.add_comm(comm);
-      ++stats.added_comms;
-    }
-    return true;
-  }
-  return true;  // nothing dead: the schedule already survives this set
 }
 
 // Channel-capacity bound on repair iterations: each productive step adds at
@@ -401,31 +341,15 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
   RepairStats stats;
   const std::uint32_t max_rounds = max_repair_rounds(schedule);
 
-  if (schedule.copies() > 64) {
-    // Legacy fallback beyond the oracle's mask width.
-    std::vector<bool> failed(schedule.platform().num_procs(), false);
-    for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
-      const FtCheckResult check = check_fault_tolerance(schedule, max_failures);
-      if (check.valid) {
-        stats.success = true;
-        break;
-      }
-      std::fill(failed.begin(), failed.end(), false);
-      for (ProcId p : check.counterexample) failed[p] = true;
-      const bool repaired = repair_step_legacy(schedule, failed, stats);
-      SS_CHECK(repaired,
-               "failure set of size <= eps is beyond repair although replicas sit on "
-               "distinct processors");
-    }
-    record_period_excess(schedule, stats);
-    return stats;
-  }
-
+  // The check state persists across rounds: repair only adds channels, so
+  // the combinations verified surviving in earlier rounds never need
+  // re-checking — each round resumes at the last counterexample.
   SurvivalOracle oracle(schedule);
+  ResumableCheck state(schedule.platform().num_procs(), max_failures);
   ProcSet failed(schedule.platform().num_procs());
   std::vector<std::uint64_t> alive;
   for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
-    const FtCheckResult check = check_with_oracle(oracle, failed, max_failures);
+    const FtCheckResult check = check_with_oracle(oracle, state);
     if (check.valid) {
       stats.success = true;
       break;
@@ -599,92 +523,156 @@ ReliabilityEstimate estimate_reliability_legacy(const Schedule& schedule,
   return est;
 }
 
-// Shared fan-out of pure survival checks over a flat array of failure-set
-// word rows: fixed 1024-row chunks (independent of the worker count, so
-// the work partition never influences anything observable), one scratch
-// buffer per task, results as bytes so workers never share a word.
+// Resolves the worker count conventions shared by the fan-outs below
+// (0 = hardware concurrency, never less than one).
+std::size_t resolve_workers(std::size_t requested) {
+  return requested == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
+                        : requested;
+}
+
+// Per-set fan-out of pure survival checks over a flat array of failure-set
+// word rows (the kOracle baseline): workers take 1024-row chunks in a
+// strided static partition, each with ONE reusable scratch buffer for its
+// whole share (not one per chunk), results as bytes so workers never share
+// a word. The partition never influences anything observable — results
+// land in fixed slots.
 void parallel_survival_check(const SurvivalOracle& oracle, const std::uint64_t* set_words,
                              std::size_t n, std::size_t words, std::size_t workers,
                              std::vector<unsigned char>& killed) {
   killed.assign(n, 0);
   constexpr std::size_t kChunk = 1024;
   const std::size_t n_chunks = (n + kChunk - 1) / kChunk;
-  parallel_for_indices(n_chunks, workers, [&](std::size_t chunk) {
-    std::vector<std::uint64_t> local_scratch;
-    const std::size_t end = std::min(n, (chunk + 1) * kChunk);
-    for (std::size_t i = chunk * kChunk; i < end; ++i) {
-      killed[i] = oracle.survives_words(set_words + i * words, local_scratch) ? 0 : 1;
+  const std::size_t use = std::min(resolve_workers(workers), std::max<std::size_t>(1, n_chunks));
+  parallel_for_indices(use, use, [&](std::size_t worker) {
+    std::vector<std::uint64_t> scratch;  // per-worker, reused across chunks
+    for (std::size_t chunk = worker; chunk < n_chunks; chunk += use) {
+      const std::size_t end = std::min(n, (chunk + 1) * kChunk);
+      for (std::size_t i = chunk * kChunk; i < end; ++i) {
+        killed[i] = oracle.survives_words(set_words + i * words, scratch) ? 0 : 1;
+      }
     }
   });
 }
 
-// Parallel exact enumeration: materializes every failure set of the
-// truncated enumeration as bitset words (in enumeration order), fans the
-// survival checks out over `workers` in fixed contiguous chunks, then
-// reduces the weighted mass in enumeration order. Because the weights and
-// the summation order are exactly the serial kernel's (only the survival
-// booleans are computed out of order — and they are pure), the returned
-// reliability is bit-identical for every worker count and to the serial
-// path. Memory: one word-row per set, bounded by options.max_sets.
-void exact_reliability_parallel(const SurvivalOracle& oracle, const FailureWeights& fw,
-                                std::size_t m, std::size_t workers,
-                                ReliabilityEstimate& est, std::vector<KillingSet>* kills) {
-  const std::size_t words = (m + 63) / 64;
-  std::vector<std::uint64_t> set_words;
-  std::vector<double> set_weight;  // parallel to the stored rows
+// Bit-sliced fan-out (the kBatch path): blocks of 64 rows feed one
+// `survives_batch` pass each; workers take blocks in a strided static
+// partition with one reusable BatchScratch per worker. Lane booleans equal
+// the per-set kernel's, and the bytes land in row order, so every
+// downstream reduction is bit-identical to the per-set path.
+void batch_survival_check(const SurvivalOracle& oracle, const std::uint64_t* set_words,
+                          std::size_t n, std::size_t words, std::size_t workers,
+                          std::vector<unsigned char>& killed) {
+  killed.assign(n, 0);
+  if (n == 0) return;
+  constexpr std::size_t kBlock = 64;
+  const std::size_t n_blocks = (n + kBlock - 1) / kBlock;
+  const std::size_t use = std::min(resolve_workers(workers), n_blocks);
+  parallel_for_indices(use, use, [&](std::size_t worker) {
+    BatchScratch scratch;  // per-worker, reused across blocks
+    for (std::size_t block = worker; block < n_blocks; block += use) {
+      const std::size_t begin = block * kBlock;
+      const std::size_t count = std::min(kBlock, n - begin);
+      const std::uint64_t survived =
+          oracle.survives_batch(set_words + begin * words, count, scratch);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        killed[begin + lane] = ((survived >> lane) & 1) != 0 ? 0 : 1;
+      }
+    }
+  });
+}
+
+// The truncated exact enumeration, materialized: every positive-weight
+// failure set of size <= k_max as bitset word rows in enumeration order,
+// with its probability weight (ascending-id multiply order, as the serial
+// kernels). Zero-weight sets (a never-failing processor) contribute
+// nothing and are skipped before the survival check by every kernel; they
+// still count in `enumerated`. Memory: one word-row per set, bounded by
+// options.max_sets.
+struct ExactSets {
+  std::size_t m = 0;
+  std::size_t words = 0;
+  std::uint64_t enumerated = 0;      // sets visited, including zero-weight ones
+  std::vector<std::uint64_t> rows;   // [i * words ..): ProcSet word layout
+  std::vector<double> weight;        // parallel to rows
+  [[nodiscard]] std::size_t size() const { return weight.size(); }
+};
+
+ExactSets materialize_exact_sets(const FailureWeights& fw, std::size_t m) {
+  ExactSets sets;
+  sets.m = m;
+  sets.words = (m + 63) / 64;
+  const auto expected = static_cast<std::size_t>(fw.total_sets);
+  sets.rows.reserve(expected * sets.words);
+  sets.weight.reserve(expected);
   ProcSet failed(m);
+  // Weights via prefix products over the combination: prefix[i] is
+  // base * odds[set[0]] * ... * odds[set[i-1]], rebuilt only from the
+  // first changed position — the SAME left-to-right multiply chain as the
+  // serial kernels' per-set loop, so every weight is bit-identical.
+  std::vector<double> prefix;
   for (std::size_t k = 0; k <= fw.k_max; ++k) {
-    est.sets_checked += for_each_failure_set(
+    prefix.assign(k + 1, 0.0);
+    prefix[0] = fw.base;
+    sets.enumerated += for_each_failure_set(
         m, static_cast<std::uint32_t>(k), failed,
-        [&](const ProcSet& f, const std::vector<ProcId>& set) {
-          // Zero-weight sets (a never-failing processor) contribute
-          // nothing and are skipped before the survival check by the
-          // serial kernel too; they still count as enumerated above. The
-          // weight (ascending-id multiply order, as serial) is stored so
-          // the reduction need not re-decode and re-multiply every row.
-          double w = fw.base;
-          for (ProcId u : set) w *= fw.odds[u];
+        [&](const ProcSet& f, const std::vector<ProcId>& set, std::size_t changed) {
+          for (std::size_t i = changed; i < set.size(); ++i) {
+            prefix[i + 1] = prefix[i] * fw.odds[set[i]];
+          }
+          const double w = prefix[set.size()];
           if (w > 0.0) {
-            set_words.insert(set_words.end(), f.words(), f.words() + words);
-            set_weight.push_back(w);
+            if (sets.words == 1) {
+              sets.rows.push_back(f.words()[0]);
+            } else {
+              sets.rows.insert(sets.rows.end(), f.words(), f.words() + sets.words);
+            }
+            sets.weight.push_back(w);
           }
           return true;
         });
   }
-  const std::size_t n = set_weight.size();
+  return sets;
+}
 
-  std::vector<unsigned char> killed;
-  parallel_survival_check(oracle, set_words.data(), n, words, workers, killed);
-
-  // Ordered reduction: mass summed in enumeration order — the serial
-  // kernel's arithmetic. Only killed rows decode their processor set.
+// Ordered reduction over materialized rows: mass summed in enumeration
+// order — the serial kernels' arithmetic — and killing sets recorded in
+// enumeration order. Only killed rows decode their processor set.
+void reduce_exact_sets(const ExactSets& sets, const std::vector<unsigned char>& killed,
+                       ReliabilityEstimate& est, std::vector<KillingSet>* kills) {
   double reliable_mass = 0.0;
   std::vector<ProcId> set;
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < sets.size(); ++i) {
     if (killed[i] == 0) {
-      reliable_mass += set_weight[i];
+      reliable_mass += sets.weight[i];
       continue;
     }
-    const std::uint64_t* w_row = set_words.data() + i * words;
+    // Decode the processor ids only when the record can observe them:
+    // without a kills list, record_killing_set reads the set solely when
+    // this row improves the worst-failure tracking — the same strict
+    // `prob > worst` predicate, evaluated in the same row order.
+    if (kills == nullptr && sets.weight[i] <= est.worst_failure_prob) continue;
+    const std::uint64_t* row = sets.rows.data() + i * sets.words;
     set.clear();
-    for (std::size_t u = 0; u < m; ++u) {
-      if ((w_row[u >> 6] >> (u & 63)) & 1) set.push_back(static_cast<ProcId>(u));
+    for (std::size_t u = 0; u < sets.m; ++u) {
+      if ((row[u >> 6] >> (u & 63)) & 1) set.push_back(static_cast<ProcId>(u));
     }
-    record_killing_set(kills, est, set, set_weight[i]);
+    record_killing_set(kills, est, set, sets.weight[i]);
   }
+  est.sets_checked = sets.enumerated;
   est.reliability = reliable_mass;
   est.exact = true;
 }
 
-// Oracle-kernel estimator. Exact mode reuses the legacy enumeration order
-// and summation order, swapping only the survival check — the reliability
-// is bit-identical (and, above one exact_thread, fans the survival checks
-// out without touching the arithmetic). Monte-Carlo mode pre-draws every
-// sample from the options.seed stream exactly as the legacy sampler does
-// (same draws, same weights), evaluates survival over the stored bitsets —
-// fanned out over mc_threads workers when requested — and reduces in
+// Oracle-kernel estimator (kBatch and kOracle). Exact mode reuses the
+// legacy enumeration order and summation order, swapping only the survival
+// check — the reliability is bit-identical whether the checks run one set
+// at a time (kOracle), 64 per bit-sliced pass (kBatch), serial or fanned
+// out over exact_threads. Monte-Carlo mode pre-draws every sample from the
+// options.seed stream exactly as the legacy sampler does (same draws, same
+// weights), evaluates survival over the stored bitsets — per set or per
+// 64-set block, over mc_threads workers when requested — and reduces in
 // sample order, so the estimate is identical to the legacy kernel's for
-// every thread count.
+// every kernel and thread count.
 ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
                                                 const SurvivalOracle& oracle,
                                                 const ReliabilityOptions& options,
@@ -696,16 +684,30 @@ ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
   std::vector<std::uint64_t> scratch;
 
   if (fw.total_sets <= static_cast<double>(options.max_sets)) {
-    const std::size_t exact_workers =
-        options.exact_threads == 0
-            ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
-            : options.exact_threads;
+    const std::size_t exact_workers = resolve_workers(options.exact_threads);
+    if (options.kernel == SurvivalKernel::kBatch) {
+      // Bit-sliced path: materialize the enumeration, resolve 64 sets per
+      // pass (fanned out above the thread floor; the floor depends only on
+      // the enumeration size, so results never depend on exact_threads),
+      // reduce in enumeration order.
+      const ExactSets sets = materialize_exact_sets(fw, m);
+      std::vector<unsigned char> killed;
+      batch_survival_check(oracle, sets.rows.data(), sets.size(), sets.words,
+                           sets.size() >= 4096 ? exact_workers : 1, killed);
+      reduce_exact_sets(sets, killed, est, kills);
+      return est;
+    }
+    // Per-set oracle path (the measured baseline for the batch kernel).
     // Size floor: materialization + fan-out only pay off on enumerations
     // of at least a few chunks. The floor depends only on the enumeration
     // size — never on the thread count — so results stay bit-identical
     // for every exact_threads value either way.
     if (exact_workers > 1 && fw.total_sets >= 4096.0) {
-      exact_reliability_parallel(oracle, fw, m, exact_workers, est, kills);
+      const ExactSets sets = materialize_exact_sets(fw, m);
+      std::vector<unsigned char> killed;
+      parallel_survival_check(oracle, sets.rows.data(), sets.size(), sets.words, exact_workers,
+                              killed);
+      reduce_exact_sets(sets, killed, est, kills);
       return est;
     }
     double reliable_mass = 0.0;
@@ -756,9 +758,13 @@ ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
   }
 
   // Evaluation pass: the only stochastic-free, embarrassingly parallel
-  // part (parallel_survival_check, shared with the exact fan-out).
+  // part (shared with the exact fan-outs). kBatch resolves the samples 64
+  // per bit-sliced pass; kOracle one at a time. Either way the booleans
+  // land in sample order, so the reduction below is kernel-independent.
   std::vector<unsigned char> killed;
-  if (options.mc_threads == 1) {
+  if (options.kernel == SurvivalKernel::kBatch) {
+    batch_survival_check(oracle, sample_words.data(), n, words, options.mc_threads, killed);
+  } else if (options.mc_threads == 1) {
     killed.assign(n, 0);
     for (std::size_t i = 0; i < n; ++i) {
       killed[i] = oracle.survives_words(sample_words.data() + i * words, scratch) ? 0 : 1;
@@ -791,13 +797,13 @@ ReliabilityEstimate estimate_reliability_oracle(const Schedule& schedule,
   return est;
 }
 
-// Kernel dispatch; `oracle` may be null (compiled on demand for kOracle).
-// Replication degrees beyond the oracle's 64-copy mask width always fall
-// back to the legacy kernel.
+// Kernel dispatch; `oracle` may be null (compiled on demand). The oracle's
+// replica masks are multi-word, so kLegacy is chosen only when asked for —
+// never forced by the replication degree.
 ReliabilityEstimate estimate_reliability(const Schedule& schedule, const SurvivalOracle* oracle,
                                          const ReliabilityOptions& options,
                                          std::vector<KillingSet>* kills) {
-  if (options.kernel == SurvivalKernel::kLegacy || schedule.copies() > 64) {
+  if (options.kernel == SurvivalKernel::kLegacy) {
     return estimate_reliability_legacy(schedule, options, kills);
   }
   if (oracle != nullptr) return estimate_reliability_oracle(schedule, *oracle, options, kills);
@@ -834,38 +840,6 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
     return o;
   };
 
-  if (schedule.copies() > 64) {
-    // Legacy fallback beyond the oracle's mask width (the estimator
-    // dispatch falls back likewise). The failure buffer stays hoisted.
-    std::vector<bool> failed(m, false);
-    for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
-      std::vector<KillingSet> kills;
-      est = estimate_reliability(schedule, nullptr, fresh_options(), &kills);
-      est_current = true;
-      if (est.reliability >= target_reliability) {
-        stats.success = true;
-        break;
-      }
-      const std::uint32_t before = stats.added_comms;
-      for (const KillingSet& kill : kills) {
-        std::fill(failed.begin(), failed.end(), false);
-        for (ProcId u : kill.procs) failed[u] = true;
-        for (std::uint32_t guard = 0; guard < max_rounds; ++guard) {
-          if (survives_failures(schedule, failed)) break;
-          if (!repair_step_legacy(schedule, failed, stats)) break;
-          est_current = false;
-        }
-      }
-      if (stats.added_comms == before) break;  // nothing repairable remains
-    }
-    record_period_excess(schedule, stats);
-    if (achieved != nullptr) {
-      *achieved =
-          est_current ? est : estimate_reliability(schedule, nullptr, fresh_options(), nullptr);
-    }
-    return stats;
-  }
-
   // The repair loop's survival checks always run on the oracle (patched as
   // channels are wired); only the estimates dispatch on options.kernel.
   // The failure set and computability buffers are hoisted and reused
@@ -874,9 +848,68 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
   ProcSet failed(m);
   std::vector<std::uint64_t> alive;
 
+  // Incremental killing-set verification (kBatch exact mode). Repair only
+  // ADDS supply channels, and survival is monotone in the channel set, so
+  // a set verified surviving stays surviving forever — across rounds the
+  // cached enumeration only needs its still-killed rows re-verified. And a
+  // killed set F can only flip if some channel wired since its last
+  // verification is usable under F, which requires BOTH endpoint
+  // processors alive under F; rows where every patch has an endpoint in F
+  // are provably still killed and skip the check entirely. The reduction
+  // re-walks the cached rows in enumeration order every round, so the
+  // estimate (reliability, sets_checked, killing sets, worst failure) is
+  // bit-identical to a from-scratch re-enumeration.
+  const FailureWeights fw = failure_weights(schedule, options);
+  const bool incremental = options.kernel == SurvivalKernel::kBatch &&
+                           fw.total_sets <= static_cast<double>(options.max_sets);
+  ExactSets cache;
+  std::vector<unsigned char> killed;
+  std::vector<std::pair<ProcId, ProcId>> patched;  // channel endpoints wired since last verify
+  std::vector<std::size_t> recheck;
+  std::vector<std::uint64_t> recheck_rows;
+  std::vector<unsigned char> recheck_killed;
+
   for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
     std::vector<KillingSet> kills;
-    est = estimate_reliability(schedule, &oracle, fresh_options(), &kills);
+    if (incremental) {
+      if (stats.rounds == 0) {
+        cache = materialize_exact_sets(fw, m);
+        batch_survival_check(oracle, cache.rows.data(), cache.size(), cache.words,
+                             cache.size() >= 4096 ? options.exact_threads : 1, killed);
+      } else if (!patched.empty()) {
+        recheck.clear();
+        for (std::size_t i = 0; i < cache.size(); ++i) {
+          if (killed[i] == 0) continue;
+          const std::uint64_t* row = cache.rows.data() + i * cache.words;
+          for (const auto& [src, dst] : patched) {
+            if (((row[src >> 6] >> (src & 63)) & 1) == 0 &&
+                ((row[dst >> 6] >> (dst & 63)) & 1) == 0) {
+              recheck.push_back(i);
+              break;
+            }
+          }
+        }
+        if (!recheck.empty()) {
+          recheck_rows.resize(recheck.size() * cache.words);
+          for (std::size_t j = 0; j < recheck.size(); ++j) {
+            const std::uint64_t* row = cache.rows.data() + recheck[j] * cache.words;
+            std::copy(row, row + cache.words, recheck_rows.data() + j * cache.words);
+          }
+          batch_survival_check(oracle, recheck_rows.data(), recheck.size(), cache.words,
+                               recheck.size() >= 4096 ? options.exact_threads : 1,
+                               recheck_killed);
+          for (std::size_t j = 0; j < recheck.size(); ++j) {
+            killed[recheck[j]] = recheck_killed[j];
+          }
+        }
+      }
+      patched.clear();
+      est = ReliabilityEstimate{};
+      est.k_max = fw.k_max;
+      reduce_exact_sets(cache, killed, est, &kills);
+    } else {
+      est = estimate_reliability(schedule, &oracle, fresh_options(), &kills);
+    }
     est_current = true;
     if (est.reliability >= target_reliability) {
       stats.success = true;
@@ -889,7 +922,14 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
       // (e.g. every replica of some task sits on the failed processors).
       for (std::uint32_t guard = 0; guard < max_rounds; ++guard) {
         if (oracle.survives(failed)) break;
+        const std::size_t comms_before = schedule.comms().size();
         if (!repair_step_patched(schedule, oracle, failed, alive, stats)) break;
+        if (incremental) {
+          for (std::size_t ci = comms_before; ci < schedule.comms().size(); ++ci) {
+            const CommRecord& comm = schedule.comms()[ci];
+            patched.emplace_back(schedule.placed(comm.src).proc, schedule.placed(comm.dst).proc);
+          }
+        }
         est_current = false;
       }
     }

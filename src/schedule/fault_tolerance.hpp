@@ -83,16 +83,18 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
 // events; the schedule reliability is the probability that every task keeps
 // a computable replica.
 
-/// Which survival kernel drives the estimator. kOracle compiles the
-/// schedule once into bitmask arrays (schedule/survival.hpp) and evaluates
-/// each failure set allocation-free; kLegacy re-walks the comm records per
-/// set via `survives_failures`. The kernels are boolean-identical (pinned
-/// by the parity suite), so exact-mode reliabilities are bit-identical and
-/// Monte-Carlo estimates identical at a fixed seed; kLegacy exists as the
-/// baseline for bench_survival_kernel and the parity tests. Schedules with
-/// more than 64 replicas per task exceed the oracle's mask width; every
-/// entry point falls back to the legacy kernel for them automatically.
-enum class SurvivalKernel { kOracle, kLegacy };
+/// Which survival kernel drives the estimator. kBatch (the default)
+/// resolves failure sets 64 at a time through the bit-sliced
+/// `SurvivalOracle::survives_batch` pass; kOracle evaluates them one at a
+/// time on the same compiled oracle; kLegacy re-walks the comm records per
+/// set via `survives_failures`. All three are boolean-identical (pinned by
+/// the parity suite), so exact-mode reliabilities are bit-identical and
+/// Monte-Carlo estimates identical at a fixed seed; kOracle and kLegacy
+/// exist as the measured baselines for bench_survival_kernel and the
+/// parity tests. The oracle's replica masks are multi-word, so no entry
+/// point requires a legacy fallback for schedules with more than 64
+/// replicas per task anymore.
+enum class SurvivalKernel { kBatch, kOracle, kLegacy };
 
 struct ReliabilityOptions {
   /// Probability mass of unenumerated failure sets at which the exact
@@ -109,7 +111,7 @@ struct ReliabilityOptions {
   /// failure events are actually observed.
   double mc_proposal_floor = 0.2;
   std::uint64_t seed = 0x5eedULL;
-  SurvivalKernel kernel = SurvivalKernel::kOracle;
+  SurvivalKernel kernel = SurvivalKernel::kBatch;
   /// Worker threads for the Monte-Carlo survival evaluation (1 = inline,
   /// 0 = hardware concurrency). The estimate is the same for every value:
   /// all failure sets are pre-drawn from `seed`'s single sequential stream
@@ -117,7 +119,7 @@ struct ReliabilityOptions {
   /// out, and the reduction runs in sample order.
   std::size_t mc_threads = 1;
   /// Worker threads for the EXACT enumeration (1 = inline, 0 = hardware
-  /// concurrency; oracle kernel only — kLegacy stays serial). The
+  /// concurrency; kBatch/kOracle only — kLegacy stays serial). The
   /// enumeration is partitioned into contiguous lexicographic ranges whose
   /// survival checks fan out; the weighted reduction then walks the sets
   /// in enumeration order, so the reliability is bit-identical for every

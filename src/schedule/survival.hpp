@@ -7,12 +7,23 @@
 // vector<vector<bool>> computability matrix and re-walks every CommRecord
 // per set. `SurvivalOracle` compiles the schedule ONCE into flat arrays —
 // per-replica processor ids, per-task placed-replica masks, and
-// per-(replica, predecessor) supplier-copy masks (replica counts are
-// capped at 64, so each mask is a single uint64_t) — after which one
+// per-(replica, predecessor) supplier-copy masks, each ceil(copies/64)
+// words wide so arbitrary replication degrees compile — after which one
 // failure set costs a single allocation-free topological pass over
 // bitmasks: alive[t] starts as the placed copies on alive processors and
 // each predecessor slot clears the copies whose supplier mask misses
 // alive[pred].
+//
+// The workload rarely asks about ONE failure set: exact enumeration walks
+// up to 2^18 related sets, the Monte-Carlo estimator tens of thousands of
+// samples, the sweep precheck one set per crash trial. `survives_batch`
+// transposes the kernel into bit-sliced form — up to 64 failure sets per
+// call, one machine word per (replica, lane) — and resolves all of them in
+// a single topological pass: per replica, the lanes where its processor is
+// alive, intersected per predecessor with the OR of its suppliers' lane
+// words (the supplier-copy masks broadcast across lanes). Each lane's
+// boolean equals the per-set oracle's (both are the same monotone
+// fixpoint), so batch consumers keep bit-identical reductions.
 //
 // The oracle is a pure function of the schedule's placements and comms; it
 // must be re-created (or patched via `add_comm`) when the repair pass adds
@@ -87,6 +98,26 @@ class ProcSet {
   std::vector<std::uint64_t> words_;
 };
 
+/// Reusable buffers for `SurvivalOracle::survives_batch`: the transposed
+/// per-processor failure lanes and the per-replica alive-lane words. One
+/// per worker; resized on first use, then reused allocation-free.
+struct BatchScratch {
+  std::vector<std::uint64_t> proc_lanes;   // [proc]: bit L = proc failed in set L
+  std::vector<std::uint64_t> alive_lanes;  // [task*copies + c]: bit L = computable in set L
+};
+
+/// Lane mask selecting the first `count` of up to 64 batch lanes.
+[[nodiscard]] constexpr std::uint64_t batch_lane_mask(std::size_t count) {
+  return count >= 64 ? ~0ULL : (1ULL << count) - 1;
+}
+
+/// Tests replica bit `c` of one row in a multi-word replica mask array
+/// (row layout: ceil(copies/64) words, as produced by
+/// `SurvivalOracle::computable`).
+[[nodiscard]] inline bool replica_mask_test(const std::uint64_t* row, CopyId c) {
+  return ((row[c >> 6] >> (c & 63)) & 1) != 0;
+}
+
 /// A schedule compiled for fast survival queries. Immutable flat arrays +
 /// a scratch buffer; `survives(failed)` is allocation-free. Thread-safe
 /// when every thread brings its own scratch (the const overloads).
@@ -97,6 +128,11 @@ class SurvivalOracle {
   [[nodiscard]] std::size_t num_procs() const { return num_procs_; }
   [[nodiscard]] std::size_t num_tasks() const { return num_tasks_; }
   [[nodiscard]] CopyId copies() const { return copies_; }
+  /// Words per replica-mask row: ceil(copies/64). Rows of the
+  /// `computable` output (and the internal placed/supplier masks) are this
+  /// wide, so replication degrees beyond 64 compile instead of falling
+  /// back to the legacy kernel.
+  [[nodiscard]] std::size_t mask_words() const { return mask_words_; }
 
   /// Incorporates a supply comm added after compilation (the repair pass
   /// patches the oracle instead of recompiling per added channel).
@@ -121,37 +157,57 @@ class SurvivalOracle {
   [[nodiscard]] bool survives_words(const std::uint64_t* failed_words,
                                     std::vector<std::uint64_t>& scratch) const;
 
-  /// Full computability masks under `failed`: alive[t] bit c set iff
-  /// replica (t, c) is computable — the bitmask equivalent of the legacy
+  /// Bit-sliced batch query: resolves `count` (1..64) failure sets in ONE
+  /// topological pass. `set_words` holds `count` consecutive rows of
+  /// ceil(num_procs/64) words each (the ProcSet word layout). Returns a
+  /// word whose bit L (L < count) is set iff set L survives; lanes beyond
+  /// `count` are zero. Each lane's boolean is identical to
+  /// `survives_words` on that row — batch consumers that reduce in row
+  /// order therefore stay bit-identical to the per-set kernel.
+  [[nodiscard]] std::uint64_t survives_batch(const std::uint64_t* set_words, std::size_t count,
+                                             BatchScratch& scratch) const;
+
+  /// Full computability masks under `failed`: row t (mask_words() words at
+  /// alive[t * mask_words()]) has bit c set iff replica (t, c) is
+  /// computable — the bitmask equivalent of the legacy
   /// `computable_replicas`. No early exit (dead tasks store 0).
   void computable(const ProcSet& failed, std::vector<std::uint64_t>& alive) const;
 
  private:
-  /// Shared alive-mask propagation over the topological order; returns
-  /// false (only when kEarlyExit) as soon as a task has no computable
-  /// replica, otherwise stores every task's mask (0 for dead tasks).
+  /// Shared alive-mask propagation over the topological order for the
+  /// single-word (copies <= 64) layout; returns false (only when
+  /// kEarlyExit) as soon as a task has no computable replica, otherwise
+  /// stores every task's mask (0 for dead tasks).
   template <bool kEarlyExit>
   bool propagate(const std::uint64_t* failed_words, std::uint64_t* alive) const;
+
+  /// Multi-word generalization for copies > 64 (row stride mask_words_).
+  template <bool kEarlyExit>
+  bool propagate_wide(const std::uint64_t* failed_words, std::uint64_t* alive) const;
 
   std::size_t num_procs_ = 0;
   std::size_t num_tasks_ = 0;
   CopyId copies_ = 0;
+  std::size_t mask_words_ = 1;            // ceil(copies/64): replica-mask row width
   std::vector<TaskId> topo_;              // task evaluation order
-  std::vector<std::uint64_t> placed_mask_;  // [task]: bit c = replica placed
+  std::vector<std::uint64_t> placed_mask_;  // [task * mask_words + w]: bit c = placed
   std::vector<ProcId> proc_;              // [task * copies + c]
   std::vector<std::uint32_t> pred_offset_;  // [task] -> range in pred_task_
   std::vector<TaskId> pred_task_;         // flattened predecessor lists
-  std::vector<std::uint64_t> sup_mask_;   // [pred slot * copies + c]: bits of
-                                          // pred copies supplying (task, c)
+  std::vector<std::uint64_t> sup_mask_;   // [(pred slot * copies + c) * mask_words + w]:
+                                          // bits of pred copies supplying (task, c)
   std::vector<std::uint64_t> scratch_;    // alive masks for the member-scratch path
 };
 
-/// Calls visit(failed, subset) for every size-k subset of {0..m-1} in
-/// lexicographic order (identical to the legacy enumeration); stops early
-/// when visit returns false. Returns the number of subsets visited.
-/// `failed` must be sized to m; it is maintained incrementally — advancing
-/// to the next combination toggles only the suffix of positions that
-/// changed — and is left cleared when the enumeration runs to completion.
+/// Calls visit(failed, subset) — or visit(failed, subset, changed), where
+/// `changed` is the first subset position that differs from the previous
+/// combination (0 on the first) so visitors can maintain prefix state
+/// incrementally — for every size-k subset of {0..m-1} in lexicographic
+/// order (identical to the legacy enumeration); stops early when visit
+/// returns false. Returns the number of subsets visited. `failed` must be
+/// sized to m; it is maintained incrementally — advancing to the next
+/// combination toggles only the suffix of positions that changed — and is
+/// left cleared when the enumeration runs to completion.
 template <typename Visit>
 std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, ProcSet& failed,
                                    Visit&& visit) {
@@ -159,19 +215,29 @@ std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, ProcSet& fail
   SS_REQUIRE(k <= m, "cannot fail more processors than exist");
   failed.clear();
   std::vector<ProcId> subset(k);
+  const auto call = [&visit](const ProcSet& f, const std::vector<ProcId>& s,
+                             std::size_t changed) -> bool {
+    if constexpr (std::is_invocable_v<Visit&, const ProcSet&, const std::vector<ProcId>&,
+                                      std::size_t>) {
+      return visit(f, s, changed);
+    } else {
+      return visit(f, s);
+    }
+  };
   std::uint64_t visited = 0;
   if (k == 0) {
     ++visited;
-    visit(static_cast<const ProcSet&>(failed), subset);
+    call(static_cast<const ProcSet&>(failed), subset, 0);
     return visited;
   }
   for (std::uint32_t i = 0; i < k; ++i) {
     subset[i] = i;
     failed.set(i);
   }
+  std::size_t changed = 0;
   for (;;) {
     ++visited;
-    if (!visit(static_cast<const ProcSet&>(failed), subset)) return visited;
+    if (!call(static_cast<const ProcSet&>(failed), subset, changed)) return visited;
     // Rightmost position that can still advance.
     std::int64_t i = static_cast<std::int64_t>(k) - 1;
     while (i >= 0 && subset[static_cast<std::size_t>(i)] ==
@@ -183,6 +249,7 @@ std::uint64_t for_each_failure_set(std::size_t m, std::uint32_t k, ProcSet& fail
       return visited;
     }
     // Toggle only the changing suffix [i, k).
+    changed = static_cast<std::size_t>(i);
     for (auto j = static_cast<std::size_t>(i); j < k; ++j) failed.reset(subset[j]);
     ++subset[static_cast<std::size_t>(i)];
     for (auto j = static_cast<std::size_t>(i) + 1; j < k; ++j) {

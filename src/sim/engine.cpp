@@ -492,11 +492,16 @@ SimResult simulate_with_sampled_failures(const Schedule& schedule, const FaultMo
                                          SimOptions options, const SurvivalOracle* precheck) {
   options.failed = model.sample_failures(schedule.platform(), count_crashes, rng);
   if (precheck != nullptr) {
-    ProcSet failed(schedule.platform().num_procs());
+    // Per-worker buffers: this entry point runs in tight per-trial loops
+    // and from parallel sweep workers, so the failure set and oracle
+    // scratch live per thread instead of being reallocated per call.
+    thread_local ProcSet failed;
+    thread_local std::vector<std::uint64_t> scratch;
+    const std::size_t m = schedule.platform().num_procs();
+    if (failed.size() != m) failed.resize(m);
     failed.assign(options.failed);
-    std::vector<std::uint64_t> scratch;
     if (!precheck->survives(failed, scratch)) {
-      return killed_trial_result(schedule.platform().num_procs(), options);
+      return killed_trial_result(m, options);
     }
   }
   return simulate(schedule, options);
@@ -516,20 +521,39 @@ std::vector<SimResult> simulate_crash_trials(const SimProgram& program, const Fa
     set = model.sample_failures(schedule.platform(), count_crashes, rng);
   }
 
+  // Resolve every precheck up front through the bit-sliced oracle pass —
+  // 64 sampled sets per topological walk instead of one per trial. Each
+  // lane boolean equals the per-set check's, so the per-trial outcomes
+  // (and the result order) are unchanged.
+  std::vector<unsigned char> killed;
+  if (precheck != nullptr && trials > 0) {
+    const std::size_t words = (m + 63) / 64;
+    std::vector<std::uint64_t> rows(trials * words, 0);
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      std::uint64_t* row = rows.data() + trial * words;
+      for (ProcId u : crash_sets[trial]) row[u >> 6] |= 1ULL << (u & 63);
+    }
+    killed.assign(trials, 0);
+    BatchScratch scratch;
+    for (std::size_t begin = 0; begin < trials; begin += 64) {
+      const std::size_t count = std::min<std::size_t>(64, trials - begin);
+      const std::uint64_t survived =
+          precheck->survives_batch(rows.data() + begin * words, count, scratch);
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        killed[begin + lane] = ((survived >> lane) & 1) != 0 ? 0 : 1;
+      }
+    }
+  }
+
   std::vector<SimResult> results;
   results.reserve(trials);
   SimState state;
   SimOptions options = program.options();
-  ProcSet failed(m);
-  std::vector<std::uint64_t> scratch;
   for (std::size_t trial = 0; trial < trials; ++trial) {
     options.failed = std::move(crash_sets[trial]);
-    if (precheck != nullptr) {
-      failed.assign(options.failed);
-      if (!precheck->survives(failed, scratch)) {
-        results.push_back(killed_trial_result(m, options));
-        continue;
-      }
+    if (precheck != nullptr && killed[trial] != 0) {
+      results.push_back(killed_trial_result(m, options));
+      continue;
     }
     results.push_back(program.run(options, state));
   }

@@ -1,11 +1,14 @@
 // Parity and determinism suite for the compiled survival kernel
-// (schedule/survival.hpp): the oracle must agree boolean-for-boolean with
-// the legacy `survives_failures` / `computable_replicas` walk on random
-// schedules before and after repair (all failure sets for small m, sampled
-// sets for large m), the incremental enumerator must reproduce the legacy
-// lexicographic order, exact-mode reliabilities must be bit-identical
-// across kernels, and Monte-Carlo estimates must be identical to the
-// legacy stream at one thread and across thread counts 1/2/4.
+// (schedule/survival.hpp): the oracle — per-set AND bit-sliced batch, in
+// full and ragged blocks, on single- and multi-word replica masks, before
+// and after repair patches — must agree boolean-for-boolean with the
+// legacy `survives_failures` / `computable_replicas` walk (all failure
+// sets for small m, sampled sets for large m), the incremental enumerator
+// must reproduce the legacy lexicographic order, exact-mode reliabilities
+// must be bit-identical across all three kernels, Monte-Carlo estimates
+// identical to the legacy stream at one thread and across thread counts
+// 1/2/4, and the incremental repair cache equivalent to full per-round
+// re-verification.
 #include <gtest/gtest.h>
 
 #include <limits>
@@ -41,7 +44,8 @@ Schedule random_schedule(std::uint64_t seed, std::size_t m, std::size_t tasks, C
   return std::move(*r.schedule);
 }
 
-// Compares the oracle against the legacy kernel under one failure set.
+// Compares the oracle (per-set, single-lane batch, and computability
+// masks) against the legacy kernel under one failure set.
 void expect_parity(const Schedule& schedule, SurvivalOracle& oracle,
                    const std::vector<ProcId>& set) {
   const std::size_t m = schedule.platform().num_procs();
@@ -50,14 +54,18 @@ void expect_parity(const Schedule& schedule, SurvivalOracle& oracle,
   ProcSet failed(m);
   failed.assign(set);
 
-  EXPECT_EQ(oracle.survives(failed), survives_failures(schedule, failed_legacy));
+  const bool legacy_survives = survives_failures(schedule, failed_legacy);
+  EXPECT_EQ(oracle.survives(failed), legacy_survives);
+  BatchScratch batch;
+  EXPECT_EQ(oracle.survives_batch(failed.words(), 1, batch), legacy_survives ? 1u : 0u);
 
   const auto legacy = computable_replicas(schedule, failed_legacy);
   std::vector<std::uint64_t> alive;
   oracle.computable(failed, alive);
+  const std::size_t words = oracle.mask_words();
   for (TaskId t = 0; t < schedule.dag().num_tasks(); ++t) {
     for (CopyId c = 0; c < schedule.copies(); ++c) {
-      EXPECT_EQ(((alive[t] >> c) & 1) != 0, legacy[t][c])
+      EXPECT_EQ(replica_mask_test(alive.data() + t * words, c), legacy[t][c])
           << "task " << t << " copy " << c;
     }
   }
@@ -184,22 +192,95 @@ TEST(Survival, OracleParitySampledOnLargePlatform) {
   }
 }
 
+TEST(Survival, BatchMatchesPerSetInBlocksAndRaggedTails) {
+  for (std::uint64_t seed : {11u, 22u, 33u, 44u}) {
+    const std::size_t m = 6;
+    Dag dag;
+    Platform platform;
+    Schedule schedule = random_schedule(seed, m, 14, seed % 2 == 0 ? 1 : 2, dag, platform);
+    const SurvivalOracle oracle(schedule);
+
+    // All 64 subsets of the 6 processors, one single-word row each — the
+    // subset mask IS the failure-set row.
+    std::vector<std::uint64_t> rows(64);
+    std::vector<bool> expected(64);
+    std::vector<std::uint64_t> scratch;
+    for (std::uint64_t mask = 0; mask < 64; ++mask) {
+      rows[mask] = mask;
+      expected[mask] = oracle.survives_words(&rows[mask], scratch);
+    }
+
+    BatchScratch batch;
+    const std::uint64_t full = oracle.survives_batch(rows.data(), 64, batch);
+    for (std::size_t lane = 0; lane < 64; ++lane) {
+      EXPECT_EQ(((full >> lane) & 1) != 0, expected[lane]) << "lane " << lane;
+    }
+
+    // Ragged partitions: every block size leaves a different tail < 64,
+    // and reusing one scratch across blocks must not leak lanes.
+    for (const std::size_t block : {1u, 5u, 23u, 63u}) {
+      for (std::size_t begin = 0; begin < 64; begin += block) {
+        const std::size_t count = std::min<std::size_t>(block, 64 - begin);
+        const std::uint64_t lanes = oracle.survives_batch(rows.data() + begin, count, batch);
+        EXPECT_EQ(lanes & ~batch_lane_mask(count), 0u) << "stale lanes beyond the tail";
+        for (std::size_t lane = 0; lane < count; ++lane) {
+          EXPECT_EQ(((lanes >> lane) & 1) != 0, expected[begin + lane])
+              << "block " << block << " begin " << begin << " lane " << lane;
+        }
+      }
+    }
+  }
+}
+
+TEST(Survival, BatchMatchesPerSetOnPatchedOracleAfterRepair) {
+  for (std::uint64_t seed : {21u, 42u}) {
+    const std::size_t m = 6;
+    Dag dag;
+    Platform platform;
+    Schedule schedule = random_schedule(seed, m, 14, 1, dag, platform);
+    SurvivalOracle oracle(schedule);
+    const std::size_t before = schedule.comms().size();
+    (void)repair_to_reliability(schedule, 0.999);
+    for (std::size_t i = before; i < schedule.comms().size(); ++i) {
+      oracle.add_comm(schedule.comms()[i]);
+    }
+
+    std::vector<std::uint64_t> rows(64);
+    std::vector<std::uint64_t> scratch;
+    BatchScratch batch;
+    for (std::uint64_t mask = 0; mask < 64; ++mask) rows[mask] = mask;
+    const std::uint64_t lanes = oracle.survives_batch(rows.data(), 64, batch);
+    for (std::uint64_t mask = 0; mask < 64; ++mask) {
+      EXPECT_EQ(((lanes >> mask) & 1) != 0, oracle.survives_words(&rows[mask], scratch))
+          << "set mask " << mask;
+    }
+  }
+}
+
 TEST(Survival, ExactReliabilityBitIdenticalAcrossKernels) {
   for (std::uint64_t seed : {3u, 5u, 8u}) {
     Dag dag;
     Platform platform;
     const Schedule schedule = random_schedule(seed, 6, 14, 2, dag, platform);
-    ReliabilityOptions oracle_opts;  // defaults: exact for m = 6
+    ReliabilityOptions batch_opts;  // defaults: kBatch, exact for m = 6
+    ReliabilityOptions oracle_opts;
+    oracle_opts.kernel = SurvivalKernel::kOracle;
     ReliabilityOptions legacy_opts;
     legacy_opts.kernel = SurvivalKernel::kLegacy;
-    const ReliabilityEstimate a = schedule_reliability(schedule, oracle_opts);
+    const ReliabilityEstimate a = schedule_reliability(schedule, batch_opts);
+    const ReliabilityEstimate o = schedule_reliability(schedule, oracle_opts);
     const ReliabilityEstimate b = schedule_reliability(schedule, legacy_opts);
     ASSERT_TRUE(a.exact);
+    ASSERT_TRUE(o.exact);
     ASSERT_TRUE(b.exact);
     EXPECT_EQ(a.reliability, b.reliability);  // bit-identical, not just near
     EXPECT_EQ(a.sets_checked, b.sets_checked);
     EXPECT_EQ(a.worst_failure, b.worst_failure);
     EXPECT_EQ(a.worst_failure_prob, b.worst_failure_prob);
+    EXPECT_EQ(o.reliability, b.reliability);
+    EXPECT_EQ(o.sets_checked, b.sets_checked);
+    EXPECT_EQ(o.worst_failure, b.worst_failure);
+    EXPECT_EQ(o.worst_failure_prob, b.worst_failure_prob);
   }
 }
 
@@ -240,16 +321,22 @@ TEST(Survival, MonteCarloIdenticalToLegacyAtOneThread) {
   ReliabilityOptions base;
   base.max_sets = 0;  // force the Monte-Carlo path
   base.mc_samples = 3000;
+  ReliabilityOptions per_set = base;
+  per_set.kernel = SurvivalKernel::kOracle;
   ReliabilityOptions legacy = base;
   legacy.kernel = SurvivalKernel::kLegacy;
   const ReliabilityEstimate a = schedule_reliability(schedule, base);
+  const ReliabilityEstimate o = schedule_reliability(schedule, per_set);
   const ReliabilityEstimate b = schedule_reliability(schedule, legacy);
   ASSERT_FALSE(a.exact);
+  ASSERT_FALSE(o.exact);
   ASSERT_FALSE(b.exact);
   EXPECT_EQ(a.reliability, b.reliability);  // same stream, same reduction order
   EXPECT_EQ(a.sets_checked, b.sets_checked);
   EXPECT_EQ(a.worst_failure, b.worst_failure);
   EXPECT_EQ(a.worst_failure_prob, b.worst_failure_prob);
+  EXPECT_EQ(o.reliability, b.reliability);
+  EXPECT_EQ(o.worst_failure, b.worst_failure);
 }
 
 TEST(Survival, MonteCarloDeterministicAcrossThreadCounts) {
@@ -279,29 +366,83 @@ TEST(Survival, RepairToReliabilityParityAcrossKernels) {
   for (std::uint64_t seed : {4u, 9u}) {
     Dag dag;
     Platform platform;
-    Schedule with_oracle = random_schedule(seed, 6, 14, 1, dag, platform);
-    Schedule with_legacy = with_oracle;
-    ReliabilityOptions oracle_opts;
+    Schedule with_batch = random_schedule(seed, 6, 14, 1, dag, platform);
+    Schedule with_oracle = with_batch;
+    Schedule with_legacy = with_batch;
+    ReliabilityOptions batch_opts;  // kBatch: incremental killing-set cache
+    ReliabilityOptions oracle_opts;  // kOracle: full re-enumeration per round
+    oracle_opts.kernel = SurvivalKernel::kOracle;
     ReliabilityOptions legacy_opts;
     legacy_opts.kernel = SurvivalKernel::kLegacy;
+    ReliabilityEstimate achieved_batch;
     ReliabilityEstimate achieved_oracle;
     ReliabilityEstimate achieved_legacy;
     const RepairStats a =
+        repair_to_reliability(with_batch, 0.995, batch_opts, &achieved_batch);
+    const RepairStats o =
         repair_to_reliability(with_oracle, 0.995, oracle_opts, &achieved_oracle);
     const RepairStats b =
         repair_to_reliability(with_legacy, 0.995, legacy_opts, &achieved_legacy);
     EXPECT_EQ(a.success, b.success);
     EXPECT_EQ(a.added_comms, b.added_comms);
     EXPECT_EQ(a.rounds, b.rounds);
+    EXPECT_EQ(achieved_batch.reliability, achieved_legacy.reliability);
+    EXPECT_EQ(with_batch.comms().size(), with_legacy.comms().size());
+    EXPECT_EQ(o.success, b.success);
+    EXPECT_EQ(o.added_comms, b.added_comms);
+    EXPECT_EQ(o.rounds, b.rounds);
     EXPECT_EQ(achieved_oracle.reliability, achieved_legacy.reliability);
     EXPECT_EQ(with_oracle.comms().size(), with_legacy.comms().size());
   }
 }
 
-// Replication degrees beyond the oracle's 64-copy mask width must fall
-// back to the legacy kernel instead of throwing: checkers, reliability
-// estimation and repair all keep working.
-TEST(Survival, FallsBackToLegacyAboveSixtyFourCopies) {
+// The incremental killing-set cache (kBatch exact repair) must reproduce
+// the full per-round re-verification exactly on a schedule that is
+// guaranteed to need repair: both copies of task b feed from a's copy on
+// P0, so killing sets exist, channels get wired, and later rounds
+// re-verify cached killed sets against the patched channels.
+TEST(Survival, IncrementalRepairMatchesFullReverification) {
+  Dag dag = make_chain(2, 4.0, 2.0);
+  Platform platform = Platform::uniform(4, 1.0, 0.5);
+  for (ProcId u = 0; u < 4; ++u) platform.set_failure_prob(u, 0.3);
+  Schedule proto(dag, platform, 1, 1000.0);
+  test::place_at(proto, {0, 0}, 0, 0.0);
+  test::place_at(proto, {0, 1}, 2, 0.0);
+  proto.place({1, 0}, 1, 10.0, 14.0, 2);
+  proto.place({1, 1}, 3, 10.0, 14.0, 2);
+  test::wire(proto, 0, 0, 1, 0);
+  test::wire(proto, 0, 0, 1, 1);
+
+  Schedule incremental = proto;
+  Schedule full = proto;
+  ReliabilityOptions batch_opts;  // kBatch: cached rows, killed-only re-verify
+  ReliabilityOptions oracle_opts;  // kOracle: from-scratch enumeration per round
+  oracle_opts.kernel = SurvivalKernel::kOracle;
+  ReliabilityEstimate achieved_inc;
+  ReliabilityEstimate achieved_full;
+  const RepairStats a = repair_to_reliability(incremental, 0.8, batch_opts, &achieved_inc);
+  const RepairStats b = repair_to_reliability(full, 0.8, oracle_opts, &achieved_full);
+  EXPECT_GT(a.added_comms, 0u) << "scenario must actually exercise repair";
+  EXPECT_EQ(a.success, b.success);
+  EXPECT_EQ(a.added_comms, b.added_comms);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(achieved_inc.reliability, achieved_full.reliability);
+  EXPECT_EQ(achieved_inc.sets_checked, achieved_full.sets_checked);
+  EXPECT_EQ(achieved_inc.worst_failure, achieved_full.worst_failure);
+  ASSERT_EQ(incremental.comms().size(), full.comms().size());
+  for (std::size_t i = 0; i < incremental.comms().size(); ++i) {
+    EXPECT_EQ(incremental.comms()[i].src.task, full.comms()[i].src.task) << "comm " << i;
+    EXPECT_EQ(incremental.comms()[i].src.copy, full.comms()[i].src.copy) << "comm " << i;
+    EXPECT_EQ(incremental.comms()[i].dst.task, full.comms()[i].dst.task) << "comm " << i;
+    EXPECT_EQ(incremental.comms()[i].dst.copy, full.comms()[i].dst.copy) << "comm " << i;
+  }
+}
+
+// Replication degrees beyond one 64-bit mask word run natively on the
+// multi-word oracle (no legacy fallback required anymore): checkers,
+// batch queries, exact reliability and repair all work and stay
+// kernel-identical.
+TEST(Survival, MultiWordMasksAboveSixtyFourCopies) {
   const std::size_t m = 66;
   Dag dag;
   dag.add_task("a", 1.0);
@@ -317,15 +458,41 @@ TEST(Survival, FallsBackToLegacyAboveSixtyFourCopies) {
     test::wire(s, 0, c, 1, c);  // colocated disjoint chains
   }
 
+  SurvivalOracle oracle(s);
+  EXPECT_EQ(oracle.mask_words(), 2u);
   const FtCheckResult check = check_fault_tolerance(s, 1);
   EXPECT_TRUE(check.valid);
   EXPECT_EQ(check.sets_checked, m);
   Rng rng(3);
   EXPECT_TRUE(check_fault_tolerance_sampled(s, 2, 32, rng).valid);
-  EXPECT_EQ(repair_fault_tolerance(s, 1).success, true);
 
+  // Per-set vs single-lane batch vs legacy over sampled failure sets.
+  Rng sample_rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto k = static_cast<std::uint32_t>(sample_rng.uniform_int(0, 4));
+    const auto sample = sample_rng.sample_without_replacement(static_cast<std::uint32_t>(m), k);
+    expect_parity(s, oracle, std::vector<ProcId>(sample.begin(), sample.end()));
+  }
+
+  // Exact reliability (truncation loose enough to fit the set budget at
+  // m = 66) must be bit-identical across all three kernels.
+  ReliabilityOptions exact_opts;
+  exact_opts.tail_tolerance = 1e-2;
+  ReliabilityOptions exact_oracle = exact_opts;
+  exact_oracle.kernel = SurvivalKernel::kOracle;
+  ReliabilityOptions exact_legacy = exact_opts;
+  exact_legacy.kernel = SurvivalKernel::kLegacy;
+  const ReliabilityEstimate ea = schedule_reliability(s, exact_opts);
+  const ReliabilityEstimate eo = schedule_reliability(s, exact_oracle);
+  const ReliabilityEstimate el = schedule_reliability(s, exact_legacy);
+  ASSERT_TRUE(ea.exact) << "truncated enumeration must fit the default budget";
+  EXPECT_EQ(ea.reliability, el.reliability);
+  EXPECT_EQ(ea.sets_checked, el.sets_checked);
+  EXPECT_EQ(eo.reliability, el.reliability);
+
+  EXPECT_EQ(repair_fault_tolerance(s, 1).success, true);
   ReliabilityOptions options;
-  options.max_sets = 0;  // keep the forced-MC path small
+  options.max_sets = 0;  // exercise the MC path too
   options.mc_samples = 200;
   const ReliabilityEstimate est = schedule_reliability(s, options);
   EXPECT_GE(est.reliability, 0.0);
