@@ -1,0 +1,47 @@
+// Shard-merge tool for distributed sweeps: glues the records CSVs written
+// by `--shard i/N` bench runs back together, aggregates, and renders the
+// same figure panels and per-series CSVs the unsharded bench would have
+// written — byte-identical output (pinned by tests/test_shard.cpp).
+//
+//   bench_sweep_merge --inputs=a_records_0_of_2.csv,a_records_1_of_2.csv
+//                     --csv out/ --stem fig3_eps1 [--title "..."]
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "exp/shard.hpp"
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+  try {
+    Cli cli(argc, argv);
+    const std::vector<std::string> inputs =
+        cli.get_list("inputs", "", "STREAMSCHED_MERGE_INPUTS");
+    bench::CommonFlags flags;
+    flags.csv_prefix = cli.get_string("csv", "", "STREAMSCHED_CSV_PREFIX");
+    const std::string stem = cli.get_string("stem", "merged", "");
+    const std::string title = cli.get_string("title", "Merged sharded sweep", "");
+    cli.finish();
+    if (inputs.empty()) {
+      std::cerr << "usage: " << cli.program()
+                << " --inputs=<records.csv>[,...] [--csv PREFIX] [--stem NAME]\n";
+      return 2;
+    }
+
+    std::vector<SweepRecords> parts;
+    parts.reserve(inputs.size());
+    for (const std::string& path : inputs) {
+      parts.push_back(read_sweep_records_file(path));
+      std::cout << "(read " << path << ", shard " << shard_to_string(parts.back().shard)
+                << ")\n";
+    }
+    const SweepRecords merged = merge_sweep_records(std::move(parts));
+    const std::vector<PointStats> points = aggregate_sweep_records(merged);
+    std::cout << render_figure(points, title, merged.crashes) << '\n';
+    bench::write_sweep_csvs(flags, points, merged.crashes, stem);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}

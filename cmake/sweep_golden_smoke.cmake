@@ -12,19 +12,21 @@
 #
 # Expected -D definitions: BENCH (bench_fig3_eps1 binary), GOLDEN_DIR
 # (tests/golden), WORK_DIR (scratch directory for the produced CSVs).
+# Optional: BENCH_FIG4 (bench_fig4_eps3 binary) adds the Figure 4 family
+# (ε = 3, c = 2 — the crash-latency regime) to the pinned set.
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
-function(compare_series work_prefix series)
+function(compare_series work_prefix stem series)
   execute_process(
     COMMAND ${CMAKE_COMMAND} -E compare_files
-            "${WORK_DIR}/${work_prefix}fig3_${series}.csv"
-            "${GOLDEN_DIR}/fig3_smoke_${series}.csv"
+            "${WORK_DIR}/${work_prefix}${stem}_${series}.csv"
+            "${GOLDEN_DIR}/${stem}_smoke_${series}.csv"
     RESULT_VARIABLE diff_result)
   if(NOT diff_result EQUAL 0)
     message(FATAL_ERROR
             "sweep series '${series}' deviates from the pinned golden numbers "
-            "(${WORK_DIR}/${work_prefix}fig3_${series}.csv vs "
-            "${GOLDEN_DIR}/fig3_smoke_${series}.csv)")
+            "(${WORK_DIR}/${work_prefix}${stem}_${series}.csv vs "
+            "${GOLDEN_DIR}/${stem}_smoke_${series}.csv)")
   endif()
 endfunction()
 
@@ -37,7 +39,7 @@ if(NOT run_result EQUAL 0)
   message(FATAL_ERROR "bench_fig3_eps1 exited with '${run_result}'")
 endif()
 foreach(series ltf rltf)
-  compare_series(smoke_ "${series}")
+  compare_series(smoke_ fig3 "${series}")
 endforeach()
 
 # Variant + probabilistic series, pinned across thread counts: the same
@@ -55,6 +57,22 @@ foreach(threads 1 2 4)
             "'${run_result}'")
   endif()
   foreach(series rltf_chunk_4__count_eps_1 rltf_chunk_4__prob_R_0.99)
-    compare_series("smoke_t${threads}_" "${series}")
+    compare_series("smoke_t${threads}_" fig3 "${series}")
   endforeach()
 endforeach()
+
+# Figure 4 family (ε = 3, c = 2): the same determinism contract on the
+# second figure driver, whose crash-latency panels exercise the repair and
+# crash-simulation paths much harder (three replicas, two crashes).
+if(BENCH_FIG4)
+  execute_process(
+    COMMAND "${BENCH_FIG4}" --graphs 3 --threads 2 --seed 42 --csv "${WORK_DIR}/smoke4_"
+    RESULT_VARIABLE run_result
+    OUTPUT_QUIET)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "bench_fig4_eps3 exited with '${run_result}'")
+  endif()
+  foreach(series ltf rltf)
+    compare_series(smoke4_ fig4 "${series}")
+  endforeach()
+endif()

@@ -1,0 +1,39 @@
+#include "core/fingerprint.hpp"
+
+#include "core/variant.hpp"
+
+namespace streamsched {
+
+std::uint64_t dag_fingerprint(const Dag& dag) {
+  Fnv64 h;
+  h.u64(dag.num_tasks());
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) h.f64(dag.work(t));
+  h.u64(dag.num_edges());
+  for (EdgeId e = 0; e < dag.num_edges(); ++e) {
+    const Dag::Edge& edge = dag.edge(e);
+    h.u64(edge.src).u64(edge.dst).f64(edge.volume);
+  }
+  return h.value();
+}
+
+std::uint64_t platform_fingerprint(const Platform& platform) {
+  Fnv64 h;
+  const std::size_t m = platform.num_procs();
+  h.u64(m);
+  for (ProcId u = 0; u < m; ++u) h.f64(platform.speed(u));
+  for (ProcId a = 0; a < m; ++a) {
+    for (ProcId b = 0; b < m; ++b) h.f64(platform.unit_delay(a, b));
+  }
+  for (ProcId u = 0; u < m; ++u) h.f64(platform.failure_prob(u));
+  return h.value();
+}
+
+std::uint64_t variant_fingerprint(const AlgoVariant& variant) {
+  return Fnv64().str(variant.name()).value();
+}
+
+std::uint64_t fault_model_fingerprint(const FaultModel& model) {
+  return Fnv64().str(model.to_string()).value();
+}
+
+}  // namespace streamsched

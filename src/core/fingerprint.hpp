@@ -1,0 +1,72 @@
+// Stable 64-bit fingerprints of the placement daemon's cache-key
+// ingredients (service/schedule_cache.hpp): DAG structure, platform, the
+// algorithm variant and the fault model.
+//
+// Fingerprints are pure functions of the *semantic* content consumed by
+// the schedulers — task works, edge endpoints and volumes, processor
+// speeds/delays/failure probabilities, the variant's canonical spec, the
+// model's canonical spec — never of addresses, insertion containers or
+// names (task names are labels; no scheduler reads them). Two requests
+// whose DAGs would schedule identically therefore hash identically across
+// processes and runs, which is what makes a persisted or distributed
+// schedule cache keyable at all.
+//
+// Doubles are hashed by bit pattern (deterministic; note -0.0 != +0.0, a
+// distinction no generator in this repository produces). The hash is
+// FNV-1a over the flattened byte stream — fast, stable, and collision
+// behavior good enough for cache keys that are additionally compared for
+// full equality by the cache's hash map.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+#include "schedule/fault_model.hpp"
+
+namespace streamsched {
+
+class AlgoVariant;
+
+/// Streaming FNV-1a hasher over primitive fields.
+class Fnv64 {
+ public:
+  Fnv64& u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) byte(static_cast<unsigned char>(v >> (8 * i)));
+    return *this;
+  }
+  Fnv64& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+  Fnv64& str(const std::string& s) {
+    for (char ch : s) byte(static_cast<unsigned char>(ch));
+    return u64(s.size());  // length-delimit so "ab","c" != "a","bc"
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+ private:
+  void byte(unsigned char b) {
+    h_ ^= b;
+    h_ *= 1099511628211ULL;
+  }
+  std::uint64_t h_ = 1469598103934665603ULL;
+};
+
+/// Structure + weights: task count and works, edge (src, dst, volume)
+/// triples in edge-id order. Task names are excluded (no scheduler reads
+/// them), so relabeled copies of the same graph share a fingerprint.
+[[nodiscard]] std::uint64_t dag_fingerprint(const Dag& dag);
+
+/// Speeds, the unit-delay matrix and per-processor failure probabilities.
+[[nodiscard]] std::uint64_t platform_fingerprint(const Platform& platform);
+
+/// Hash of the variant's canonical spec (`rltf[chunk=4]`); the spec
+/// round-trips, so equal fingerprints mean the same algorithm with the
+/// same bound parameters.
+[[nodiscard]] std::uint64_t variant_fingerprint(const AlgoVariant& variant);
+
+/// Hash of the model's canonical spec (`count:eps=2` / `prob:R=0.999`).
+[[nodiscard]] std::uint64_t fault_model_fingerprint(const FaultModel& model);
+
+}  // namespace streamsched

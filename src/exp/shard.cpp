@@ -1,0 +1,249 @@
+#include "exp/shard.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+namespace streamsched {
+
+namespace {
+
+constexpr const char* kMagic = "#streamsched-sweep-records v1";
+
+[[noreturn]] void bad(const std::string& what) {
+  throw std::invalid_argument("sweep records: " + what);
+}
+
+// 17 significant digits: the shortest precision at which every double
+// round-trips exactly, which is what makes shard-merge output
+// byte-identical to the unsharded run.
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+  return os.str();
+}
+
+double parse_double(const std::string& s) {
+  std::size_t pos = 0;
+  const double v = std::stod(s, &pos);
+  if (pos != s.size()) bad("malformed number '" + s + "'");
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& s) {
+  std::size_t pos = 0;
+  const unsigned long long v = std::stoull(s, &pos);
+  if (pos != s.size()) bad("malformed integer '" + s + "'");
+  return v;
+}
+
+std::vector<std::string> split(const std::string& line, char sep) {
+  std::vector<std::string> items;
+  std::string item;
+  std::istringstream is(line);
+  while (std::getline(is, item, sep)) items.push_back(item);
+  if (!line.empty() && line.back() == sep) items.emplace_back();
+  return items;
+}
+
+/// The directive payload when `line` is "#<name> <payload>", else nullopt.
+bool directive(const std::string& line, const std::string& name, std::string& payload) {
+  const std::string prefix = "#" + name + " ";
+  if (line.rfind(prefix, 0) != 0) return false;
+  payload = line.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+ShardSpec parse_shard(const std::string& spec) {
+  const auto slash = spec.find('/');
+  try {
+    if (slash == std::string::npos) throw std::invalid_argument("no '/'");
+    ShardSpec shard;
+    shard.index = static_cast<std::size_t>(parse_u64(spec.substr(0, slash)));
+    shard.count = static_cast<std::size_t>(parse_u64(spec.substr(slash + 1)));
+    if (shard.count < 1 || shard.index >= shard.count) throw std::invalid_argument("range");
+    return shard;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("invalid shard spec '" + spec +
+                                "' (expected i/N with 0 <= i < N)");
+  }
+}
+
+std::string shard_to_string(const ShardSpec& shard) {
+  return std::to_string(shard.index) + "/" + std::to_string(shard.count);
+}
+
+void write_sweep_records(std::ostream& out, const SweepRecords& records) {
+  out << kMagic << '\n';
+  out << "#shard " << shard_to_string(records.shard) << '\n';
+  out << "#seed " << records.seed << '\n';
+  out << "#crashes " << records.crashes << '\n';
+  out << "#graphs_per_point " << records.graphs_per_point << '\n';
+  out << "#granularities";
+  for (double g : records.granularities) out << ' ' << fmt(g);
+  out << '\n';
+  out << "#series";
+  for (const auto& [name, label] : records.series) out << '\t' << name << '\t' << label;
+  out << '\n';
+  for (std::size_t i = 0; i < records.records.size(); ++i) {
+    if (records.present[i] == 0) continue;
+    const InstanceRecord& rec = records.records[i];
+    out << i << ',' << (rec.usable ? 1 : 0) << ',' << fmt(rec.granularity) << ','
+        << fmt(rec.period) << ',' << fmt(rec.ff_period) << ',' << fmt(rec.ff_sim0);
+    for (const AlgoOutcome& o : rec.outcomes) {
+      out << ',' << (o.scheduled ? 1 : 0) << ',' << fmt(o.ub) << ',' << fmt(o.sim0) << ','
+          << fmt(o.simc) << ',' << o.stages << ',' << o.remote_comms << ',' << o.repair_added
+          << ',' << (o.starved ? 1 : 0) << ',' << fmt(o.period_factor) << ','
+          << fmt(o.reliability);
+    }
+    out << '\n';
+  }
+}
+
+void write_sweep_records_file(const std::string& path, const SweepRecords& records) {
+  std::ofstream out(path);
+  if (!out) bad("cannot open '" + path + "' for writing");
+  write_sweep_records(out, records);
+  if (!out) bad("write to '" + path + "' failed");
+}
+
+SweepRecords read_sweep_records(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) bad("missing magic header");
+
+  SweepRecords records;
+  bool have_series = false;
+  constexpr std::size_t kOutcomeFields = 10;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::string payload;
+    if (directive(line, "shard", payload)) {
+      records.shard = parse_shard(payload);
+      continue;
+    }
+    if (directive(line, "seed", payload)) {
+      records.seed = parse_u64(payload);
+      continue;
+    }
+    if (directive(line, "crashes", payload)) {
+      records.crashes = static_cast<std::uint32_t>(parse_u64(payload));
+      continue;
+    }
+    if (directive(line, "graphs_per_point", payload)) {
+      records.graphs_per_point = static_cast<std::size_t>(parse_u64(payload));
+      continue;
+    }
+    if (directive(line, "granularities", payload)) {
+      for (const std::string& item : split(payload, ' ')) {
+        if (!item.empty()) records.granularities.push_back(parse_double(item));
+      }
+      continue;
+    }
+    if (line.rfind("#series", 0) == 0) {
+      const std::vector<std::string> items = split(line.substr(7), '\t');
+      // Leading empty item from the tab right after "#series".
+      for (std::size_t i = 1; i + 1 < items.size(); i += 2) {
+        records.series.emplace_back(items[i], items[i + 1]);
+      }
+      have_series = true;
+      continue;
+    }
+    if (line[0] == '#') bad("unknown directive: " + line);
+
+    // Record row. The header must be complete by now.
+    if (!have_series || records.graphs_per_point == 0 || records.granularities.empty()) {
+      bad("record row before a complete header");
+    }
+    if (records.records.empty()) {
+      const std::size_t total = records.granularities.size() * records.graphs_per_point;
+      records.records.resize(total);
+      records.present.assign(total, 0);
+    }
+    const std::vector<std::string> f = split(line, ',');
+    if (f.size() != 6 + records.series.size() * kOutcomeFields) {
+      bad("record row has " + std::to_string(f.size()) + " fields, expected " +
+          std::to_string(6 + records.series.size() * kOutcomeFields));
+    }
+    const std::size_t index = static_cast<std::size_t>(parse_u64(f[0]));
+    if (index >= records.records.size()) bad("record index out of range");
+    if (records.present[index] != 0) bad("duplicate record index " + f[0]);
+    records.present[index] = 1;
+    InstanceRecord& rec = records.records[index];
+    rec.usable = parse_u64(f[1]) != 0;
+    rec.granularity = parse_double(f[2]);
+    rec.period = parse_double(f[3]);
+    rec.ff_period = parse_double(f[4]);
+    rec.ff_sim0 = parse_double(f[5]);
+    rec.outcomes.resize(records.series.size());
+    rec.algos.clear();
+    for (const auto& [name, label] : records.series) rec.algos.push_back(name);
+    for (std::size_t a = 0; a < records.series.size(); ++a) {
+      const std::size_t base = 6 + a * kOutcomeFields;
+      AlgoOutcome& o = rec.outcomes[a];
+      o.scheduled = parse_u64(f[base]) != 0;
+      o.ub = parse_double(f[base + 1]);
+      o.sim0 = parse_double(f[base + 2]);
+      o.simc = parse_double(f[base + 3]);
+      o.stages = static_cast<std::uint32_t>(parse_u64(f[base + 4]));
+      o.remote_comms = static_cast<std::size_t>(parse_u64(f[base + 5]));
+      o.repair_added = static_cast<std::uint32_t>(parse_u64(f[base + 6]));
+      o.starved = parse_u64(f[base + 7]) != 0;
+      o.period_factor = parse_double(f[base + 8]);
+      o.reliability = parse_double(f[base + 9]);
+    }
+  }
+  if (!have_series) bad("missing #series header");
+  if (records.records.empty()) {
+    const std::size_t total = records.granularities.size() * records.graphs_per_point;
+    records.records.resize(total);
+    records.present.assign(total, 0);
+  }
+  return records;
+}
+
+SweepRecords read_sweep_records_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) bad("cannot open '" + path + "'");
+  return read_sweep_records(in);
+}
+
+SweepRecords merge_sweep_records(std::vector<SweepRecords> parts) {
+  if (parts.empty()) bad("nothing to merge");
+  SweepRecords merged = std::move(parts.front());
+  const std::size_t declared = merged.shard.count;
+  for (std::size_t p = 1; p < parts.size(); ++p) {
+    SweepRecords& part = parts[p];
+    if (part.seed != merged.seed) bad("seed mismatch between shards");
+    if (part.crashes != merged.crashes) bad("crash-count mismatch between shards");
+    if (part.graphs_per_point != merged.graphs_per_point) {
+      bad("graphs_per_point mismatch between shards");
+    }
+    if (part.granularities != merged.granularities) {
+      bad("granularity grid mismatch between shards");
+    }
+    if (part.series != merged.series) bad("series grid mismatch between shards");
+    if (part.shard.count != declared) bad("shard count mismatch between shards");
+    for (std::size_t i = 0; i < part.records.size(); ++i) {
+      if (part.present[i] == 0) continue;
+      if (merged.present[i] != 0) {
+        bad("record " + std::to_string(i) + " present in more than one shard");
+      }
+      merged.present[i] = 1;
+      merged.records[i] = std::move(part.records[i]);
+    }
+  }
+  if (!merged.complete()) {
+    std::size_t missing = 0;
+    for (char pr : merged.present) missing += pr == 0 ? 1 : 0;
+    bad(std::to_string(missing) + " records missing after merge (expected " +
+        std::to_string(declared) + " shards, got " + std::to_string(parts.size()) + ")");
+  }
+  merged.shard = ShardSpec{};
+  return merged;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,58 @@
+// Shard plumbing for distributed sweeps (`--shard i/N`).
+//
+// A sharded bench run measures only the instances whose flat grid index is
+// ≡ i (mod N) and serializes its raw InstanceRecords — not aggregates — to
+// a records CSV. `merge_sweep_records` glues the N shard files back into
+// one complete record set, which `aggregate_sweep_records` then reduces in
+// grid order. Because every shard derives the full per-instance seed table
+// and doubles round-trip the CSV exactly (max_digits10 = 17 significant
+// digits), the merged aggregation is byte-identical to the unsharded run's
+// output (pinned by tests/test_shard.cpp).
+//
+// File format (one file per shard):
+//   #streamsched-sweep-records v1
+//   #shard <i>/<N>
+//   #seed <master seed>
+//   #crashes <c>
+//   #graphs_per_point <g>
+//   #granularities <g1> <g2> ...
+//   #series <name>\t<label>\t<name>\t<label>...     (tab-separated: names
+//                                                    and labels may contain
+//                                                    commas)
+//   <record rows: index,usable,granularity,period,ff_period,ff_sim0, then
+//    per series scheduled,ub,sim0,simc,stages,comms,repair_added,starved,
+//    period_factor,reliability>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/sweep.hpp"
+
+namespace streamsched {
+
+/// Parses "i/N" (0 <= i < N, N >= 1). Throws std::invalid_argument on
+/// anything else, naming the offending spec.
+[[nodiscard]] ShardSpec parse_shard(const std::string& spec);
+
+/// Canonical spec string "i/N".
+[[nodiscard]] std::string shard_to_string(const ShardSpec& shard);
+
+/// Serializes the measured records of one (possibly sharded) sweep.
+void write_sweep_records(std::ostream& out, const SweepRecords& records);
+void write_sweep_records_file(const std::string& path, const SweepRecords& records);
+
+/// Parses a records file back. Throws std::invalid_argument on malformed
+/// input (wrong magic, inconsistent column counts, out-of-range indices).
+[[nodiscard]] SweepRecords read_sweep_records(std::istream& in);
+[[nodiscard]] SweepRecords read_sweep_records_file(const std::string& path);
+
+/// Merges shard record sets into one. Every part must agree on the header
+/// (seed, crashes, grid, series) and declare the same shard count; each
+/// grid index must be present in exactly one part (disjoint and complete —
+/// partial merges throw, they could silently aggregate a subset). The
+/// result is unsharded (shard 0/1).
+[[nodiscard]] SweepRecords merge_sweep_records(std::vector<SweepRecords> parts);
+
+}  // namespace streamsched

@@ -296,10 +296,19 @@ InstanceRecord run_instance(const SweepConfig& config, double granularity,
   return record;
 }
 
-std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
+bool SweepRecords::complete() const {
+  for (char p : present) {
+    if (p == 0) return false;
+  }
+  return true;
+}
+
+SweepRecords run_sweep_records(const SweepConfig& config) {
   SS_REQUIRE(config.g_min > 0.0 && config.g_step > 0.0 && config.g_max >= config.g_min,
              "invalid granularity range");
   SS_REQUIRE(!config.algos.empty(), "sweep needs at least one algorithm");
+  SS_REQUIRE(config.shard.count >= 1 && config.shard.index < config.shard.count,
+             "shard index out of range");
   // Build the series grid up front so duplicate series keys fail before
   // any work is spent, and check the crash count against each series'
   // *effective* model (a variant may override the axis model via eps/R).
@@ -311,37 +320,69 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
     }
   }
 
-  std::vector<double> gs;
-  for (double g = config.g_min; g <= config.g_max + 1e-9; g += config.g_step) gs.push_back(g);
+  SweepRecords out;
+  for (double g = config.g_min; g <= config.g_max + 1e-9; g += config.g_step) {
+    out.granularities.push_back(g);
+  }
+  out.graphs_per_point = config.graphs_per_point;
+  out.seed = config.seed;
+  out.crashes = config.crashes;
+  out.shard = config.shard;
+  out.series.reserve(series_specs.size());
+  for (const SeriesSpec& spec : series_specs) out.series.emplace_back(spec.name, spec.label);
 
-  const std::size_t total = gs.size() * config.graphs_per_point;
-  std::vector<InstanceRecord> records(total);
+  const std::size_t total = out.granularities.size() * config.graphs_per_point;
+  out.records.resize(total);
+  out.present.assign(total, 0);
 
+  // The full seed table is derived on every shard: record i's seed never
+  // depends on the split, so each measured record is bit-identical to the
+  // unsharded run's.
   Rng seeder(config.seed);
   std::vector<std::uint64_t> seeds(total);
   for (auto& s : seeds) s = seeder();
 
-  parallel_for_indices(total, config.threads == 0 ? 0 : config.threads,
-                       [&](std::size_t i) {
-                         const std::size_t point = i / config.graphs_per_point;
-                         records[i] = run_instance(config, gs[point], seeds[i]);
-                       });
+  std::vector<std::size_t> owned;
+  owned.reserve(total / config.shard.count + 1);
+  for (std::size_t i = 0; i < total; ++i) {
+    if (i % config.shard.count == config.shard.index) {
+      owned.push_back(i);
+      out.present[i] = 1;
+    }
+  }
 
-  std::vector<PointStats> stats(gs.size());
-  for (std::size_t point = 0; point < gs.size(); ++point) {
+  parallel_for_indices(owned.size(), config.threads == 0 ? 0 : config.threads,
+                       [&](std::size_t k) {
+                         const std::size_t i = owned[k];
+                         const std::size_t point = i / config.graphs_per_point;
+                         out.records[i] =
+                             run_instance(config, out.granularities[point], seeds[i]);
+                       });
+  return out;
+}
+
+std::vector<PointStats> aggregate_sweep_records(const SweepRecords& records) {
+  SS_REQUIRE(records.complete(),
+             "cannot aggregate a partial record set; merge all shards first");
+  SS_REQUIRE(records.records.size() ==
+                 records.granularities.size() * records.graphs_per_point,
+             "record count does not match the granularity grid");
+
+  std::vector<PointStats> stats(records.granularities.size());
+  for (std::size_t point = 0; point < records.granularities.size(); ++point) {
     PointStats& ps = stats[point];
-    ps.granularity = gs[point];
+    ps.granularity = records.granularities[point];
 
     RunningStats ff;
-    std::vector<SeriesAccum> accum(series_specs.size());
+    std::vector<SeriesAccum> accum(records.series.size());
 
-    for (std::size_t j = 0; j < config.graphs_per_point; ++j) {
-      const InstanceRecord& rec = records[point * config.graphs_per_point + j];
+    for (std::size_t j = 0; j < records.graphs_per_point; ++j) {
+      const InstanceRecord& rec = records.records[point * records.graphs_per_point + j];
       if (!rec.usable) continue;
       ++ps.instances;
       ff.add(rec.ff_sim0);
 
-      for (std::size_t a = 0; a < series_specs.size(); ++a) {
+      for (std::size_t a = 0; a < records.series.size(); ++a) {
         const AlgoOutcome& out = rec.outcomes[a];
         SeriesAccum& acc = accum[a];
         if (!out.scheduled) {
@@ -365,12 +406,12 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
     }
 
     ps.ff_sim0 = ff.mean();
-    ps.series.resize(series_specs.size());
-    for (std::size_t a = 0; a < series_specs.size(); ++a) {
+    ps.series.resize(records.series.size());
+    for (std::size_t a = 0; a < records.series.size(); ++a) {
       AlgoSeries& s = ps.series[a];
       const SeriesAccum& acc = accum[a];
-      s.name = series_specs[a].name;
-      s.label = series_specs[a].label;
+      s.name = records.series[a].first;
+      s.label = records.series[a].second;
       s.ub = acc.ub.mean();
       s.sim0 = acc.sim0.mean();
       s.simc = acc.simc.mean();
@@ -385,6 +426,10 @@ std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
     }
   }
   return stats;
+}
+
+std::vector<PointStats> run_granularity_sweep(const SweepConfig& config) {
+  return aggregate_sweep_records(run_sweep_records(config));
 }
 
 }  // namespace streamsched

@@ -336,15 +336,23 @@ void record_period_excess(const Schedule& schedule, RepairStats& stats) {
 }  // namespace
 
 RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures) {
+  SurvivalOracle oracle(schedule);
+  return repair_fault_tolerance(schedule, oracle, max_failures);
+}
+
+RepairStats repair_fault_tolerance(Schedule& schedule, SurvivalOracle& oracle,
+                                   std::uint32_t max_failures) {
   SS_REQUIRE(max_failures <= schedule.eps(),
              "cannot repair for more failures than the replication degree");
+  SS_REQUIRE(oracle.num_tasks() == schedule.dag().num_tasks() &&
+                 oracle.num_procs() == schedule.platform().num_procs(),
+             "oracle was not compiled from this schedule");
   RepairStats stats;
   const std::uint32_t max_rounds = max_repair_rounds(schedule);
 
   // The check state persists across rounds: repair only adds channels, so
   // the combinations verified surviving in earlier rounds never need
   // re-checking — each round resumes at the last counterexample.
-  SurvivalOracle oracle(schedule);
   ResumableCheck state(schedule.platform().num_procs(), max_failures);
   ProcSet failed(schedule.platform().num_procs());
   std::vector<std::uint64_t> alive;
@@ -361,6 +369,27 @@ RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failure
              "distinct processors");
   }
 
+  record_period_excess(schedule, stats);
+  return stats;
+}
+
+RepairStats repair_for_failure_set(Schedule& schedule, SurvivalOracle& oracle,
+                                   const ProcSet& failed) {
+  SS_REQUIRE(oracle.num_tasks() == schedule.dag().num_tasks() &&
+                 oracle.num_procs() == schedule.platform().num_procs(),
+             "oracle was not compiled from this schedule");
+  SS_REQUIRE(failed.size() == schedule.platform().num_procs(),
+             "failure set size != processor count");
+  RepairStats stats;
+  const std::uint32_t max_rounds = max_repair_rounds(schedule);
+  std::vector<std::uint64_t> alive;
+  for (stats.rounds = 0; stats.rounds < max_rounds; ++stats.rounds) {
+    if (oracle.survives(failed)) {
+      stats.success = true;
+      break;
+    }
+    if (!repair_step_patched(schedule, oracle, failed, alive, stats)) break;  // beyond repair
+  }
   record_period_excess(schedule, stats);
   return stats;
 }
@@ -821,8 +850,19 @@ ReliabilityEstimate schedule_reliability(const Schedule& schedule,
 RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
                                   const ReliabilityOptions& options,
                                   ReliabilityEstimate* achieved) {
+  SurvivalOracle oracle(schedule);
+  return repair_to_reliability(schedule, oracle, target_reliability, options, achieved);
+}
+
+RepairStats repair_to_reliability(Schedule& schedule, SurvivalOracle& oracle,
+                                  double target_reliability,
+                                  const ReliabilityOptions& options,
+                                  ReliabilityEstimate* achieved) {
   SS_REQUIRE(target_reliability > 0.0 && target_reliability < 1.0,
              "target reliability must lie in (0, 1)");
+  SS_REQUIRE(oracle.num_tasks() == schedule.dag().num_tasks() &&
+                 oracle.num_procs() == schedule.platform().num_procs(),
+             "oracle was not compiled from this schedule");
   RepairStats stats;
   const std::uint32_t max_rounds = max_repair_rounds(schedule);
   const std::size_t m = schedule.platform().num_procs();
@@ -844,7 +884,6 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
   // channels are wired); only the estimates dispatch on options.kernel.
   // The failure set and computability buffers are hoisted and reused
   // across every killing set and round.
-  SurvivalOracle oracle(schedule);
   ProcSet failed(m);
   std::vector<std::uint64_t> alive;
 
@@ -945,11 +984,18 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
 }
 
 RepairStats repair_for_model(Schedule& schedule, const FaultModel& model) {
+  SurvivalOracle oracle(schedule);
+  return repair_for_model(schedule, oracle, model);
+}
+
+RepairStats repair_for_model(Schedule& schedule, SurvivalOracle& oracle,
+                             const FaultModel& model) {
   if (model.is_count()) {
-    return repair_fault_tolerance(schedule, model.eps());
+    return repair_fault_tolerance(schedule, oracle, model.eps());
   }
   ReliabilityEstimate achieved;
-  RepairStats stats = repair_to_reliability(schedule, model.target_reliability(), {}, &achieved);
+  RepairStats stats =
+      repair_to_reliability(schedule, oracle, model.target_reliability(), {}, &achieved);
   stats.reliability = achieved.reliability;
   return stats;
 }

@@ -29,6 +29,9 @@
 
 namespace streamsched {
 
+class SurvivalOracle;  // schedule/survival.hpp
+class ProcSet;
+
 /// Computability of every replica under the given failure set
 /// (failed[u] == true means processor u is down), indexed [task][copy].
 [[nodiscard]] std::vector<std::vector<bool>> computable_replicas(
@@ -76,6 +79,24 @@ struct RepairStats {
 /// still describes the algorithm's own structure; the simulator does pay
 /// their port cost, keeping measured latencies honest.
 RepairStats repair_fault_tolerance(Schedule& schedule, std::uint32_t max_failures);
+
+/// Warm-oracle variant: `oracle` must be compiled from `schedule` (it is
+/// patched in place as channels are wired, staying current afterwards).
+/// Resident services keep one oracle per cached schedule, so repair after
+/// a live failure event never recompiles the placement.
+RepairStats repair_fault_tolerance(Schedule& schedule, SurvivalOracle& oracle,
+                                   std::uint32_t max_failures);
+
+/// Adds supply channels until the schedule survives the ONE concrete
+/// failure set `failed` (the placement daemon's event-repair primitive:
+/// live processors just died, make every cached consumer of the cluster
+/// survive exactly that state). `oracle` must be compiled from `schedule`
+/// and is patched in place. `success` is false when the set is beyond
+/// repair (e.g. every replica of some task sits on failed processors);
+/// `rounds` counts the repair steps taken (0 when the schedule already
+/// survives).
+RepairStats repair_for_failure_set(Schedule& schedule, SurvivalOracle& oracle,
+                                   const ProcSet& failed);
 
 // ---------------------------------------------------------------------------
 // Probabilistic reliability (heterogeneous per-processor failure model).
@@ -156,9 +177,21 @@ RepairStats repair_to_reliability(Schedule& schedule, double target_reliability,
                                   const ReliabilityOptions& options = {},
                                   ReliabilityEstimate* achieved = nullptr);
 
+/// Warm-oracle variant (see repair_fault_tolerance above): `oracle` must
+/// be compiled from `schedule` and is patched in place as repair wires
+/// channels.
+RepairStats repair_to_reliability(Schedule& schedule, SurvivalOracle& oracle,
+                                  double target_reliability,
+                                  const ReliabilityOptions& options = {},
+                                  ReliabilityEstimate* achieved = nullptr);
+
 /// Model dispatch used by the schedulers' repair pass: count models run
 /// the exhaustive ε-failure repair, probabilistic models repair until the
 /// target reliability is met.
 RepairStats repair_for_model(Schedule& schedule, const FaultModel& model);
+
+/// Warm-oracle model dispatch.
+RepairStats repair_for_model(Schedule& schedule, SurvivalOracle& oracle,
+                             const FaultModel& model);
 
 }  // namespace streamsched

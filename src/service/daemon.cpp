@@ -1,0 +1,200 @@
+#include "service/daemon.hpp"
+
+#include <utility>
+
+#include "core/fingerprint.hpp"
+#include "exp/sweep.hpp"
+#include "exp/workload.hpp"
+#include "schedule/survival.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace streamsched {
+
+PlacementDaemon::PlacementDaemon(Platform platform, DaemonConfig config, EventBus* bus)
+    : platform_(std::make_shared<const Platform>(std::move(platform))),
+      config_(config),
+      bus_(bus),
+      cache_(config.cache_capacity),
+      failed_(platform_->num_procs()) {
+  if (bus_ != nullptr) {
+    subscription_ = bus_->subscribe([this](const ClusterEvent& event) { on_event(event); });
+  }
+}
+
+PlacementDaemon::~PlacementDaemon() {
+  // Drain queued submits first: their admits may still touch the cache.
+  {
+    std::unique_lock<std::mutex> lock(pending_mutex_);
+    pending_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (bus_ != nullptr) bus_->unsubscribe(subscription_);
+}
+
+PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
+  PlacementResponse resp;
+  CacheKey key{dag_fingerprint(request.dag), variant_fingerprint(request.variant),
+               fault_model_fingerprint(request.model), 0};
+
+  std::uint64_t snapshot_epoch = 0;
+  ProcSet failed;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.admissions;
+    key.epoch = epoch_;
+    if (auto hit = cache_.find(key)) {
+      resp.ok = true;
+      resp.cache_hit = true;
+      resp.epoch = epoch_;
+      resp.placement = std::move(hit);
+      return resp;
+    }
+    snapshot_epoch = epoch_;
+    failed = failed_;
+  }
+
+  // Cold path, outside the lock: other admissions and events proceed.
+  const auto dag = std::make_shared<const Dag>(std::move(request.dag));
+  SchedulerOptions options;
+  options.fault_model = request.model;
+  options.repair = true;
+  double period = request.period;
+  if (period <= 0.0) {
+    const CopyId eps = request.model.derive_eps(*platform_, dag->num_tasks());
+    period = calibrate_period(*dag, *platform_, eps, request.headroom, request.comm_share);
+  }
+  options.period = period;
+  auto [result, factor] =
+      schedule_with_period_escalation(request.variant, *dag, *platform_, period, options);
+  if (!result.ok()) {
+    resp.epoch = snapshot_epoch;
+    resp.error = result.error.empty() ? "scheduling failed" : result.error;
+    return resp;
+  }
+
+  auto placement =
+      std::make_shared<CachedPlacement>(dag, platform_, std::move(*result.schedule));
+  placement->model = request.model;
+  placement->variant = request.variant.name();
+  placement->period_factor = factor;
+  placement->repair = result.repair;
+
+  // Reconcile with the live failure set, retrying when an event moves the
+  // epoch between the repair and the publish.
+  for (;;) {
+    if (failed.count() > 0) {
+      const RepairStats live = repair_for_failure_set(placement->schedule, placement->oracle,
+                                                      failed);
+      if (!live.success) {
+        resp.epoch = snapshot_epoch;
+        resp.error = "live failure set beyond repair for this request";
+        return resp;
+      }
+      placement->event_repair_comms += live.added_comms;
+    }
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (epoch_ == snapshot_epoch) {
+      placement->epoch = epoch_;
+      key.epoch = epoch_;
+      std::shared_ptr<const CachedPlacement> published = std::move(placement);
+      cache_.insert(key, published);
+      ++stats_.cold_schedules;
+      resp.ok = true;
+      resp.epoch = epoch_;
+      resp.placement = std::move(published);
+      return resp;
+    }
+    snapshot_epoch = epoch_;
+    failed = failed_;
+  }
+}
+
+std::future<PlacementResponse> PlacementDaemon::submit(PlacementRequest request) {
+  auto task = std::make_shared<std::packaged_task<PlacementResponse()>>(
+      [this, req = std::move(request)]() mutable { return admit(std::move(req)); });
+  std::future<PlacementResponse> future = task->get_future();
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  global_thread_pool().post([this, task] {
+    (*task)();
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (--pending_ == 0) pending_cv_.notify_all();
+  });
+  return future;
+}
+
+void PlacementDaemon::on_event(const ClusterEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  SS_REQUIRE(event.proc < platform_->num_procs(), "event names an unknown processor");
+  ++epoch_;
+  ++stats_.events;
+  if (event.kind == ClusterEvent::Kind::kRecovery) {
+    failed_.reset(event.proc);
+    // Survival is monotone in the failure set: every cached placement
+    // survived the pre-recovery set, so it survives the smaller one.
+    // Re-key copy-free.
+    cache_.update_all(epoch_, [](const std::shared_ptr<const CachedPlacement>& p) {
+      return p;
+    });
+    return;
+  }
+  failed_.set(event.proc);
+  cache_.update_all(epoch_, [this](const std::shared_ptr<const CachedPlacement>& p)
+                                -> std::shared_ptr<const CachedPlacement> {
+    if (p->oracle.survives(failed_, survive_scratch_)) return p;  // copy-free re-key
+    // Copy-on-repair: patch a copy's schedule + warm oracle, publish the
+    // copy. Holders of the old placement keep a consistent (stale) view.
+    auto patched = std::make_shared<CachedPlacement>(*p);
+    const RepairStats live =
+        repair_for_failure_set(patched->schedule, patched->oracle, failed_);
+    if (!live.success) {
+      ++stats_.repair_failures;
+      return nullptr;  // beyond repair: drop, next admission goes cold
+    }
+    patched->event_repair_comms += live.added_comms;
+    patched->epoch = epoch_;
+    ++stats_.event_repairs;
+    if (config_.verify_repairs) {
+      // Independent check: a fresh oracle compiled from the repaired
+      // schedule must agree, through the bit-sliced batch kernel, that the
+      // live failure set is survivable.
+      ++stats_.verifications;
+      const SurvivalOracle fresh(patched->schedule);
+      BatchScratch scratch;
+      if ((fresh.survives_batch(failed_.words(), 1, scratch) & 1ULL) == 0) {
+        ++stats_.verify_failures;
+        return nullptr;
+      }
+    }
+    return patched;
+  });
+}
+
+std::uint64_t PlacementDaemon::epoch() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
+}
+
+std::size_t PlacementDaemon::failed_procs() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return failed_.count();
+}
+
+std::size_t PlacementDaemon::cache_size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+ScheduleCache::Stats PlacementDaemon::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.stats();
+}
+
+DaemonStats PlacementDaemon::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace streamsched

@@ -1,0 +1,125 @@
+// The placement daemon: scheduler-as-a-service over one cluster.
+//
+// A PlacementDaemon owns the platform (the cluster it places onto), an LRU
+// schedule cache (service/schedule_cache.hpp) and a platform *epoch* — a
+// counter bumped on every failure/recovery event. The serving contract:
+//
+//   admit()    Fingerprint the request, look up (dag, variant, model,
+//              epoch). A hit is allocation-free and returns the shared
+//              placement. A miss runs the cold path — calibrate the
+//              period if the request didn't fix one, schedule with the
+//              period-escalation ladder and model repair, compile the
+//              survival oracle, reconcile with the live failure set —
+//              then publishes the placement into the cache.
+//
+//   submit()   admit() as a fire-and-forget job on the shared global
+//              thread pool (util/thread_pool.hpp): the daemon's request
+//              queue. Returns a future.
+//
+//   on_event() The event-bus handler (subscribe the daemon, or call it
+//              directly). Bumps the epoch, updates the live failure set,
+//              and walks the cache: placements that survive the new
+//              failure set are re-keyed to the new epoch copy-free;
+//              placements that don't are *incrementally repaired* — a
+//              copy's schedule gets supply channels via
+//              repair_for_failure_set, which patches the warm
+//              SurvivalOracle through add_comm instead of recompiling —
+//              and the repaired copy replaces the entry. Placements
+//              beyond repair are dropped (the next admission reschedules
+//              cold). Repaired copies are re-verified against the live
+//              failure set on a freshly compiled oracle through the
+//              bit-sliced batch kernel when `verify_repairs` is set.
+//
+// Published placements are immutable: event repair copies, repairs the
+// copy, then swaps the shared_ptr, so response holders can keep reading
+// their (stale-epoch) placement without synchronization.
+//
+// Thread safety: every public member is safe to call concurrently; the
+// daemon serializes cache/epoch access on one mutex and runs cold
+// scheduling outside it (re-reconciling when the epoch moved meanwhile).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+
+#include "schedule/fault_tolerance.hpp"
+#include "service/event_bus.hpp"
+#include "service/request.hpp"
+#include "service/schedule_cache.hpp"
+
+namespace streamsched {
+
+struct DaemonConfig {
+  std::size_t cache_capacity = 256;
+  /// Re-verify every event-repaired placement against the live failure
+  /// set on a freshly compiled oracle (batch survival kernel) before
+  /// republishing it. Catches any divergence between the patched warm
+  /// oracle and the schedule it claims to describe.
+  bool verify_repairs = true;
+};
+
+struct DaemonStats {
+  std::uint64_t admissions = 0;       ///< admit() calls (hits + misses)
+  std::uint64_t cold_schedules = 0;   ///< misses that scheduled cold
+  std::uint64_t events = 0;           ///< failure/recovery events handled
+  std::uint64_t event_repairs = 0;    ///< cached placements repaired in place
+  std::uint64_t repair_failures = 0;  ///< placements dropped as beyond repair
+  std::uint64_t verifications = 0;    ///< fresh-oracle batch re-checks run
+  std::uint64_t verify_failures = 0;  ///< re-checks that failed (must stay 0)
+};
+
+class PlacementDaemon {
+ public:
+  /// Takes ownership of the platform. When `bus` is given, subscribes
+  /// on_event() to it (and unsubscribes in the destructor); the bus must
+  /// outlive the daemon.
+  explicit PlacementDaemon(Platform platform, DaemonConfig config = {},
+                           EventBus* bus = nullptr);
+  ~PlacementDaemon();
+
+  PlacementDaemon(const PlacementDaemon&) = delete;
+  PlacementDaemon& operator=(const PlacementDaemon&) = delete;
+
+  /// Serves one request synchronously: cache hit or cold schedule.
+  [[nodiscard]] PlacementResponse admit(PlacementRequest request);
+
+  /// Queues the request on the shared global thread pool. The destructor
+  /// drains queued requests before returning.
+  [[nodiscard]] std::future<PlacementResponse> submit(PlacementRequest request);
+
+  /// Failure/recovery notification (also the bus subscription target).
+  /// Bumps the epoch; failures repair or drop affected cached placements,
+  /// recoveries re-key copy-free (survival is monotone in the failure
+  /// set: whatever survived the larger set survives the smaller one).
+  void on_event(const ClusterEvent& event);
+
+  [[nodiscard]] const Platform& platform() const { return *platform_; }
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Number of processors currently failed.
+  [[nodiscard]] std::size_t failed_procs() const;
+  [[nodiscard]] std::size_t cache_size() const;
+  [[nodiscard]] ScheduleCache::Stats cache_stats() const;
+  [[nodiscard]] DaemonStats stats() const;
+
+ private:
+  std::shared_ptr<const Platform> platform_;
+  DaemonConfig config_;
+  EventBus* bus_ = nullptr;
+  EventBus::SubscriptionId subscription_ = 0;
+
+  mutable std::mutex mutex_;
+  ScheduleCache cache_;
+  std::uint64_t epoch_ = 0;
+  ProcSet failed_;
+  std::vector<std::uint64_t> survive_scratch_;
+  DaemonStats stats_;
+
+  std::mutex pending_mutex_;
+  std::condition_variable pending_cv_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace streamsched

@@ -1,0 +1,34 @@
+#include "service/event_bus.hpp"
+
+namespace streamsched {
+
+EventBus::SubscriptionId EventBus::subscribe(Handler handler) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const SubscriptionId id = next_id_++;
+  handlers_.emplace_back(id, std::move(handler));
+  return id;
+}
+
+bool EventBus::unsubscribe(SubscriptionId id) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = handlers_.begin(); it != handlers_.end(); ++it) {
+    if (it->first == id) {
+      handlers_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void EventBus::publish(const ClusterEvent& event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++published_;
+  for (const auto& [id, handler] : handlers_) handler(event);
+}
+
+std::uint64_t EventBus::events_published() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return published_;
+}
+
+}  // namespace streamsched

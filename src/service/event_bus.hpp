@@ -1,0 +1,56 @@
+// Failure/recovery event bus of the placement service.
+//
+// Monitoring publishes ClusterEvents (processor u failed / recovered);
+// subscribers — the placement daemon, loggers, tests — receive them
+// synchronously on the publisher's thread, in subscription order, one
+// event at a time (publishes are serialized by the bus mutex, so handlers
+// observe a total event order and never run concurrently with
+// themselves). Synchronous delivery is deliberate: the daemon's handler
+// must finish repairing/invalidating its cache before the publisher's
+// next admission can observe the new epoch, which is exactly the
+// "repair-on-event, serve-from-cache" contract bench_service measures.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "schedule/schedule.hpp"
+
+namespace streamsched {
+
+struct ClusterEvent {
+  enum class Kind { kFailure, kRecovery };
+  Kind kind = Kind::kFailure;
+  ProcId proc = 0;
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const ClusterEvent&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Registers `handler` for all subsequent events; returns the id to
+  /// unsubscribe with.
+  SubscriptionId subscribe(Handler handler);
+
+  /// Removes a subscription; false when the id is unknown (already
+  /// removed).
+  bool unsubscribe(SubscriptionId id);
+
+  /// Delivers `event` to every subscriber, synchronously and serialized:
+  /// concurrent publishers queue on the bus mutex. Handlers must not call
+  /// back into the bus (classic re-entrancy deadlock).
+  void publish(const ClusterEvent& event);
+
+  [[nodiscard]] std::uint64_t events_published() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<SubscriptionId, Handler>> handlers_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace streamsched

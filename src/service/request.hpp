@@ -1,0 +1,81 @@
+// Request/response structs of the placement daemon (service/daemon.hpp).
+//
+// A PlacementRequest is one DAG + QoS ask against the daemon's shared
+// cluster: which algorithm variant to place with, which fault model to
+// guarantee, and the throughput constraint (or 0 to calibrate one from the
+// workload, the experiment pipeline's convention). The daemon answers with
+// a shared, immutable CachedPlacement: the schedule, its compiled survival
+// oracle (kept warm so live failure events repair incrementally instead of
+// rescheduling), and the admission/repair provenance. Responses stay valid
+// for the lifetime of the placement they point to — entries the daemon
+// evicts or repairs stay alive for holders of the shared_ptr; the daemon
+// itself publishes repaired *copies*, never mutates a published placement.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/variant.hpp"
+#include "graph/dag.hpp"
+#include "platform/platform.hpp"
+#include "schedule/fault_model.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/schedule.hpp"
+#include "schedule/survival.hpp"
+
+namespace streamsched {
+
+struct PlacementRequest {
+  /// The streaming application to place (owned by the request; admitted
+  /// placements keep it alive via shared ownership).
+  Dag dag;
+  /// Scheduling algorithm variant (registry name + bound parameters).
+  AlgoVariant variant{"rltf"};
+  /// Reliability constraint the placement must guarantee.
+  FaultModel model = FaultModel::count(1);
+  /// Δ = 1/T. <= 0 means "calibrate from the workload" with the knobs
+  /// below (exp/workload.hpp's documented substitution).
+  double period = 0.0;
+  double headroom = 2.0;
+  double comm_share = 1.0;
+};
+
+/// One admitted placement, immutable once published by the daemon. The
+/// oracle is compiled from (and patched alongside) the schedule, so event
+/// repair and feasibility queries never recompile.
+struct CachedPlacement {
+  CachedPlacement(std::shared_ptr<const Dag> dag_in,
+                  std::shared_ptr<const Platform> platform_in, Schedule schedule_in)
+      : dag(std::move(dag_in)),
+        platform(std::move(platform_in)),
+        schedule(std::move(schedule_in)),
+        oracle(schedule) {}
+
+  std::shared_ptr<const Dag> dag;
+  std::shared_ptr<const Platform> platform;
+  Schedule schedule;
+  SurvivalOracle oracle;
+
+  FaultModel model = FaultModel::count(0);
+  std::string variant;         ///< canonical variant spec
+  double period_factor = 1.0;  ///< escalation rung the admission needed
+  RepairStats repair;          ///< admission-time model repair
+  /// Supply channels wired by live failure-event repairs (on top of
+  /// `repair.added_comms`).
+  std::uint32_t event_repair_comms = 0;
+  /// Platform epoch this placement is current for (survives the daemon's
+  /// live failure set as of that epoch).
+  std::uint64_t epoch = 0;
+};
+
+struct PlacementResponse {
+  bool ok = false;
+  bool cache_hit = false;
+  /// Daemon epoch the response was served at.
+  std::uint64_t epoch = 0;
+  std::string error;
+  std::shared_ptr<const CachedPlacement> placement;
+};
+
+}  // namespace streamsched

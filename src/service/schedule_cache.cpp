@@ -1,0 +1,150 @@
+#include "service/schedule_cache.hpp"
+
+#include "util/assert.hpp"
+
+namespace streamsched {
+
+ScheduleCache::ScheduleCache(std::size_t capacity) : capacity_(capacity) {
+  SS_REQUIRE(capacity > 0, "schedule cache needs capacity >= 1");
+  nodes_.reserve(capacity);
+  index_.reserve(capacity * 2);
+}
+
+void ScheduleCache::unlink(std::size_t i) {
+  Node& n = nodes_[i];
+  if (n.prev != kNil) {
+    nodes_[n.prev].next = n.next;
+  } else {
+    head_ = n.next;
+  }
+  if (n.next != kNil) {
+    nodes_[n.next].prev = n.prev;
+  } else {
+    tail_ = n.prev;
+  }
+  n.prev = n.next = kNil;
+}
+
+void ScheduleCache::link_front(std::size_t i) {
+  Node& n = nodes_[i];
+  n.prev = kNil;
+  n.next = head_;
+  if (head_ != kNil) nodes_[head_].prev = i;
+  head_ = i;
+  if (tail_ == kNil) tail_ = i;
+}
+
+void ScheduleCache::free_node(std::size_t i) {
+  nodes_[i].placement.reset();
+  nodes_[i].next = free_;
+  free_ = i;
+}
+
+std::shared_ptr<const CachedPlacement> ScheduleCache::find(const CacheKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  const std::size_t i = it->second;
+  if (i != head_) {
+    unlink(i);
+    link_front(i);
+  }
+  return nodes_[i].placement;
+}
+
+void ScheduleCache::insert(const CacheKey& key,
+                           std::shared_ptr<const CachedPlacement> placement) {
+  SS_REQUIRE(placement != nullptr, "cannot cache a null placement");
+  if (const auto it = index_.find(key); it != index_.end()) {
+    const std::size_t i = it->second;
+    nodes_[i].placement = std::move(placement);
+    if (i != head_) {
+      unlink(i);
+      link_front(i);
+    }
+    return;
+  }
+  if (index_.size() >= capacity_) {
+    // Evict the LRU tail to make room.
+    const std::size_t victim = tail_;
+    index_.erase(nodes_[victim].key);
+    unlink(victim);
+    free_node(victim);
+    ++stats_.evictions;
+  }
+  std::size_t i;
+  if (free_ != kNil) {
+    i = free_;
+    free_ = nodes_[i].next;
+    nodes_[i].next = kNil;
+  } else {
+    i = nodes_.size();
+    nodes_.emplace_back();
+  }
+  nodes_[i].key = key;
+  nodes_[i].placement = std::move(placement);
+  link_front(i);
+  index_.emplace(key, i);
+  ++stats_.insertions;
+}
+
+bool ScheduleCache::erase(const CacheKey& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  const std::size_t i = it->second;
+  index_.erase(it);
+  unlink(i);
+  free_node(i);
+  return true;
+}
+
+void ScheduleCache::update_all(
+    std::uint64_t new_epoch,
+    const std::function<std::shared_ptr<const CachedPlacement>(
+        const std::shared_ptr<const CachedPlacement>&)>& update) {
+  index_.clear();
+  std::size_t i = head_;
+  while (i != kNil) {
+    const std::size_t next = nodes_[i].next;
+    std::shared_ptr<const CachedPlacement> kept = update(nodes_[i].placement);
+    bool keep = kept != nullptr;
+    if (keep) {
+      nodes_[i].placement = std::move(kept);
+      nodes_[i].key.epoch = new_epoch;
+      // Duplicate keys cannot arise in the daemon (every entry is re-keyed
+      // to the shared current epoch on each event), but if two entries ever
+      // collapse onto one key, keep the more recent (already indexed) one.
+      keep = index_.emplace(nodes_[i].key, i).second;
+    }
+    if (!keep) {
+      unlink(i);
+      free_node(i);
+      ++stats_.evictions;
+    }
+    i = next;
+  }
+}
+
+void ScheduleCache::clear() {
+  index_.clear();
+  std::size_t i = head_;
+  while (i != kNil) {
+    const std::size_t next = nodes_[i].next;
+    nodes_[i].prev = nodes_[i].next = kNil;
+    free_node(i);
+    i = next;
+  }
+  head_ = tail_ = kNil;
+}
+
+std::vector<CacheKey> ScheduleCache::keys_mru() const {
+  std::vector<CacheKey> keys;
+  keys.reserve(index_.size());
+  for (std::size_t i = head_; i != kNil; i = nodes_[i].next) keys.push_back(nodes_[i].key);
+  return keys;
+}
+
+}  // namespace streamsched

@@ -1,10 +1,67 @@
 #include "util/thread_pool.hpp"
 
 #include <exception>
+#include <memory>
 
 #include "util/assert.hpp"
 
 namespace streamsched {
+
+namespace {
+
+// Depth of parallel_for drains the current thread is inside of. A nested
+// parallel_for (from a body, or from a pool worker already consumed by one)
+// runs inline: re-entering the shared queue while every worker may be
+// blocked waiting on its own enqueued drains can deadlock.
+thread_local std::size_t tl_drain_depth = 0;
+
+struct DrainDepthGuard {
+  DrainDepthGuard() { ++tl_drain_depth; }
+  ~DrainDepthGuard() { --tl_drain_depth; }
+};
+
+// Shared state of one parallel_for call. Heap-owned (shared_ptr) by every
+// enqueued drain job AND the waiting caller: a job may be popped from the
+// queue after the caller already finished every index itself and returned —
+// it must then find a self-contained context (next >= n), not dangling
+// stack references.
+struct ParallelContext {
+  std::size_t n = 0;
+  std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::size_t done = 0;  // bodies completed (guarded by done_mutex)
+  std::mutex error_mutex;
+  std::exception_ptr error;
+};
+
+// Consumes indices until the counter is exhausted; counts completions in
+// one batched update so the caller can wait for `done == n` regardless of
+// whether the enqueued jobs ever ran (the caller drains too, so all
+// indices complete even if the queue stays congested).
+void drain(const std::shared_ptr<ParallelContext>& ctx) {
+  DrainDepthGuard depth;
+  std::size_t completed = 0;
+  for (;;) {
+    const std::size_t i = ctx->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= ctx->n) break;
+    try {
+      ctx->body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(ctx->error_mutex);
+      if (!ctx->error) ctx->error = std::current_exception();
+    }
+    ++completed;
+  }
+  if (completed > 0) {
+    std::lock_guard<std::mutex> lock(ctx->done_mutex);
+    ctx->done += completed;
+    if (ctx->done == ctx->n) ctx->done_cv.notify_all();
+  }
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t workers) {
   if (workers == 0) {
@@ -39,51 +96,66 @@ void ThreadPool::worker_loop() {
   }
 }
 
+void ThreadPool::post(std::function<void()> task) {
+  SS_REQUIRE(static_cast<bool>(task), "posted task must be callable");
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  parallel_for(n, 0, body);
+}
+
+void ThreadPool::parallel_for(std::size_t n, std::size_t max_workers,
+                              const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
-
-  auto next = std::make_shared<std::atomic<std::size_t>>(0);
-  auto pending = std::make_shared<std::atomic<std::size_t>>(0);
-  auto first_error = std::make_shared<std::mutex>();
-  auto error = std::make_shared<std::exception_ptr>();
-
-  auto drain = [next, n, &body, error, first_error] {
-    for (;;) {
-      const std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
-      if (i >= n) return;
+  if (tl_drain_depth > 0 || n == 1 || max_workers == 1) {
+    // Nested (or degenerate) call: run inline. Consumers write results to
+    // fixed slots, so the serialization is observationally identical.
+    DrainDepthGuard depth;
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n; ++i) {
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(*first_error);
-        if (!*error) *error = std::current_exception();
+        if (!error) error = std::current_exception();
       }
     }
-  };
+    if (error) std::rethrow_exception(error);
+    return;
+  }
 
-  // Enqueue one drain task per worker; the calling thread drains too.
-  const std::size_t jobs = std::min(n, threads_.size());
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  pending->store(jobs);
-  for (std::size_t j = 0; j < jobs; ++j) {
+  auto ctx = std::make_shared<ParallelContext>();
+  ctx->n = n;
+  ctx->body = body;  // jobs may outlive this call; they need their own copy
+
+  // One drain job per worker within the cap; the calling thread drains too
+  // (and alone suffices for completion when the queue is congested).
+  std::size_t jobs = std::min(n, threads_.size());
+  if (max_workers > 0) jobs = std::min(jobs, max_workers - 1);
+  {
     std::lock_guard<std::mutex> lock(mutex_);
-    tasks_.emplace([drain, pending, &done_mutex, &done_cv] {
-      drain();
-      // Notify while holding the lock: the waiter owns done_cv/done_mutex on
-      // its stack and may destroy them as soon as it observes pending == 0.
-      std::lock_guard<std::mutex> lock2(done_mutex);
-      pending->fetch_sub(1);
-      done_cv.notify_one();
-    });
+    for (std::size_t j = 0; j < jobs; ++j) {
+      tasks_.emplace([ctx] { drain(ctx); });
+    }
   }
   cv_.notify_all();
 
-  drain();
+  drain(ctx);
 
-  std::unique_lock<std::mutex> lock(done_mutex);
-  done_cv.wait(lock, [&] { return pending->load() == 0; });
+  std::unique_lock<std::mutex> lock(ctx->done_mutex);
+  ctx->done_cv.wait(lock, [&] { return ctx->done == ctx->n; });
 
-  if (*error) std::rethrow_exception(*error);
+  std::lock_guard<std::mutex> error_lock(ctx->error_mutex);
+  if (ctx->error) std::rethrow_exception(ctx->error);
+}
+
+ThreadPool& global_thread_pool() {
+  static ThreadPool pool;  // one thread per hardware core, built on first use
+  return pool;
 }
 
 void parallel_for_indices(std::size_t n, std::size_t workers,
@@ -92,8 +164,7 @@ void parallel_for_indices(std::size_t n, std::size_t workers,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  ThreadPool pool(workers);
-  pool.parallel_for(n, body);
+  global_thread_pool().parallel_for(n, workers, body);
 }
 
 }  // namespace streamsched

@@ -1,10 +1,22 @@
 // Fixed-size worker pool used to parallelize experiment sweeps across
-// random graph instances.
+// random graph instances, the survival-kernel fan-outs, and the placement
+// daemon's request queue.
 //
 // Work items are indexed, and `parallel_for` partitions [0, n) dynamically
 // (atomic counter) so stragglers balance out. Results are written into
 // pre-sized slots, which keeps sweep output deterministic and independent
 // of the number of workers — a requirement for reproducible figures.
+//
+// One process-wide pool (`global_thread_pool`, lazily built at first use)
+// is shared by every parallel layer — exact reliability enumeration,
+// Monte-Carlo estimation, the sweep, and the placement daemon — instead of
+// spinning a transient pool per call. Sharing is safe for determinism
+// because every consumer assigns work to fixed slots; it is safe for
+// liveness because a `parallel_for` issued from inside another
+// `parallel_for` body (or any pool worker already draining one) runs its
+// indices inline on the calling thread instead of re-entering the shared
+// queue, which could otherwise deadlock with every worker waiting on tasks
+// stuck behind its peers.
 #pragma once
 
 #include <atomic>
@@ -32,8 +44,21 @@ class ThreadPool {
   /// Runs body(i) for each i in [0, n), distributing indices dynamically
   /// over the pool (the calling thread participates). Exceptions thrown by
   /// any body are captured; the first one is rethrown after all indices
-  /// complete or are abandoned.
+  /// complete. Nested calls (from a body already draining a parallel_for
+  /// on any pool) run inline on the calling thread.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Same, with total parallelism (drain jobs + the calling thread) capped
+  /// at `max_workers`; 0 means uncapped. Lets callers honor a user-supplied
+  /// thread budget on the shared pool without resizing it.
+  void parallel_for(std::size_t n, std::size_t max_workers,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Enqueues one fire-and-forget task (the placement daemon's request
+  /// queue). The task runs on some pool worker; ordering between posted
+  /// tasks follows the queue, but tasks posted while a parallel_for is in
+  /// flight interleave with its drain jobs.
+  void post(std::function<void()> task);
 
  private:
   void worker_loop();
@@ -45,8 +70,17 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience: one-shot parallel_for on a transient pool when no pool is
-/// available. `workers == 1` executes inline (useful for debugging).
+/// The process-wide shared pool, built on first use with one thread per
+/// hardware core. Every layer that fans indexed work out (sweep, exact
+/// enumeration, MC estimation, the placement daemon) shares it, so a
+/// process never stacks transient pools.
+[[nodiscard]] ThreadPool& global_thread_pool();
+
+/// Convenience: parallel_for over the shared global pool, capped at
+/// `workers` total threads (0 = uncapped, i.e. hardware concurrency).
+/// `workers == 1` executes inline (useful for debugging); results are
+/// identical for every worker count for any caller that writes results
+/// into fixed per-index slots.
 void parallel_for_indices(std::size_t n, std::size_t workers,
                           const std::function<void(std::size_t)>& body);
 

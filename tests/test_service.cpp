@@ -1,0 +1,434 @@
+// Placement-service suite: stable fingerprints (core/fingerprint.hpp),
+// the LRU schedule cache (hit/miss/eviction/epoch invalidation/collision
+// handling), the event bus, and the daemon's serving contract — cache hits
+// after a cold admission, epoch bumps with copy-free re-keying on
+// recovery, incremental event repair whose result matches a fresh
+// reschedule on feasibility (both survive the live failure set, both keep
+// the model guarantee), and the async submit path on the shared pool.
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "core/rltf.hpp"
+#include "core/variant.hpp"
+#include "graph/generators.hpp"
+#include "platform/generators.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/survival.hpp"
+#include "service/daemon.hpp"
+#include "service/event_bus.hpp"
+#include "service/schedule_cache.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+Dag small_dag(std::uint64_t seed, std::size_t tasks = 14) {
+  Rng rng(seed);
+  return make_random_layered(rng, tasks, 4, 0.4, WeightRanges{});
+}
+
+Platform small_platform(std::uint64_t seed = 5, std::size_t m = 8) {
+  Rng rng(seed);
+  return make_reliability_heterogeneous(rng, m, 0.02, 0.08);
+}
+
+/// A real cached placement for cache-level tests (the cache stores
+/// schedules + oracles, so it needs genuine ones).
+std::shared_ptr<const CachedPlacement> make_placement(std::uint64_t seed) {
+  auto dag = std::make_shared<const Dag>(small_dag(seed));
+  auto platform = std::make_shared<const Platform>(small_platform());
+  SchedulerOptions options;
+  options.eps = 1;
+  options.period = std::numeric_limits<double>::infinity();
+  ScheduleResult r = rltf_schedule(*dag, *platform, options);
+  EXPECT_TRUE(r.ok()) << r.error;
+  return std::make_shared<const CachedPlacement>(dag, platform, std::move(*r.schedule));
+}
+
+// ---------------------------------------------------------------- hashes --
+
+TEST(Fingerprint, DagSemanticContentOnly) {
+  const Dag a = small_dag(3);
+  const Dag b = small_dag(3);
+  EXPECT_EQ(dag_fingerprint(a), dag_fingerprint(b));
+
+  // Task names are labels, not scheduler input: a relabeled copy hashes
+  // identically.
+  Dag named;
+  named.add_task("first", 2.0);
+  named.add_task("second", 3.0);
+  named.add_edge(0, 1, 1.5);
+  Dag anon;
+  anon.add_task(2.0);
+  anon.add_task(3.0);
+  anon.add_edge(0, 1, 1.5);
+  EXPECT_EQ(dag_fingerprint(named), dag_fingerprint(anon));
+
+  // Any semantic change moves the hash.
+  Dag work = anon;
+  work.set_work(0, 2.5);
+  EXPECT_NE(dag_fingerprint(work), dag_fingerprint(anon));
+  Dag volume = anon;
+  volume.set_volume(0, 1.75);
+  EXPECT_NE(dag_fingerprint(volume), dag_fingerprint(anon));
+}
+
+TEST(Fingerprint, VariantAndModelSpecsKeyDistinctly) {
+  EXPECT_EQ(variant_fingerprint(AlgoVariant("rltf")), variant_fingerprint(AlgoVariant("rltf")));
+  EXPECT_NE(variant_fingerprint(AlgoVariant("rltf")), variant_fingerprint(AlgoVariant("ltf")));
+  EXPECT_NE(variant_fingerprint(AlgoVariant("rltf")),
+            variant_fingerprint(AlgoVariant("rltf[chunk=4]")));
+
+  EXPECT_EQ(fault_model_fingerprint(FaultModel::count(2)),
+            fault_model_fingerprint(FaultModel::count(2)));
+  EXPECT_NE(fault_model_fingerprint(FaultModel::count(1)),
+            fault_model_fingerprint(FaultModel::count(2)));
+  EXPECT_NE(fault_model_fingerprint(FaultModel::count(1)),
+            fault_model_fingerprint(FaultModel::probabilistic(0.999)));
+}
+
+TEST(Fingerprint, PlatformCoversSpeedsDelaysAndFailureProbs) {
+  const Platform a = small_platform(5);
+  const Platform b = small_platform(5);
+  EXPECT_EQ(platform_fingerprint(a), platform_fingerprint(b));
+  EXPECT_NE(platform_fingerprint(a), platform_fingerprint(small_platform(6)));
+}
+
+// ----------------------------------------------------------------- cache --
+
+TEST(ScheduleCache, HitMissAndLruEviction) {
+  ScheduleCache cache(2);
+  const auto p1 = make_placement(1);
+  const auto p2 = make_placement(2);
+  const auto p3 = make_placement(3);
+  const CacheKey k1{1, 0, 0, 0};
+  const CacheKey k2{2, 0, 0, 0};
+  const CacheKey k3{3, 0, 0, 0};
+
+  EXPECT_EQ(cache.find(k1), nullptr);
+  cache.insert(k1, p1);
+  cache.insert(k2, p2);
+  EXPECT_EQ(cache.find(k1).get(), p1.get());
+  EXPECT_EQ(cache.find(k2).get(), p2.get());
+  EXPECT_EQ(cache.size(), 2u);
+
+  // k1 is LRU after the k2 hit; inserting k3 evicts it.
+  (void)cache.find(k2);
+  cache.insert(k3, p3);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.find(k1), nullptr);
+  EXPECT_EQ(cache.find(k3).get(), p3.get());
+
+  EXPECT_EQ(cache.stats().insertions, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().hits, 4u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(ScheduleCache, EpochInvalidatesAndCollisionsCompareFullKeys) {
+  ScheduleCache cache(4);
+  const auto p = make_placement(1);
+  cache.insert(CacheKey{7, 8, 9, 0}, p);
+  // Same fingerprints at another epoch: a different key entirely.
+  EXPECT_EQ(cache.find(CacheKey{7, 8, 9, 1}), nullptr);
+  // Keys differing in a single component never alias (full equality is
+  // checked behind the hash).
+  EXPECT_EQ(cache.find(CacheKey{7, 8, 10, 0}), nullptr);
+  EXPECT_EQ(cache.find(CacheKey{6, 8, 9, 0}), nullptr);
+  EXPECT_NE(cache.find(CacheKey{7, 8, 9, 0}), nullptr);
+}
+
+TEST(ScheduleCache, UpdateAllRekeysDropsAndPreservesRecency) {
+  ScheduleCache cache(4);
+  const auto p1 = make_placement(1);
+  const auto p2 = make_placement(2);
+  const auto p3 = make_placement(3);
+  cache.insert(CacheKey{1, 0, 0, 0}, p1);
+  cache.insert(CacheKey{2, 0, 0, 0}, p2);
+  cache.insert(CacheKey{3, 0, 0, 0}, p3);
+
+  // Keep 1 and 3 (same pointers), drop 2.
+  cache.update_all(5, [&](const std::shared_ptr<const CachedPlacement>& cur)
+                          -> std::shared_ptr<const CachedPlacement> {
+    if (cur.get() == p2.get()) return nullptr;
+    return cur;
+  });
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  const std::vector<CacheKey> keys = cache.keys_mru();
+  ASSERT_EQ(keys.size(), 2u);
+  // MRU order preserved: 3 (most recent insert) then 1; both at epoch 5.
+  EXPECT_EQ(keys[0], (CacheKey{3, 0, 0, 5}));
+  EXPECT_EQ(keys[1], (CacheKey{1, 0, 0, 5}));
+  EXPECT_EQ(cache.find(CacheKey{1, 0, 0, 5}).get(), p1.get());
+  EXPECT_EQ(cache.find(CacheKey{2, 0, 0, 5}), nullptr);
+}
+
+// ------------------------------------------------------------- event bus --
+
+TEST(EventBus, DeliversInSubscriptionOrderAndUnsubscribes) {
+  EventBus bus;
+  std::vector<int> order;
+  const auto a = bus.subscribe([&](const ClusterEvent&) { order.push_back(1); });
+  const auto b = bus.subscribe([&](const ClusterEvent&) { order.push_back(2); });
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, 0});
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+
+  EXPECT_TRUE(bus.unsubscribe(a));
+  EXPECT_FALSE(bus.unsubscribe(a));
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kRecovery, 0});
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 2}));
+  EXPECT_EQ(bus.events_published(), 2u);
+  EXPECT_TRUE(bus.unsubscribe(b));
+}
+
+// ---------------------------------------------------------------- daemon --
+
+PlacementRequest request_for(std::uint64_t seed, CopyId eps = 1) {
+  PlacementRequest request;
+  request.dag = small_dag(seed);
+  request.variant = AlgoVariant("rltf");
+  request.model = FaultModel::count(eps);
+  return request;
+}
+
+TEST(PlacementDaemon, ColdAdmissionThenAllocationFreeHit) {
+  PlacementDaemon daemon(small_platform(), DaemonConfig{});
+  const PlacementResponse cold = daemon.admit(request_for(11));
+  ASSERT_TRUE(cold.ok) << cold.error;
+  EXPECT_FALSE(cold.cache_hit);
+  ASSERT_NE(cold.placement, nullptr);
+  EXPECT_GT(cold.placement->period_factor, 0.0);
+
+  const PlacementResponse hit = daemon.admit(request_for(11));
+  ASSERT_TRUE(hit.ok);
+  EXPECT_TRUE(hit.cache_hit);
+  // The SAME placement object is served, not a copy.
+  EXPECT_EQ(hit.placement.get(), cold.placement.get());
+
+  // A different model is a different key.
+  const PlacementResponse other = daemon.admit(request_for(11, 2));
+  ASSERT_TRUE(other.ok) << other.error;
+  EXPECT_FALSE(other.cache_hit);
+
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.admissions, 3u);
+  EXPECT_EQ(stats.cold_schedules, 2u);
+  EXPECT_EQ(daemon.cache_stats().hits, 1u);
+}
+
+TEST(PlacementDaemon, AdmittedPlacementHoldsTheModelGuarantee) {
+  PlacementDaemon daemon(small_platform(), DaemonConfig{});
+  const PlacementResponse resp = daemon.admit(request_for(13));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  // Scheduled with repair: the count-model guarantee must hold exhaustively.
+  EXPECT_TRUE(check_fault_tolerance(resp.placement->schedule, 1).valid);
+  // The cached oracle agrees with a fresh compile on the empty failure set.
+  ProcSet none(daemon.platform().num_procs());
+  std::vector<std::uint64_t> scratch;
+  EXPECT_TRUE(resp.placement->oracle.survives(none, scratch));
+}
+
+// True when failing {a, b} kills every replica of some task of `s` — such
+// a set is beyond repair (no supply channel resurrects a dead replica);
+// any other set is always repairable (every task keeps an alive replica to
+// wire a channel into).
+bool kills_a_task(const Schedule& s, ProcId a, ProcId b) {
+  for (TaskId t = 0; t < s.dag().num_tasks(); ++t) {
+    bool all_failed = true;
+    for (CopyId c = 0; c < s.copies(); ++c) {
+      const ProcId p = s.placed(ReplicaRef{t, c}).proc;
+      if (p != a && p != b) {
+        all_failed = false;
+        break;
+      }
+    }
+    if (all_failed) return true;
+  }
+  return false;
+}
+
+TEST(PlacementDaemon, FailureEventBumpsEpochAndRepairsInPlace) {
+  EventBus bus;
+  DaemonConfig config;
+  config.verify_repairs = true;
+  PlacementDaemon daemon(small_platform(), config, &bus);
+
+  std::vector<PlacementResponse> admitted;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    admitted.push_back(daemon.admit(request_for(seed)));
+    ASSERT_TRUE(admitted.back().ok) << admitted.back().error;
+  }
+  EXPECT_EQ(daemon.cache_size(), 3u);
+  EXPECT_EQ(daemon.epoch(), 0u);
+
+  // Pick a two-processor failure set that leaves every task of every
+  // cached schedule an alive replica (always repairable), preferring one
+  // some placement does NOT yet survive so the incremental repair runs
+  // (ε = 1 only guarantees single failures).
+  const std::size_t m = daemon.platform().num_procs();
+  ProcId fa = 0;
+  ProcId fb = 1;
+  bool found_safe = false;
+  bool found_breaking = false;
+  for (ProcId a = 0; a < m && !found_breaking; ++a) {
+    for (ProcId b = a + 1; b < m && !found_breaking; ++b) {
+      bool safe = true;
+      bool breaking = false;
+      for (const PlacementResponse& resp : admitted) {
+        if (kills_a_task(resp.placement->schedule, a, b)) {
+          safe = false;
+          break;
+        }
+        ProcSet pair(m);
+        pair.assign(std::vector<ProcId>{a, b});
+        std::vector<std::uint64_t> scratch;
+        if (!resp.placement->oracle.survives(pair, scratch)) breaking = true;
+      }
+      if (!safe) continue;
+      if (!found_safe || breaking) {
+        fa = a;
+        fb = b;
+        found_safe = true;
+        found_breaking = breaking;
+      }
+    }
+  }
+  ASSERT_TRUE(found_safe) << "no repairable two-failure set exists for these schedules";
+
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, fa});
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, fb});
+  EXPECT_EQ(daemon.epoch(), 2u);
+  EXPECT_EQ(daemon.failed_procs(), 2u);
+  // The failure set was chosen repairable, so nothing may be dropped.
+  EXPECT_EQ(daemon.cache_size(), 3u);
+
+  // Every cached placement survives the live failure set — on a FRESH
+  // oracle, not the patched one (independent feasibility check).
+  ProcSet failed(m);
+  failed.assign(std::vector<ProcId>{fa, fb});
+  std::size_t still_cached = 0;
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    const PlacementResponse resp = daemon.admit(request_for(seed));
+    ASSERT_TRUE(resp.ok) << resp.error;
+    if (resp.cache_hit) ++still_cached;
+    SurvivalOracle fresh(resp.placement->schedule);
+    EXPECT_TRUE(fresh.survives(failed));
+    // Event repair only ever ADDS channels: the original ε-guarantee is
+    // monotone in the channel set and must still hold.
+    EXPECT_TRUE(check_fault_tolerance(resp.placement->schedule, 1).valid);
+  }
+  EXPECT_EQ(still_cached, 3u);
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.events, 2u);
+  EXPECT_EQ(stats.repair_failures, 0u);
+  EXPECT_EQ(stats.verify_failures, 0u);
+  // Every successful event repair was re-verified.
+  EXPECT_EQ(stats.event_repairs, stats.verifications);
+  if (found_breaking) {
+    EXPECT_GT(stats.event_repairs, 0u);
+  }
+}
+
+TEST(PlacementDaemon, IncrementalRepairMatchesFreshRescheduleFeasibility) {
+  // Daemon A: admit first, then fail processors (incremental repair).
+  // Daemon B: fail the same processors first, then admit cold (fresh
+  // reschedule reconciled with the failure set). Both must produce a
+  // placement that survives the live failure set and keeps the model
+  // guarantee — the repair-parity contract of the event path.
+  EventBus bus_a;
+  EventBus bus_b;
+  PlacementDaemon warm(small_platform(), DaemonConfig{}, &bus_a);
+  PlacementDaemon cold(small_platform(), DaemonConfig{}, &bus_b);
+
+  const PlacementResponse before = warm.admit(request_for(31));
+  ASSERT_TRUE(before.ok) << before.error;
+
+  const ClusterEvent f1{ClusterEvent::Kind::kFailure, 1};
+  const ClusterEvent f2{ClusterEvent::Kind::kFailure, 4};
+  bus_a.publish(f1);
+  bus_a.publish(f2);
+  bus_b.publish(f1);
+  bus_b.publish(f2);
+
+  const PlacementResponse warm_resp = warm.admit(request_for(31));
+  const PlacementResponse cold_resp = cold.admit(request_for(31));
+
+  ProcSet failed(warm.platform().num_procs());
+  failed.assign(std::vector<ProcId>{1, 4});
+  for (const PlacementResponse* resp : {&warm_resp, &cold_resp}) {
+    if (!resp->ok) continue;  // both paths may legitimately fail identically
+    SurvivalOracle fresh(resp->placement->schedule);
+    EXPECT_TRUE(fresh.survives(failed));
+    EXPECT_TRUE(check_fault_tolerance(resp->placement->schedule, 1).valid);
+  }
+  // The two paths agree on feasibility of the request itself.
+  EXPECT_EQ(warm_resp.ok, cold_resp.ok);
+}
+
+TEST(PlacementDaemon, RecoveryRekeysCopyFree) {
+  EventBus bus;
+  PlacementDaemon daemon(small_platform(), DaemonConfig{}, &bus);
+  const PlacementResponse resp = daemon.admit(request_for(41));
+  ASSERT_TRUE(resp.ok) << resp.error;
+
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, 3});
+  const PlacementResponse after_fail = daemon.admit(request_for(41));
+  ASSERT_TRUE(after_fail.ok) << after_fail.error;
+
+  bus.publish(ClusterEvent{ClusterEvent::Kind::kRecovery, 3});
+  EXPECT_EQ(daemon.epoch(), 2u);
+  EXPECT_EQ(daemon.failed_procs(), 0u);
+  const PlacementResponse after_recovery = daemon.admit(request_for(41));
+  ASSERT_TRUE(after_recovery.ok);
+  EXPECT_TRUE(after_recovery.cache_hit);
+  // Recovery re-keys without copying: the post-failure placement object
+  // survives verbatim.
+  EXPECT_EQ(after_recovery.placement.get(), after_fail.placement.get());
+}
+
+TEST(PlacementDaemon, SubmitServesFromThePoolAndDrainsOnShutdown) {
+  std::vector<std::future<PlacementResponse>> futures;
+  PlacementResponse direct;
+  {
+    PlacementDaemon daemon(small_platform(), DaemonConfig{});
+    for (std::uint64_t seed : {51u, 52u, 51u, 52u, 51u}) {
+      futures.push_back(daemon.submit(request_for(seed)));
+    }
+    direct = daemon.admit(request_for(51));
+    // Destructor must block until every queued submit completed.
+  }
+  std::size_t ok = 0;
+  for (auto& f : futures) {
+    const PlacementResponse resp = f.get();
+    EXPECT_TRUE(resp.ok) << resp.error;
+    ok += resp.ok ? 1 : 0;
+  }
+  EXPECT_EQ(ok, futures.size());
+  EXPECT_TRUE(direct.ok);
+}
+
+TEST(PlacementDaemon, BeyondRepairDropsInsteadOfServingStale) {
+  // Fail every processor but one: no ε = 1 schedule of a multi-task chain
+  // can survive, so the cache must drop the placement and subsequent
+  // admission must fail loudly rather than serve a dead schedule.
+  EventBus bus;
+  PlacementDaemon daemon(small_platform(5, 4), DaemonConfig{}, &bus);
+  const PlacementResponse resp = daemon.admit(request_for(61));
+  ASSERT_TRUE(resp.ok) << resp.error;
+
+  for (ProcId p : {0u, 1u, 2u}) {
+    bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, p});
+  }
+  EXPECT_EQ(daemon.cache_size(), 0u);
+  const PlacementResponse after = daemon.admit(request_for(61));
+  EXPECT_FALSE(after.ok);
+  EXPECT_FALSE(after.error.empty());
+}
+
+}  // namespace
+}  // namespace streamsched

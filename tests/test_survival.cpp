@@ -11,6 +11,7 @@
 // re-verification.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <limits>
 #include <vector>
 
@@ -22,6 +23,7 @@
 #include "schedule/survival.hpp"
 #include "sim/engine.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace streamsched {
 namespace {
@@ -538,6 +540,50 @@ TEST(Survival, SimulationPrecheckMatchesFullSimulation) {
   // untested.
   EXPECT_TRUE(saw_killed);
   EXPECT_TRUE(saw_survived);
+}
+
+TEST(Survival, SharedGlobalPoolPinsBitIdenticalEstimates) {
+  // Every parallel consumer (exact enumeration, MC estimation, the sweep,
+  // the placement daemon) now shares ONE lazily-built process pool instead
+  // of spinning a transient pool per call.
+  ThreadPool& pool = global_thread_pool();
+  EXPECT_EQ(&pool, &global_thread_pool());
+  EXPECT_GT(pool.size(), 0u);
+
+  // A parallel_for issued from inside another parallel_for body must run
+  // inline (re-entering the shared queue could deadlock with every worker
+  // blocked on its peers) and still cover every index exactly once.
+  std::atomic<int> covered{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    global_thread_pool().parallel_for(8, [&](std::size_t) { ++covered; });
+  });
+  EXPECT_EQ(covered.load(), 32);
+
+  // Routing the exact and Monte-Carlo fan-outs through the shared pool
+  // must keep estimates bit-identical to the serial kernels (fixed result
+  // slots, ordered reductions — same guarantee the per-call pools gave).
+  Dag dag;
+  Platform platform;
+  const Schedule schedule = random_schedule(29, 12, 22, 2, dag, platform);
+  ReliabilityOptions serial;
+  const ReliabilityEstimate exact_ref = schedule_reliability(schedule, serial);
+  ReliabilityOptions exact_par;
+  exact_par.exact_threads = 0;  // hardware concurrency via the shared pool
+  const ReliabilityEstimate exact_est = schedule_reliability(schedule, exact_par);
+  EXPECT_EQ(exact_est.reliability, exact_ref.reliability);
+  EXPECT_EQ(exact_est.sets_checked, exact_ref.sets_checked);
+  EXPECT_EQ(exact_est.worst_failure, exact_ref.worst_failure);
+
+  ReliabilityOptions mc_serial;
+  mc_serial.max_sets = 0;
+  mc_serial.mc_samples = 2000;
+  const ReliabilityEstimate mc_ref = schedule_reliability(schedule, mc_serial);
+  ReliabilityOptions mc_par = mc_serial;
+  mc_par.mc_threads = 0;
+  const ReliabilityEstimate mc_est = schedule_reliability(schedule, mc_par);
+  EXPECT_EQ(mc_est.reliability, mc_ref.reliability);
+  EXPECT_EQ(mc_est.sets_checked, mc_ref.sets_checked);
+  EXPECT_EQ(mc_est.worst_failure, mc_ref.worst_failure);
 }
 
 }  // namespace
