@@ -5,10 +5,20 @@
 // bound (ε+1)·W / Σs, along with the scheduler invocations the bracketed
 // search spent. `--fault-model` switches the reliability constraint, e.g.
 // `--fault-model=prob:R=0.999 --fail-prob-hi=0.05`.
+//
+// Each frontier schedule (the one found at the minimal period) is also
+// pushed through the reliability estimator to pin the repair path's
+// killing-set diagnostics: the achieved reliability under the platform's
+// failure probabilities, and the most probable failure set that kills the
+// schedule (size + probability). Both tables are deterministic in the
+// seed regardless of --threads, so the golden sweep smoke byte-compares
+// them (cmake/sweep_golden_smoke.cmake).
 #include <iostream>
+#include <string>
 
 #include "bench_common.hpp"
 #include "core/streamsched.hpp"
+#include "schedule/fault_tolerance.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
 
@@ -32,6 +42,11 @@ int main(int argc, char** argv) {
   std::vector<std::vector<double>> ratios(algos.size(), std::vector<double>(graphs, -1.0));
   std::vector<std::vector<double>> stages(algos.size(), std::vector<double>(graphs, 0.0));
   std::vector<std::vector<double>> evals(algos.size(), std::vector<double>(graphs, 0.0));
+  std::vector<std::vector<double>> rels(algos.size(), std::vector<double>(graphs, -1.0));
+  std::vector<std::vector<double>> kill_sizes(algos.size(), std::vector<double>(graphs, 0.0));
+  std::vector<std::vector<double>> kill_probs(algos.size(), std::vector<double>(graphs, 0.0));
+  std::vector<std::vector<std::string>> kill_sets(algos.size(),
+                                                  std::vector<std::string>(graphs));
 
   Rng seeder(flags.seed);
   std::vector<std::uint64_t> seeds(graphs);
@@ -62,6 +77,18 @@ int main(int argc, char** argv) {
       if (!r.found) continue;
       ratios[a][j] = r.period / lb;
       stages[a][j] = num_stages(*r.schedule);
+      // Killing-set diagnostics of the frontier schedule: achieved
+      // reliability and the most probable failure set that kills it.
+      const ReliabilityEstimate est = schedule_reliability(*r.schedule);
+      rels[a][j] = est.reliability;
+      kill_sizes[a][j] = static_cast<double>(est.worst_failure.size());
+      kill_probs[a][j] = est.worst_failure_prob;
+      std::string set;
+      for (ProcId p : est.worst_failure) {
+        if (!set.empty()) set += '+';
+        set += std::to_string(p);
+      }
+      kill_sets[a][j] = set.empty() ? std::string("-") : set;
     }
   });
 
@@ -87,5 +114,28 @@ int main(int argc, char** argv) {
   }
   std::cout << t.to_ascii();
   bench::maybe_write_csv(flags, "min_period", t);
+
+  std::cout << "\n=== Killing-set diagnostics at the frontier (most probable "
+               "schedule-killing failure set) ===\n\n";
+  Table kt({"algorithm", "reliability (mean)", "kill-set size (mean)",
+            "kill-set prob (max)", "worst set"});
+  for (std::size_t a = 0; a < algos.size(); ++a) {
+    RunningStats rel, size;
+    double worst_prob = 0.0;
+    std::string worst_set = "-";
+    for (std::size_t j = 0; j < graphs; ++j) {
+      if (ratios[a][j] < 0) continue;
+      rel.add(rels[a][j]);
+      size.add(kill_sizes[a][j]);
+      if (kill_probs[a][j] > worst_prob) {
+        worst_prob = kill_probs[a][j];
+        worst_set = kill_sets[a][j];
+      }
+    }
+    kt.add_row({algos[a].label(), Table::fmt(rel.mean(), 6), Table::fmt(size.mean(), 2),
+                Table::fmt(worst_prob, 6), worst_set});
+  }
+  std::cout << kt.to_ascii();
+  bench::maybe_write_csv(flags, "min_period_killing", kt);
   return 0;
 }

@@ -13,7 +13,10 @@
 # Expected -D definitions: BENCH (bench_fig3_eps1 binary), GOLDEN_DIR
 # (tests/golden), WORK_DIR (scratch directory for the produced CSVs).
 # Optional: BENCH_FIG4 (bench_fig4_eps3 binary) adds the Figure 4 family
-# (ε = 3, c = 2 — the crash-latency regime) to the pinned set.
+# (ε = 3, c = 2 — the crash-latency regime) to the pinned set;
+# BENCH_MIN_PERIOD (bench_min_period binary) adds the minimal-period
+# frontier tables, including the repair path's killing-set diagnostics
+# (achieved reliability + most probable schedule-killing failure set).
 file(MAKE_DIRECTORY "${WORK_DIR}")
 
 function(compare_series work_prefix stem series)
@@ -74,5 +77,34 @@ if(BENCH_FIG4)
   endif()
   foreach(series ltf rltf)
     compare_series(smoke4_ fig4 "${series}")
+  endforeach()
+endif()
+
+# Minimal-period frontier + killing-set diagnostics: one pinned run with a
+# nonzero failure-probability range (the defaults are 0.0, which would make
+# every reliability 1.0 and every killing set empty). Both tables are
+# whole-table CSVs rather than per-series files, so they are compared by
+# name against their own goldens.
+if(BENCH_MIN_PERIOD)
+  execute_process(
+    COMMAND "${BENCH_MIN_PERIOD}" --graphs 4 --threads 2 --seed 42
+            --fail-prob-lo=0.02 --fail-prob-hi=0.08 --csv "${WORK_DIR}/smokemp_"
+    RESULT_VARIABLE run_result
+    OUTPUT_QUIET)
+  if(NOT run_result EQUAL 0)
+    message(FATAL_ERROR "bench_min_period exited with '${run_result}'")
+  endif()
+  foreach(table min_period min_period_killing)
+    execute_process(
+      COMMAND ${CMAKE_COMMAND} -E compare_files
+              "${WORK_DIR}/smokemp_${table}.csv"
+              "${GOLDEN_DIR}/${table}_smoke.csv"
+      RESULT_VARIABLE diff_result)
+    if(NOT diff_result EQUAL 0)
+      message(FATAL_ERROR
+              "min-period table '${table}' deviates from the pinned golden "
+              "numbers (${WORK_DIR}/smokemp_${table}.csv vs "
+              "${GOLDEN_DIR}/${table}_smoke.csv)")
+    endif()
   endforeach()
 endif()

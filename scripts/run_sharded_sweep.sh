@@ -1,0 +1,99 @@
+#!/usr/bin/env bash
+# Sharded sweep driver + equivalence check.
+#
+# Runs one figure bench N times with --shard i/N (each process measures a
+# disjoint slice of the instance grid and dumps raw records), merges the
+# shard records with bench_sweep_merge, and byte-compares every CSV the
+# merged rendering produced against an unsharded reference run of the same
+# bench — the "sharded == unsharded, bit for bit" contract of
+# src/exp/shard.hpp, checked end to end through real processes instead of
+# in-process tables (tests/test_shard.cpp covers the latter).
+#
+# Usage:
+#   scripts/run_sharded_sweep.sh --bench build/bench_fig3_eps1 \
+#       --merge build/bench_sweep_merge [--shards 3] [--stem fig3] \
+#       [--out sharded_sweep_out] [-- --graphs 3 --seed 42 ...]
+#
+# Everything after `--` is forwarded verbatim to every bench invocation
+# (sharded and unsharded alike). --stem must match the bench's internal
+# CSV stem (fig3 for bench_fig3_eps1, fig4 for bench_fig4_eps3). Exits
+# non-zero when any shard run, the merge, or any byte comparison fails.
+set -euo pipefail
+
+bench=""
+merge=""
+shards=3
+stem="fig3"
+out="sharded_sweep_out"
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bench) bench="$2"; shift 2 ;;
+    --merge) merge="$2"; shift 2 ;;
+    --shards) shards="$2"; shift 2 ;;
+    --stem) stem="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    --) shift; break ;;
+    *) echo "unknown flag: $1 (bench flags go after --)" >&2; exit 2 ;;
+  esac
+done
+extra=("$@")
+
+if [[ -z "$bench" || -z "$merge" ]]; then
+  echo "usage: $0 --bench BENCH --merge MERGE [--shards N] [--stem STEM] [--out DIR] [-- BENCH_FLAGS...]" >&2
+  exit 2
+fi
+if ! [[ "$shards" =~ ^[0-9]+$ ]] || [[ "$shards" -lt 1 ]]; then
+  echo "--shards must be a positive integer, got '$shards'" >&2
+  exit 2
+fi
+
+rm -rf "$out"
+mkdir -p "$out"
+
+echo "== reference: unsharded $bench"
+"$bench" "${extra[@]}" --csv "$out/ref_" > "$out/ref.log"
+
+inputs=""
+for ((i = 0; i < shards; ++i)); do
+  echo "== shard $i/$shards"
+  "$bench" "${extra[@]}" --shard "$i/$shards" --csv "$out/shard_" > "$out/shard_$i.log"
+  records="$out/shard_${stem}_records_${i}_of_${shards}.csv"
+  if [[ ! -f "$records" ]]; then
+    echo "FAIL: shard $i wrote no records file at $records" >&2
+    exit 1
+  fi
+  inputs="${inputs:+$inputs,}$records"
+done
+
+echo "== merge $shards shards"
+"$merge" --inputs="$inputs" --csv "$out/merged_" --stem "$stem" > "$out/merge.log"
+
+# Byte-compare every CSV of the reference run against the merged rendering.
+compared=0
+status=0
+for ref in "$out/ref_${stem}"_*.csv; do
+  name="${ref#"$out/ref_"}"
+  merged="$out/merged_$name"
+  if [[ ! -f "$merged" ]]; then
+    echo "FAIL: merge produced no $merged" >&2
+    status=1
+    continue
+  fi
+  if cmp -s "$ref" "$merged"; then
+    echo "ok: $name byte-identical"
+  else
+    echo "FAIL: $name differs between unsharded and merged runs" >&2
+    cmp "$ref" "$merged" >&2 || true
+    status=1
+  fi
+  compared=$((compared + 1))
+done
+if [[ "$compared" -eq 0 ]]; then
+  echo "FAIL: reference run produced no ${stem}_*.csv files to compare" >&2
+  status=1
+fi
+
+if [[ "$status" -eq 0 ]]; then
+  echo "PASS: $compared CSVs byte-identical across $shards shards"
+fi
+exit "$status"

@@ -1,6 +1,7 @@
 #include "core/fingerprint.hpp"
 
 #include "core/variant.hpp"
+#include "schedule/schedule.hpp"
 
 namespace streamsched {
 
@@ -34,6 +35,34 @@ std::uint64_t variant_fingerprint(const AlgoVariant& variant) {
 
 std::uint64_t fault_model_fingerprint(const FaultModel& model) {
   return Fnv64().str(model.to_string()).value();
+}
+
+std::uint64_t schedule_fingerprint(const Schedule& schedule) {
+  Fnv64 h;
+  h.u64(schedule.eps()).f64(schedule.period());
+  for (TaskId t = 0; t < schedule.dag().num_tasks(); ++t) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (!schedule.is_placed(r)) {
+        h.u64(0);
+        continue;
+      }
+      const PlacedReplica& p = schedule.placed(r);
+      h.u64(1).u64(p.proc).f64(p.start).f64(p.finish).u64(p.stage);
+    }
+  }
+  h.u64(schedule.comms().size());
+  for (const CommRecord& comm : schedule.comms()) {
+    h.u64(comm.edge)
+        .u64(comm.src.task)
+        .u64(comm.src.copy)
+        .u64(comm.dst.task)
+        .u64(comm.dst.copy)
+        .f64(comm.start)
+        .f64(comm.finish)
+        .u64(comm.repair ? 1 : 0);
+  }
+  return h.value();
 }
 
 }  // namespace streamsched

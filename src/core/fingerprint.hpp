@@ -69,4 +69,14 @@ class Fnv64 {
 /// Hash of the model's canonical spec (`count:eps=2` / `prob:R=0.999`).
 [[nodiscard]] std::uint64_t fault_model_fingerprint(const FaultModel& model);
 
+class Schedule;
+
+/// Content hash of a placement: ε, period, every placed replica's
+/// (proc, start, finish, stage) and every comm record in insertion order.
+/// Two schedules with identical placements and comms — e.g. one served
+/// cold and its warm-start twin restored from a cache snapshot — hash
+/// identically; this is the `fp=` field of wire responses, so clients can
+/// assert bit-identical serving across daemon restarts.
+[[nodiscard]] std::uint64_t schedule_fingerprint(const Schedule& schedule);
+
 }  // namespace streamsched

@@ -1,0 +1,77 @@
+#include "net/client.hpp"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <system_error>
+
+namespace streamsched::net {
+
+Client Client::connect_unix_path(const std::string& path) {
+  return Client(connect_unix(path));
+}
+
+Client Client::connect_tcp_host(const std::string& host, std::uint16_t port) {
+  return Client(connect_tcp(host, port));
+}
+
+Client Client::connect(const std::string& target) {
+  if (target.rfind("unix:", 0) == 0) return connect_unix_path(target.substr(5));
+  if (target.rfind("tcp:", 0) == 0) {
+    const std::string rest = target.substr(4);
+    const std::size_t colon = rest.rfind(':');
+    if (colon == std::string::npos) {
+      throw std::invalid_argument("tcp target needs 'tcp:<host>:<port>', got '" + target +
+                                  "'");
+    }
+    const int port = std::stoi(rest.substr(colon + 1));
+    if (port <= 0 || port > 65535) {
+      throw std::invalid_argument("tcp port out of range in '" + target + "'");
+    }
+    return connect_tcp_host(rest.substr(0, colon), static_cast<std::uint16_t>(port));
+  }
+  throw std::invalid_argument("target must be 'unix:<path>' or 'tcp:<host>:<port>', got '" +
+                              target + "'");
+}
+
+Response Client::roundtrip(const std::string& request_line) {
+  send_line(request_line);
+  return read_response();
+}
+
+void Client::send_line(const std::string& request_line) {
+  std::string out = request_line;
+  out += '\n';
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n = ::send(fd_.get(), out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+Response Client::read_response() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return parse_response(line);
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "recv");
+    }
+    if (n == 0) throw std::runtime_error("server closed the connection mid-response");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace streamsched::net

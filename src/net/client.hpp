@@ -1,0 +1,47 @@
+// Blocking client of the placement service wire protocol (net/wire.hpp):
+// one connection, line-in/line-out. `roundtrip` covers the common
+// request/response case; `send_line` + `read_response` expose pipelining
+// (responses to pipelined SUBMITs may be reordered by QoS-class
+// scheduling — match them by the echoed tag= field). The
+// `streamsched_client` CLI and bench_server are both built on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+
+namespace streamsched::net {
+
+class Client {
+ public:
+  [[nodiscard]] static Client connect_unix_path(const std::string& path);
+  [[nodiscard]] static Client connect_tcp_host(const std::string& host, std::uint16_t port);
+  /// `unix:<path>` or `tcp:<host>:<port>`.
+  [[nodiscard]] static Client connect(const std::string& target);
+
+  /// Sends one request line and blocks for one response line.
+  Response roundtrip(const std::string& request_line);
+
+  Response submit(const SubmitFrame& frame) { return roundtrip(format_submit(frame)); }
+  Response event(const EventFrame& frame) { return roundtrip(format_event(frame)); }
+  Response stats() { return roundtrip(format_stats()); }
+  Response shutdown() { return roundtrip(format_shutdown()); }
+
+  /// Pipelining: queue a request without waiting.
+  void send_line(const std::string& request_line);
+  /// Blocks for the next response line. Throws std::runtime_error when the
+  /// server closes the connection mid-read.
+  Response read_response();
+
+  [[nodiscard]] int fd() const { return fd_.get(); }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  std::string buffer_;  ///< bytes received past the last parsed line
+};
+
+}  // namespace streamsched::net

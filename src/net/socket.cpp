@@ -1,0 +1,114 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace streamsched::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+sockaddr_un unix_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path empty or too long: '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument("not an IPv4 address: '" + host +
+                                "' (the front end resolves no hostnames)");
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Fd::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Fd listen_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // stale socket file from a previous run
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd.get(), 128) != 0) throw_errno("listen(" + path + ")");
+  return fd;
+}
+
+Fd listen_tcp(const std::string& host, std::uint16_t port, std::uint16_t* bound_port) {
+  sockaddr_in addr = tcp_address(host, port);
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) != 0) {
+    throw_errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("bind(" + host + ":" + std::to_string(port) + ")");
+  }
+  if (::listen(fd.get(), 128) != 0) throw_errno("listen(tcp)");
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+      throw_errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return fd;
+}
+
+Fd connect_unix(const std::string& path) {
+  const sockaddr_un addr = unix_address(path);
+  Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + path + ")");
+  }
+  return fd;
+}
+
+Fd connect_tcp(const std::string& host, std::uint16_t port) {
+  const sockaddr_in addr = tcp_address(host, port);
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
+  }
+  return fd;
+}
+
+void set_nonblocking(int fd, bool nonblocking) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (::fcntl(fd, F_SETFL, next) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+}  // namespace streamsched::net

@@ -1,0 +1,59 @@
+// Thin POSIX socket wrappers for the placement service front end: an fd
+// RAII handle plus unix-domain and TCP listen/connect helpers. Everything
+// throws std::system_error with the failing call's errno — callers (the
+// server loop, the client library) translate or die loudly; nothing here
+// retries silently. Linux-only (the CI and bench environments), like the
+// poll(2) loop in service/server.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+namespace streamsched::net {
+
+/// Move-only owning file descriptor.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { close(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() { return std::exchange(fd_, -1); }
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix-domain socket, unlinking any stale socket
+/// file at `path` first. The path must fit sockaddr_un (~107 bytes).
+[[nodiscard]] Fd listen_unix(const std::string& path);
+
+/// Binds and listens on TCP `host:port`. Port 0 picks an ephemeral port;
+/// the port actually bound is written to `bound_port` when non-null.
+/// SO_REUSEADDR is set so restarts don't trip over TIME_WAIT.
+[[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
+                            std::uint16_t* bound_port = nullptr);
+
+[[nodiscard]] Fd connect_unix(const std::string& path);
+[[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
+
+/// O_NONBLOCK on/off.
+void set_nonblocking(int fd, bool nonblocking);
+
+}  // namespace streamsched::net

@@ -1,0 +1,450 @@
+#include "net/wire.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace streamsched::net {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& message) {
+  throw WireError(WireCode::kBadRequest, message);
+}
+
+/// Splits on a single character; keeps empty items (the caller decides).
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& what) {
+  if (token.empty()) bad("empty " + what);
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size() || token[0] == '-') {
+    bad("malformed " + what + " '" + token + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_double(const std::string& token, const std::string& what) {
+  if (token.empty()) bad("empty " + what);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) bad("malformed " + what + " '" + token + "'");
+  return v;
+}
+
+}  // namespace
+
+std::string wire_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+double parse_wire_double(const std::string& token) { return parse_double(token, "number"); }
+
+const char* wire_code_name(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "OK";
+    case WireCode::kBadRequest: return "BAD_REQUEST";
+    case WireCode::kBusy: return "BUSY";
+    case WireCode::kInfeasible: return "INFEASIBLE";
+    case WireCode::kShuttingDown: return "SHUTTING_DOWN";
+    case WireCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+WireCode parse_wire_code(const std::string& name) {
+  for (WireCode code : {WireCode::kOk, WireCode::kBadRequest, WireCode::kBusy,
+                        WireCode::kInfeasible, WireCode::kShuttingDown, WireCode::kInternal}) {
+    if (name == wire_code_name(code)) return code;
+  }
+  bad("unknown wire code '" + name + "'");
+}
+
+// ----------------------------------------------------------------- DagWire --
+
+std::string format_dag_wire(const Dag& dag) {
+  std::string out = "n" + std::to_string(dag.num_tasks()) + ";w";
+  for (TaskId t = 0; t < dag.num_tasks(); ++t) {
+    if (t > 0) out += ',';
+    out += wire_double(dag.work(t));
+  }
+  out += ";e";
+  for (EdgeId e = 0; e < dag.num_edges(); ++e) {
+    const Dag::Edge& edge = dag.edge(e);
+    if (e > 0) out += ',';
+    out += std::to_string(edge.src) + "-" + std::to_string(edge.dst) + ":" +
+           wire_double(edge.volume);
+  }
+  return out;
+}
+
+Dag parse_dag_wire(const std::string& wire) {
+  const std::vector<std::string> sections = split(wire, ';');
+  if (sections.size() != 3 || sections[0].empty() || sections[0][0] != 'n' ||
+      sections[1].empty() || sections[1][0] != 'w' || sections[2].empty() ||
+      sections[2][0] != 'e') {
+    bad("DagWire needs 'n<tasks>;w...;e...' sections, got '" + wire + "'");
+  }
+  const std::uint64_t tasks = parse_u64(sections[0].substr(1), "DagWire task count");
+  Dag dag;
+  const std::string works = sections[1].substr(1);
+  std::uint64_t listed = 0;
+  if (!works.empty()) {
+    for (const std::string& w : split(works, ',')) {
+      dag.add_task(parse_double(w, "DagWire work"));
+      ++listed;
+    }
+  }
+  if (listed != tasks) {
+    bad("DagWire lists " + std::to_string(listed) + " works for n" + std::to_string(tasks));
+  }
+  const std::string edges = sections[2].substr(1);
+  if (!edges.empty()) {
+    for (const std::string& item : split(edges, ',')) {
+      const std::size_t dash = item.find('-');
+      const std::size_t colon = item.find(':', dash == std::string::npos ? 0 : dash + 1);
+      if (dash == std::string::npos || colon == std::string::npos) {
+        bad("DagWire edge needs '<src>-<dst>:<volume>', got '" + item + "'");
+      }
+      const std::uint64_t src = parse_u64(item.substr(0, dash), "DagWire edge src");
+      const std::uint64_t dst = parse_u64(item.substr(dash + 1, colon - dash - 1),
+                                          "DagWire edge dst");
+      if (src >= tasks || dst >= tasks) bad("DagWire edge endpoint out of range: " + item);
+      const double volume = parse_double(item.substr(colon + 1), "DagWire edge volume");
+      try {
+        dag.add_edge(static_cast<TaskId>(src), static_cast<TaskId>(dst), volume);
+      } catch (const std::exception& e) {
+        bad(std::string("DagWire edge rejected: ") + e.what());
+      }
+    }
+  }
+  return dag;
+}
+
+// ------------------------------------------------------------ ScheduleWire --
+
+std::string format_schedule_wire(const Schedule& schedule) {
+  std::string out = "eps" + std::to_string(schedule.eps()) + ";p" +
+                    wire_double(schedule.period()) + ";r";
+  bool first = true;
+  for (TaskId t = 0; t < schedule.dag().num_tasks(); ++t) {
+    for (CopyId c = 0; c < schedule.copies(); ++c) {
+      const ReplicaRef r{t, c};
+      if (!schedule.is_placed(r)) continue;
+      const PlacedReplica& p = schedule.placed(r);
+      if (!first) out += ',';
+      first = false;
+      out += std::to_string(t) + ":" + std::to_string(c) + ":" + std::to_string(p.proc) +
+             ":" + wire_double(p.start) + ":" + wire_double(p.finish) + ":" +
+             std::to_string(p.stage);
+    }
+  }
+  out += ";c";
+  for (std::size_t i = 0; i < schedule.comms().size(); ++i) {
+    const CommRecord& comm = schedule.comms()[i];
+    if (i > 0) out += ',';
+    out += std::to_string(comm.edge) + ":" + std::to_string(comm.src.task) + ":" +
+           std::to_string(comm.src.copy) + ":" + std::to_string(comm.dst.task) + ":" +
+           std::to_string(comm.dst.copy) + ":" + wire_double(comm.start) + ":" +
+           wire_double(comm.finish) + ":" + (comm.repair ? "1" : "0");
+  }
+  return out;
+}
+
+Schedule parse_schedule_wire(const std::string& wire, const Dag& dag,
+                             const Platform& platform) {
+  const std::vector<std::string> sections = split(wire, ';');
+  if (sections.size() != 4 || sections[0].rfind("eps", 0) != 0 || sections[1].empty() ||
+      sections[1][0] != 'p' || sections[2].empty() || sections[2][0] != 'r' ||
+      sections[3].empty() || sections[3][0] != 'c') {
+    bad("ScheduleWire needs 'eps<e>;p<period>;r...;c...' sections");
+  }
+  const std::uint64_t eps = parse_u64(sections[0].substr(3), "ScheduleWire eps");
+  const double period = parse_double(sections[1].substr(1), "ScheduleWire period");
+  Schedule schedule(dag, platform, static_cast<CopyId>(eps), period);
+  const std::string replicas = sections[2].substr(1);
+  if (!replicas.empty()) {
+    for (const std::string& item : split(replicas, ',')) {
+      const std::vector<std::string> f = split(item, ':');
+      if (f.size() != 6) bad("ScheduleWire replica needs 6 fields, got '" + item + "'");
+      const std::uint64_t task = parse_u64(f[0], "replica task");
+      const std::uint64_t copy = parse_u64(f[1], "replica copy");
+      const std::uint64_t proc = parse_u64(f[2], "replica proc");
+      if (task >= dag.num_tasks() || copy > eps || proc >= platform.num_procs()) {
+        bad("ScheduleWire replica out of range: '" + item + "'");
+      }
+      schedule.place(ReplicaRef{static_cast<TaskId>(task), static_cast<CopyId>(copy)},
+                     static_cast<ProcId>(proc), parse_double(f[3], "replica start"),
+                     parse_double(f[4], "replica finish"),
+                     static_cast<std::uint32_t>(parse_u64(f[5], "replica stage")));
+    }
+  }
+  const std::string comms = sections[3].substr(1);
+  if (!comms.empty()) {
+    for (const std::string& item : split(comms, ',')) {
+      const std::vector<std::string> f = split(item, ':');
+      if (f.size() != 8) bad("ScheduleWire comm needs 8 fields, got '" + item + "'");
+      CommRecord comm;
+      const std::uint64_t edge = parse_u64(f[0], "comm edge");
+      if (edge >= dag.num_edges()) bad("ScheduleWire comm edge out of range: '" + item + "'");
+      comm.edge = static_cast<EdgeId>(edge);
+      comm.src = ReplicaRef{static_cast<TaskId>(parse_u64(f[1], "comm src task")),
+                            static_cast<CopyId>(parse_u64(f[2], "comm src copy"))};
+      comm.dst = ReplicaRef{static_cast<TaskId>(parse_u64(f[3], "comm dst task")),
+                            static_cast<CopyId>(parse_u64(f[4], "comm dst copy"))};
+      comm.start = parse_double(f[5], "comm start");
+      comm.finish = parse_double(f[6], "comm finish");
+      if (f[7] != "0" && f[7] != "1") bad("ScheduleWire comm repair flag must be 0/1");
+      comm.repair = f[7] == "1";
+      try {
+        schedule.add_comm(comm);
+      } catch (const std::exception& e) {
+        bad(std::string("ScheduleWire comm rejected: ") + e.what());
+      }
+    }
+  }
+  return schedule;
+}
+
+// ------------------------------------------------------------- QoS classes --
+
+const char* qos_class_name(QosClass qos) {
+  return qos == QosClass::kInteractive ? "interactive" : "batch";
+}
+
+QosClass parse_qos_class(const std::string& name) {
+  if (name == "interactive") return QosClass::kInteractive;
+  if (name == "batch") return QosClass::kBatch;
+  bad("unknown QoS class '" + name + "' (expected interactive|batch)");
+}
+
+// ---------------------------------------------------------------- requests --
+
+namespace {
+
+/// key=value tokens after the verb; keys must be unique and known.
+std::vector<std::pair<std::string, std::string>> parse_fields(
+    const std::vector<std::string>& tokens, std::size_t first) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    if (tokens[i].empty()) continue;  // tolerate doubled spaces
+    const std::size_t eq = tokens[i].find('=');
+    if (eq == std::string::npos || eq == 0) bad("expected key=value, got '" + tokens[i] + "'");
+    fields.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+  }
+  return fields;
+}
+
+}  // namespace
+
+Request parse_request(const std::string& line) {
+  const std::vector<std::string> tokens = split(line, ' ');
+  if (tokens.empty() || tokens[0].empty()) bad("empty request");
+  Request request;
+  const std::string& verb = tokens[0];
+  if (verb == "STATS" || verb == "SHUTDOWN") {
+    if (tokens.size() > 1) bad(verb + " takes no fields");
+    request.verb = verb == "STATS" ? Verb::kStats : Verb::kShutdown;
+    return request;
+  }
+  const auto fields = parse_fields(tokens, 1);
+  if (verb == "SUBMIT") {
+    request.verb = Verb::kSubmit;
+    SubmitFrame& f = request.submit;
+    bool have_dag = false;
+    for (const auto& [key, value] : fields) {
+      if (key == "qos") {
+        f.qos = parse_qos_class(value);
+      } else if (key == "tag") {
+        f.tag = value;
+      } else if (key == "algo") {
+        try {
+          (void)AlgoVariant::parse(value);  // validate against the registry
+        } catch (const std::exception& e) {
+          bad(std::string("bad algo: ") + e.what());
+        }
+        f.variant_spec = value;
+      } else if (key == "model") {
+        try {
+          f.model = FaultModel::parse(value);
+        } catch (const std::exception& e) {
+          bad(std::string("bad model: ") + e.what());
+        }
+      } else if (key == "period") {
+        f.period = parse_double(value, "period");
+      } else if (key == "headroom") {
+        f.headroom = parse_double(value, "headroom");
+      } else if (key == "comm_share") {
+        f.comm_share = parse_double(value, "comm_share");
+      } else if (key == "dag") {
+        f.dag = parse_dag_wire(value);
+        have_dag = true;
+      } else {
+        bad("unknown SUBMIT field '" + key + "'");
+      }
+    }
+    if (!have_dag) bad("SUBMIT needs a dag= field");
+    return request;
+  }
+  if (verb == "EVENT") {
+    request.verb = Verb::kEvent;
+    EventFrame& f = request.event;
+    bool have_kind = false;
+    bool have_proc = false;
+    for (const auto& [key, value] : fields) {
+      if (key == "kind") {
+        if (value == "fail") {
+          f.failure = true;
+        } else if (value == "recover") {
+          f.failure = false;
+        } else {
+          bad("EVENT kind must be fail|recover, got '" + value + "'");
+        }
+        have_kind = true;
+      } else if (key == "proc") {
+        f.proc = static_cast<ProcId>(parse_u64(value, "EVENT proc"));
+        have_proc = true;
+      } else if (key == "tag") {
+        f.tag = value;
+      } else {
+        bad("unknown EVENT field '" + key + "'");
+      }
+    }
+    if (!have_kind || !have_proc) bad("EVENT needs kind= and proc=");
+    return request;
+  }
+  bad("unknown verb '" + verb + "'");
+}
+
+std::string format_submit(const SubmitFrame& frame) {
+  std::string out = "SUBMIT";
+  if (!frame.tag.empty()) out += " tag=" + frame.tag;
+  out += std::string(" qos=") + qos_class_name(frame.qos);
+  out += " algo=" + frame.variant_spec;
+  out += " model=" + frame.model.to_string();
+  if (frame.period > 0.0) out += " period=" + wire_double(frame.period);
+  if (frame.headroom != SubmitFrame{}.headroom) {
+    out += " headroom=" + wire_double(frame.headroom);
+  }
+  if (frame.comm_share != SubmitFrame{}.comm_share) {
+    out += " comm_share=" + wire_double(frame.comm_share);
+  }
+  out += " dag=" + format_dag_wire(frame.dag);
+  return out;
+}
+
+std::string format_event(const EventFrame& frame) {
+  std::string out = "EVENT";
+  if (!frame.tag.empty()) out += " tag=" + frame.tag;
+  out += std::string(" kind=") + (frame.failure ? "fail" : "recover");
+  out += " proc=" + std::to_string(frame.proc);
+  return out;
+}
+
+std::string format_stats() { return "STATS"; }
+
+std::string format_shutdown() { return "SHUTDOWN"; }
+
+// --------------------------------------------------------------- responses --
+
+const std::string& Response::field(const std::string& key) const {
+  static const std::string kEmpty;
+  for (const auto& [k, v] : fields) {
+    if (k == key) return v;
+  }
+  return kEmpty;
+}
+
+bool Response::has_field(const std::string& key) const {
+  for (const auto& [k, v] : fields) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+double Response::field_double(const std::string& key) const {
+  if (!has_field(key)) bad("response lacks field '" + key + "'");
+  return parse_double(field(key), "response field " + key);
+}
+
+std::uint64_t Response::field_u64(const std::string& key) const {
+  if (!has_field(key)) bad("response lacks field '" + key + "'");
+  return parse_u64(field(key), "response field " + key);
+}
+
+OkBuilder& OkBuilder::add(const std::string& key, const std::string& value) {
+  SS_REQUIRE(value.find(' ') == std::string::npos, "wire field values must be space-free");
+  line_ += " " + key + "=" + value;
+  return *this;
+}
+
+OkBuilder& OkBuilder::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+OkBuilder& OkBuilder::add(const std::string& key, double value) {
+  return add(key, wire_double(value));
+}
+
+OkBuilder& OkBuilder::add(const std::string& key, std::uint64_t value) {
+  return add(key, std::to_string(value));
+}
+
+std::string OkBuilder::str() const { return line_; }
+
+std::string format_error(WireCode code, const std::string& message, const std::string& tag) {
+  std::string out = std::string("ERR ") + wire_code_name(code);
+  if (!tag.empty()) out += " tag=" + tag;
+  if (!message.empty()) out += " " + message;
+  return out;
+}
+
+Response parse_response(const std::string& line) {
+  const std::vector<std::string> tokens = split(line, ' ');
+  if (tokens.empty() || tokens[0].empty()) bad("empty response");
+  Response resp;
+  if (tokens[0] == "OK") {
+    resp.ok = true;
+    resp.code = WireCode::kOk;
+    for (const auto& [key, value] : parse_fields(tokens, 1)) {
+      resp.fields.emplace_back(key, value);
+    }
+    return resp;
+  }
+  if (tokens[0] == "ERR") {
+    if (tokens.size() < 2) bad("ERR response lacks a code");
+    resp.ok = false;
+    resp.code = parse_wire_code(tokens[1]);
+    std::size_t first_message = 2;
+    if (tokens.size() > 2 && tokens[2].rfind("tag=", 0) == 0) {
+      resp.fields.emplace_back("tag", tokens[2].substr(4));
+      first_message = 3;
+    }
+    for (std::size_t i = first_message; i < tokens.size(); ++i) {
+      if (i > first_message) resp.message += ' ';
+      resp.message += tokens[i];
+    }
+    return resp;
+  }
+  bad("response must start with OK or ERR, got '" + tokens[0] + "'");
+}
+
+}  // namespace streamsched::net

@@ -1,0 +1,197 @@
+// Wire protocol of the placement service front end (docs/PROTOCOL.md).
+//
+// The protocol is line-delimited text: every frame is one '\n'-terminated
+// line of space-separated tokens — a verb followed by key=value fields.
+// Values never contain spaces (DAGs, variants and fault models all have
+// space-free canonical spellings), so framing needs no escaping and any
+// line tool can speak it. Request verbs:
+//
+//   SUBMIT qos=interactive algo=rltf[chunk=4] model=count:eps=1 dag=<wire>
+//   EVENT  kind=fail proc=3
+//   STATS
+//   SHUTDOWN
+//
+// Responses are `OK key=value ...` or `ERR <CODE> <message>`; see
+// WireCode for the error codes. A client-chosen `tag=` field on SUBMIT /
+// EVENT is echoed verbatim in the response, which is what lets clients
+// pipeline: SUBMIT responses may be reordered by QoS-class scheduling.
+//
+// DagWire is the space-free text serialization of a task graph
+// (`n2;w1,2;e0-1:2.5`): task count, per-task works, edge src-dst:volume
+// triples. Task names are not carried — no scheduler reads them and the
+// semantic fingerprint (core/fingerprint.hpp) excludes them, so a DAG
+// round-trips to an identically-fingerprinted graph. ScheduleWire extends
+// the same idea to placements (replica table + comm records) and
+// round-trips bit-identically, which is what makes the warm-start cache
+// snapshot (service/persistence.hpp) able to serve restored placements
+// indistinguishable from the originals. Doubles are formatted with 17
+// significant digits — exact double→text→double round-trip.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/variant.hpp"
+#include "graph/dag.hpp"
+#include "schedule/fault_model.hpp"
+#include "schedule/schedule.hpp"
+#include "util/types.hpp"
+
+namespace streamsched::net {
+
+// ------------------------------------------------------------------ basics --
+
+/// Formats with round-trip precision: parse_wire_double(wire_double(x))
+/// recovers x's exact bit pattern (finite values; inf/nan spell "inf",
+/// "-inf", "nan").
+[[nodiscard]] std::string wire_double(double value);
+
+/// Strict parse of a full token. Throws WireError (kBadRequest) on
+/// anything trailing or empty.
+[[nodiscard]] double parse_wire_double(const std::string& token);
+
+/// Error codes carried by `ERR` responses.
+enum class WireCode {
+  kOk,
+  kBadRequest,    ///< unparseable frame, unknown field, malformed value
+  kBusy,          ///< QoS class queue full — request shed, retry later
+  kInfeasible,    ///< admission ran and no feasible placement exists
+  kShuttingDown,  ///< server is draining; no new admissions
+  kInternal,      ///< unexpected server-side failure
+};
+
+[[nodiscard]] const char* wire_code_name(WireCode code);
+/// kOk for "OK"; throws WireError on an unknown name.
+[[nodiscard]] WireCode parse_wire_code(const std::string& name);
+
+/// Thrown by every parse_* function on malformed input; the server turns
+/// it into an `ERR <code> <what>` response.
+class WireError : public std::runtime_error {
+ public:
+  WireError(WireCode code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  [[nodiscard]] WireCode code() const { return code_; }
+
+ private:
+  WireCode code_;
+};
+
+// ----------------------------------------------------------------- DagWire --
+
+/// `n<tasks>;w<w0>,<w1>,...;e<src>-<dst>:<volume>,...` (edge list may be
+/// empty). Works and volumes carry full round-trip precision.
+[[nodiscard]] std::string format_dag_wire(const Dag& dag);
+
+/// Parses DagWire. Edges are re-added in serialized order, so edge ids —
+/// and therefore the DAG fingerprint — are preserved. Throws WireError.
+[[nodiscard]] Dag parse_dag_wire(const std::string& wire);
+
+// ------------------------------------------------------------ ScheduleWire --
+
+/// `eps<e>;p<period>;r<task>:<copy>:<proc>:<start>:<finish>:<stage>,...;
+/// c<edge>:<stask>:<scopy>:<dtask>:<dcopy>:<start>:<finish>:<repair>,...`
+/// Only placed replicas are listed; comm records keep their insertion
+/// order (comm indices round-trip).
+[[nodiscard]] std::string format_schedule_wire(const Schedule& schedule);
+
+/// Rebuilds the schedule against `dag`/`platform` (which must outlive it,
+/// as with every Schedule). Bit-identical round trip: every place() and
+/// add_comm() replays the serialized values exactly. Throws WireError.
+[[nodiscard]] Schedule parse_schedule_wire(const std::string& wire, const Dag& dag,
+                                           const Platform& platform);
+
+// ------------------------------------------------------------- QoS classes --
+
+/// Admission classes of the server's bounded in-flight queues: interactive
+/// requests ride a separate lane (own workers, own bound) so saturating
+/// the batch class sheds batch traffic while interactive admissions keep
+/// succeeding.
+enum class QosClass { kInteractive, kBatch };
+inline constexpr std::size_t kNumQosClasses = 2;
+
+[[nodiscard]] const char* qos_class_name(QosClass qos);
+[[nodiscard]] QosClass parse_qos_class(const std::string& name);  ///< throws WireError
+
+// ---------------------------------------------------------------- requests --
+
+enum class Verb { kSubmit, kEvent, kStats, kShutdown };
+
+struct SubmitFrame {
+  QosClass qos = QosClass::kInteractive;
+  std::string tag;  ///< echoed in the response; empty = none
+  std::string variant_spec = "rltf";
+  FaultModel model = FaultModel::count(1);
+  double period = 0.0;  ///< <= 0: calibrate from the workload
+  double headroom = 2.0;
+  double comm_share = 1.0;
+  Dag dag;
+};
+
+struct EventFrame {
+  bool failure = true;  ///< false = recovery
+  ProcId proc = 0;
+  std::string tag;
+};
+
+struct Request {
+  Verb verb = Verb::kStats;
+  SubmitFrame submit;  ///< kSubmit only
+  EventFrame event;    ///< kEvent only
+};
+
+/// Parses one request line (without the trailing '\n'). The variant spec
+/// is validated against the registry, the model against the fault-model
+/// grammar, the DAG against DagWire. Unknown verbs and fields throw
+/// WireError (kBadRequest) so client typos fail loudly.
+[[nodiscard]] Request parse_request(const std::string& line);
+
+/// Client-side formatters (no trailing '\n').
+[[nodiscard]] std::string format_submit(const SubmitFrame& frame);
+[[nodiscard]] std::string format_event(const EventFrame& frame);
+[[nodiscard]] std::string format_stats();
+[[nodiscard]] std::string format_shutdown();
+
+// --------------------------------------------------------------- responses --
+
+/// A parsed response line. `ok` responses carry ordered key=value fields;
+/// errors carry the code and the free-text message (which may contain
+/// spaces — it is the rest of the line).
+struct Response {
+  bool ok = false;
+  WireCode code = WireCode::kInternal;
+  std::string message;
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of `key`, or empty when absent.
+  [[nodiscard]] const std::string& field(const std::string& key) const;
+  [[nodiscard]] bool has_field(const std::string& key) const;
+  /// Parsed numeric accessors; throw WireError when absent/malformed.
+  [[nodiscard]] double field_double(const std::string& key) const;
+  [[nodiscard]] std::uint64_t field_u64(const std::string& key) const;
+};
+
+/// Builder for `OK` lines: ordered key=value fields, values must be
+/// space-free (asserted).
+class OkBuilder {
+ public:
+  OkBuilder& add(const std::string& key, const std::string& value);
+  OkBuilder& add(const std::string& key, const char* value);
+  OkBuilder& add(const std::string& key, double value);
+  OkBuilder& add(const std::string& key, std::uint64_t value);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::string line_ = "OK";
+};
+
+[[nodiscard]] std::string format_error(WireCode code, const std::string& message,
+                                       const std::string& tag = "");
+
+/// Parses one response line. Throws WireError (kBadRequest) on anything
+/// that is neither `OK ...` nor `ERR <CODE> ...`.
+[[nodiscard]] Response parse_response(const std::string& line);
+
+}  // namespace streamsched::net

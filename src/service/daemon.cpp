@@ -7,6 +7,7 @@
 #include "exp/workload.hpp"
 #include "schedule/survival.hpp"
 #include "util/assert.hpp"
+#include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
 namespace streamsched {
@@ -78,6 +79,15 @@ PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
   placement->variant = request.variant.name();
   placement->period_factor = factor;
   placement->repair = result.repair;
+  placement->reliability = result.repair.reliability;
+  if (request.model.is_probabilistic() && placement->reliability < 0.0) {
+    // Repair was not needed, so the model repair never estimated; compute
+    // the achieved reliability once here — responses report it forever.
+    placement->reliability = schedule_reliability(placement->schedule).reliability;
+  }
+  log_info() << "cold admission: variant=" << placement->variant
+             << " model=" << request.model.to_string() << " period=" << period
+             << " factor=" << factor << " repair_comms=" << result.repair.added_comms;
 
   // Reconcile with the live failure set, retrying when an event moves the
   // epoch between the repair and the publish.
@@ -125,6 +135,35 @@ std::future<PlacementResponse> PlacementDaemon::submit(PlacementRequest request)
   return future;
 }
 
+std::vector<std::shared_ptr<const CachedPlacement>> PlacementDaemon::snapshot_entries()
+    const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<const CachedPlacement>> entries;
+  for (auto& [key, placement] : cache_.entries_lru()) {
+    (void)key;
+    entries.push_back(std::move(placement));
+  }
+  return entries;
+}
+
+bool PlacementDaemon::restore(const std::shared_ptr<CachedPlacement>& placement) {
+  SS_REQUIRE(placement != nullptr, "cannot restore a null placement");
+  const CacheKey base{dag_fingerprint(*placement->dag),
+                      Fnv64().str(placement->variant).value(),
+                      fault_model_fingerprint(placement->model), 0};
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (failed_.count() > 0 && !placement->oracle.survives(failed_, survive_scratch_)) {
+    return false;
+  }
+  placement->epoch = epoch_;
+  placement->from_snapshot = true;
+  CacheKey key = base;
+  key.epoch = epoch_;
+  cache_.insert(key, placement);
+  ++stats_.restored;
+  return true;
+}
+
 void PlacementDaemon::on_event(const ClusterEvent& event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   SS_REQUIRE(event.proc < platform_->num_procs(), "event names an unknown processor");
@@ -141,6 +180,8 @@ void PlacementDaemon::on_event(const ClusterEvent& event) {
     return;
   }
   failed_.set(event.proc);
+  const std::uint64_t repairs_before = stats_.event_repairs;
+  const std::uint64_t drops_before = stats_.repair_failures;
   cache_.update_all(epoch_, [this](const std::shared_ptr<const CachedPlacement>& p)
                                 -> std::shared_ptr<const CachedPlacement> {
     if (p->oracle.survives(failed_, survive_scratch_)) return p;  // copy-free re-key
@@ -170,6 +211,10 @@ void PlacementDaemon::on_event(const ClusterEvent& event) {
     }
     return patched;
   });
+  log_info() << "failure event: proc=" << event.proc << " epoch=" << epoch_
+             << " repaired=" << (stats_.event_repairs - repairs_before)
+             << " dropped=" << (stats_.repair_failures - drops_before)
+             << " cached=" << cache_.size();
 }
 
 std::uint64_t PlacementDaemon::epoch() const {

@@ -69,6 +69,7 @@ struct DaemonStats {
   std::uint64_t repair_failures = 0;  ///< placements dropped as beyond repair
   std::uint64_t verifications = 0;    ///< fresh-oracle batch re-checks run
   std::uint64_t verify_failures = 0;  ///< re-checks that failed (must stay 0)
+  std::uint64_t restored = 0;         ///< warm-start entries restored into the cache
 };
 
 class PlacementDaemon {
@@ -96,7 +97,23 @@ class PlacementDaemon {
   /// set: whatever survived the larger set survives the smaller one).
   void on_event(const ClusterEvent& event);
 
+  /// Cached placements in LRU→MRU order, without touching recency or hit
+  /// stats — the warm-start snapshot walk (service/persistence.hpp saves
+  /// these on shutdown).
+  [[nodiscard]] std::vector<std::shared_ptr<const CachedPlacement>> snapshot_entries() const;
+
+  /// Re-publishes one restored placement (warm start): keys it from the
+  /// placement's own dag/variant/model under the current epoch and inserts
+  /// it at MRU. Returns false — without inserting — when the placement
+  /// does not survive the daemon's live failure set. The caller
+  /// (persistence load) is responsible for verification; the daemon only
+  /// re-checks liveness. Restored entries count in stats().restored and
+  /// serve as cache hits with `from_snapshot` provenance.
+  bool restore(const std::shared_ptr<CachedPlacement>& placement);
+
   [[nodiscard]] const Platform& platform() const { return *platform_; }
+  /// Shared ownership of the platform — restored placements reference it.
+  [[nodiscard]] std::shared_ptr<const Platform> platform_ptr() const { return platform_; }
   [[nodiscard]] std::uint64_t epoch() const;
   /// Number of processors currently failed.
   [[nodiscard]] std::size_t failed_procs() const;

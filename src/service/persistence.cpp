@@ -1,0 +1,281 @@
+#include "service/persistence.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "net/wire.hpp"
+#include "schedule/fault_tolerance.hpp"
+#include "schedule/survival.hpp"
+#include "service/daemon.hpp"
+#include "util/log.hpp"
+
+namespace streamsched {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+bool parse_hex16(const std::string& token, std::uint64_t& out) {
+  if (token.size() != 16) return false;
+  out = 0;
+  for (char ch : token) {
+    int digit;
+    if (ch >= '0' && ch <= '9') {
+      digit = ch - '0';
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = ch - 'a' + 10;
+    } else {
+      return false;
+    }
+    out = (out << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return true;
+}
+
+std::uint32_t parse_u32_field(const std::string& value, const std::string& key) {
+  std::size_t pos = 0;
+  unsigned long parsed = 0;
+  try {
+    parsed = std::stoul(value, &pos);
+  } catch (const std::exception&) {
+    throw SnapshotError("snapshot entry field " + key + " is not a number: " + value);
+  }
+  if (pos != value.size() || parsed > 0xffffffffUL) {
+    throw SnapshotError("snapshot entry field " + key + " is not a u32: " + value);
+  }
+  return static_cast<std::uint32_t>(parsed);
+}
+
+constexpr char kMagic[] = "#streamsched-cache v1";
+
+/// One parsed (not yet verified) snapshot entry.
+struct SnapshotEntry {
+  std::string variant;
+  FaultModel model = FaultModel::count(0);
+  double factor = 1.0;
+  double reliability = -1.0;
+  std::uint32_t repair_comms = 0;
+  std::uint32_t event_comms = 0;
+  std::string dag_wire;
+  std::string sched_wire;
+};
+
+SnapshotEntry parse_entry_line(const std::string& line) {
+  SnapshotEntry entry;
+  bool have_variant = false;
+  bool have_model = false;
+  std::istringstream tokens(line);
+  std::string token;
+  tokens >> token;  // consume "entry"
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos) {
+      throw SnapshotError("snapshot entry token without '=': " + token);
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    if (key == "variant") {
+      entry.variant = value;
+      have_variant = true;
+    } else if (key == "model") {
+      try {
+        entry.model = FaultModel::parse(value);
+      } catch (const std::exception& e) {
+        throw SnapshotError(std::string("snapshot entry model: ") + e.what());
+      }
+      have_model = true;
+    } else if (key == "factor") {
+      entry.factor = net::parse_wire_double(value);
+    } else if (key == "rel") {
+      entry.reliability = net::parse_wire_double(value);
+    } else if (key == "repair_comms") {
+      entry.repair_comms = parse_u32_field(value, key);
+    } else if (key == "event_comms") {
+      entry.event_comms = parse_u32_field(value, key);
+    } else {
+      throw SnapshotError("snapshot entry has unknown field: " + key);
+    }
+  }
+  if (!have_variant || !have_model) {
+    throw SnapshotError("snapshot entry missing variant= or model=");
+  }
+  return entry;
+}
+
+/// Rebuilds and re-verifies one entry against the daemon's platform.
+/// Returns nullptr (after logging) when verification fails.
+std::shared_ptr<CachedPlacement> verify_entry(const SnapshotEntry& entry,
+                                              const PlacementDaemon& daemon) {
+  auto dag = std::make_shared<const Dag>(net::parse_dag_wire(entry.dag_wire));
+  Schedule schedule = net::parse_schedule_wire(entry.sched_wire, *dag, daemon.platform());
+
+  // Re-check the entry's reliability claim from scratch — a fresh oracle
+  // compiled from the rebuilt schedule, driven through the batch kernel.
+  if (entry.model.is_count()) {
+    const FtCheckResult check = check_fault_tolerance(schedule, entry.model.eps());
+    if (!check.valid) {
+      log_warn() << "snapshot entry dropped: variant=" << entry.variant
+                 << " model=" << entry.model.to_string()
+                 << " fails the exhaustive eps-failure check";
+      return nullptr;
+    }
+  } else {
+    const ReliabilityEstimate estimate = schedule_reliability(schedule);
+    // The estimator is deterministic (fixed seed), so the recomputed value
+    // must reproduce the claim; the epsilon only absorbs reduction-order
+    // noise if the snapshot crossed toolchains.
+    if (estimate.reliability < entry.reliability - 1e-9) {
+      log_warn() << "snapshot entry dropped: variant=" << entry.variant
+                 << " model=" << entry.model.to_string() << " claims rel=" << entry.reliability
+                 << " but recomputes to " << estimate.reliability;
+      return nullptr;
+    }
+  }
+
+  auto placement = std::make_shared<CachedPlacement>(std::move(dag), daemon.platform_ptr(),
+                                                     std::move(schedule));
+  placement->model = entry.model;
+  placement->variant = entry.variant;
+  placement->period_factor = entry.factor;
+  placement->reliability = entry.reliability;
+  placement->repair.success = true;
+  placement->repair.added_comms = entry.repair_comms;
+  placement->repair.reliability = entry.reliability;
+  placement->event_repair_comms = entry.event_comms;
+  return placement;
+}
+
+}  // namespace
+
+SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::string& path) {
+  std::string body(kMagic);
+  body += '\n';
+  body += "platform " + hex16(platform_fingerprint(daemon.platform())) + '\n';
+
+  SnapshotSaveStats stats;
+  for (const auto& placement : daemon.snapshot_entries()) {
+    body += "entry variant=" + placement->variant + " model=" + placement->model.to_string() +
+            " factor=" + net::wire_double(placement->period_factor) +
+            " rel=" + net::wire_double(placement->reliability) +
+            " repair_comms=" + std::to_string(placement->repair.added_comms) +
+            " event_comms=" + std::to_string(placement->event_repair_comms) + '\n';
+    body += "dag " + net::format_dag_wire(*placement->dag) + '\n';
+    body += "sched " + net::format_schedule_wire(placement->schedule) + '\n';
+    ++stats.entries;
+  }
+  body += "checksum " + hex16(Fnv64().str(body).value()) + '\n';
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw SnapshotError("cannot open cache snapshot for writing: " + path);
+  out.write(body.data(), static_cast<std::streamsize>(body.size()));
+  out.flush();
+  if (!out) throw SnapshotError("cache snapshot write failed: " + path);
+  stats.bytes = body.size();
+  log_info() << "cache snapshot saved: " << path << " entries=" << stats.entries
+             << " bytes=" << stats.bytes;
+  return stats;
+}
+
+SnapshotLoadStats load_cache_snapshot(PlacementDaemon& daemon, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SnapshotError("cannot open cache snapshot: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string content = buffer.str();
+
+  // Split into lines, tracking the byte offset of each, so the checksum
+  // can be recomputed over exactly the bytes preceding its own line.
+  std::vector<std::pair<std::size_t, std::string>> lines;  // (offset, text)
+  std::size_t start = 0;
+  while (start < content.size()) {
+    std::size_t end = content.find('\n', start);
+    if (end == std::string::npos) {
+      throw SnapshotError("cache snapshot is truncated (missing final newline): " + path);
+    }
+    lines.emplace_back(start, content.substr(start, end - start));
+    start = end + 1;
+  }
+
+  if (lines.size() < 3 || lines[0].second != kMagic) {
+    throw SnapshotError("not a streamsched cache snapshot (bad header): " + path);
+  }
+
+  const auto& [checksum_offset, checksum_line] = lines.back();
+  std::uint64_t claimed = 0;
+  if (checksum_line.rfind("checksum ", 0) != 0 ||
+      !parse_hex16(checksum_line.substr(9), claimed)) {
+    throw SnapshotError("cache snapshot has no valid checksum line: " + path);
+  }
+  const std::uint64_t actual = Fnv64().str(content.substr(0, checksum_offset)).value();
+  if (actual != claimed) {
+    throw SnapshotError("cache snapshot checksum mismatch (corrupted or torn write): " + path);
+  }
+
+  std::uint64_t snapshot_platform = 0;
+  if (lines[1].second.rfind("platform ", 0) != 0 ||
+      !parse_hex16(lines[1].second.substr(9), snapshot_platform)) {
+    throw SnapshotError("cache snapshot has no valid platform line: " + path);
+  }
+  const std::uint64_t live_platform = platform_fingerprint(daemon.platform());
+  if (snapshot_platform != live_platform) {
+    throw SnapshotError("cache snapshot was taken against a different platform (snapshot " +
+                        hex16(snapshot_platform) + ", daemon " + hex16(live_platform) +
+                        "): " + path);
+  }
+
+  SnapshotLoadStats stats;
+  std::size_t i = 2;
+  const std::size_t last = lines.size() - 1;  // checksum line
+  while (i < last) {
+    if (lines[i].second.rfind("entry ", 0) != 0) {
+      throw SnapshotError("cache snapshot expected an entry line, got: " + lines[i].second);
+    }
+    if (i + 2 >= last || lines[i + 1].second.rfind("dag ", 0) != 0 ||
+        lines[i + 2].second.rfind("sched ", 0) != 0) {
+      throw SnapshotError("cache snapshot entry is missing its dag/sched lines");
+    }
+    SnapshotEntry entry = parse_entry_line(lines[i].second);
+    entry.dag_wire = lines[i + 1].second.substr(4);
+    entry.sched_wire = lines[i + 2].second.substr(6);
+    i += 3;
+    ++stats.entries;
+
+    std::shared_ptr<CachedPlacement> placement;
+    try {
+      placement = verify_entry(entry, daemon);
+    } catch (const net::WireError& e) {
+      // Framing is intact (checksum passed) but the payload doesn't parse:
+      // a format-version skew, not bit rot. Reject the file, not the entry.
+      throw SnapshotError(std::string("cache snapshot entry does not parse: ") + e.what());
+    }
+    if (placement == nullptr) {
+      ++stats.verify_failed;
+      continue;
+    }
+    if (daemon.restore(placement)) {
+      ++stats.restored;
+    } else {
+      ++stats.stale;
+      log_warn() << "snapshot entry dropped: variant=" << entry.variant
+                 << " model=" << entry.model.to_string()
+                 << " does not survive the daemon's live failure set";
+    }
+  }
+
+  log_info() << "cache snapshot loaded: " << path << " entries=" << stats.entries
+             << " restored=" << stats.restored << " verify_failed=" << stats.verify_failed
+             << " stale=" << stats.stale;
+  return stats;
+}
+
+}  // namespace streamsched

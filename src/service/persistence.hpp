@@ -1,0 +1,76 @@
+// Warm-start persistence of the placement daemon's schedule cache.
+//
+// On shutdown the server saves every cached placement to a text snapshot;
+// on startup it loads the snapshot back, re-verifies every entry through
+// the batch survival kernel, and republishes the survivors — so a
+// restarted daemon serves the same placements bit-identically (asserted
+// via schedule_fingerprint) without ever hitting the cold scheduling path.
+//
+// Snapshot format (line-delimited text, like the wire protocol):
+//
+//   #streamsched-cache v1
+//   platform <hex16 platform fingerprint>
+//   entry variant=<spec> model=<spec> factor=<f> rel=<r> repair_comms=<n> event_comms=<n>
+//   dag <DagWire>
+//   sched <ScheduleWire>
+//   ...                                     (entry/dag/sched repeated)
+//   checksum <hex16 FNV-1a over all preceding bytes>
+//
+// Entries are written LRU→MRU, so re-inserting them in file order
+// reproduces the cache's recency ordering.
+//
+// Trust model: the snapshot is a cache, never an oracle. Load rejects the
+// whole file loudly (SnapshotError) when the header, platform
+// fingerprint, or checksum doesn't match — a snapshot taken against a
+// different cluster, or a truncated/corrupted file, must not seed the
+// cache. Entries that parse but fail re-verification — the count model's
+// exhaustive ε-failure check, or the probabilistic model's recomputed
+// reliability falling below the entry's claim — are dropped individually
+// (logged, counted in `verify_failed`), because one bad entry should not
+// cost the warm start of the rest.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace streamsched {
+
+class PlacementDaemon;
+
+/// Thrown when a snapshot cannot be saved, or when load rejects the file
+/// wholesale (unreadable, bad header/version, platform-fingerprint
+/// mismatch, checksum mismatch, malformed entry framing).
+class SnapshotError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct SnapshotSaveStats {
+  std::size_t entries = 0;  ///< placements written
+  std::uint64_t bytes = 0;  ///< snapshot size on disk
+};
+
+struct SnapshotLoadStats {
+  std::size_t entries = 0;        ///< entries parsed from the file
+  std::size_t restored = 0;       ///< verified and republished into the cache
+  std::size_t verify_failed = 0;  ///< dropped: batch-kernel re-check failed
+  std::size_t stale = 0;          ///< dropped: daemon's live failure set kills them
+};
+
+/// Writes the daemon's cached placements to `path` (atomic enough for the
+/// single-writer server: written to `path` directly, checksum last, so a
+/// torn write fails the checksum on load). Throws SnapshotError on I/O
+/// failure.
+SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::string& path);
+
+/// Loads `path` into the daemon's cache. Every entry is re-verified from
+/// scratch — schedule rebuilt from the wire text, fresh survival oracle,
+/// count models re-checked exhaustively over all ε-failure sets,
+/// probabilistic models' reliability recomputed and compared against the
+/// entry's claim — before PlacementDaemon::restore republishes it. Throws
+/// SnapshotError when the file as a whole is unusable (see class doc);
+/// individually bad entries are dropped and counted instead.
+SnapshotLoadStats load_cache_snapshot(PlacementDaemon& daemon, const std::string& path);
+
+}  // namespace streamsched

@@ -61,6 +61,14 @@ struct CachedPlacement {
   std::string variant;         ///< canonical variant spec
   double period_factor = 1.0;  ///< escalation rung the admission needed
   RepairStats repair;          ///< admission-time model repair
+  /// Achieved schedule reliability under the platform's failure
+  /// probabilities (probabilistic admissions; −1 when not estimated —
+  /// count-model admissions are guaranteed by the exhaustive ε check).
+  double reliability = -1.0;
+  /// True when this placement was restored from a warm-start cache
+  /// snapshot (service/persistence.hpp) rather than scheduled by this
+  /// daemon process; wire responses report such hits as `src=warm`.
+  bool from_snapshot = false;
   /// Supply channels wired by live failure-event repairs (on top of
   /// `repair.added_comms`).
   std::uint32_t event_repair_comms = 0;

@@ -140,6 +140,16 @@ void ScheduleCache::clear() {
   head_ = tail_ = kNil;
 }
 
+std::vector<std::pair<CacheKey, std::shared_ptr<const CachedPlacement>>>
+ScheduleCache::entries_lru() const {
+  std::vector<std::pair<CacheKey, std::shared_ptr<const CachedPlacement>>> entries;
+  entries.reserve(index_.size());
+  for (std::size_t i = tail_; i != kNil; i = nodes_[i].prev) {
+    entries.emplace_back(nodes_[i].key, nodes_[i].placement);
+  }
+  return entries;
+}
+
 std::vector<CacheKey> ScheduleCache::keys_mru() const {
   std::vector<CacheKey> keys;
   keys.reserve(index_.size());

@@ -101,6 +101,12 @@ class ScheduleCache {
   /// Keys in MRU→LRU order (tests and introspection).
   [[nodiscard]] std::vector<CacheKey> keys_mru() const;
 
+  /// Entries in LRU→MRU order, without touching recency or stats — the
+  /// warm-start snapshot walk (service/persistence.hpp). Re-inserting the
+  /// returned entries in order reproduces the recency ordering.
+  [[nodiscard]] std::vector<std::pair<CacheKey, std::shared_ptr<const CachedPlacement>>>
+  entries_lru() const;
+
  private:
   static constexpr std::size_t kNil = static_cast<std::size_t>(-1);
 

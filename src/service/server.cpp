@@ -1,0 +1,520 @@
+#include "service/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cinttypes>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <system_error>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "net/socket.hpp"
+#include "schedule/metrics.hpp"
+#include "service/persistence.hpp"
+#include "util/assert.hpp"
+#include "util/async_log.hpp"
+#include "util/log.hpp"
+
+namespace streamsched::net {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+struct Server::Impl {
+  struct Connection {
+    Fd fd;
+    std::string in;   ///< bytes read, not yet split into lines
+    std::string out;  ///< response bytes not yet written
+  };
+
+  struct Job {
+    std::uint64_t conn_id = 0;
+    SubmitFrame frame;
+  };
+
+  struct Lane {
+    QosLaneConfig config;
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+    std::size_t in_flight = 0;  ///< queued + running (bounded by config.bound)
+    bool stop = false;
+    LaneStats stats;
+    std::vector<std::thread> workers;
+  };
+
+  Server* server = nullptr;
+  ServerConfig config;
+
+  Fd unix_listener;
+  Fd tcp_listener;
+  Fd wake_read;
+  Fd wake_write;
+
+  std::unordered_map<std::uint64_t, Connection> conns;
+  std::uint64_t next_conn_id = 1;
+
+  std::array<Lane, kNumQosClasses> lanes;
+
+  std::mutex completion_mutex;
+  std::deque<std::pair<std::uint64_t, std::string>> completions;
+
+  std::atomic<bool> draining{false};
+  bool workers_stopped = false;
+
+  Lane& lane(QosClass qos) { return lanes[static_cast<std::size_t>(qos)]; }
+
+  void wake() {
+    const char byte = 'w';
+    // The pipe being full already guarantees a pending wakeup.
+    [[maybe_unused]] ssize_t n = ::write(wake_write.get(), &byte, 1);
+  }
+
+  void start_workers() {
+    for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
+      Lane& ln = lanes[qi];
+      for (std::size_t w = 0; w < ln.config.workers; ++w) {
+        ln.workers.emplace_back([this, &ln] { worker_main(ln); });
+      }
+    }
+  }
+
+  void stop_workers() {
+    if (workers_stopped) return;
+    workers_stopped = true;
+    for (Lane& ln : lanes) {
+      {
+        const std::lock_guard<std::mutex> lock(ln.mutex);
+        ln.stop = true;
+      }
+      ln.cv.notify_all();
+    }
+    for (Lane& ln : lanes) {
+      for (std::thread& t : ln.workers) t.join();
+      ln.workers.clear();
+    }
+  }
+
+  void worker_main(Lane& ln) {
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(ln.mutex);
+        ln.cv.wait(lock, [&ln] { return ln.stop || !ln.queue.empty(); });
+        if (ln.queue.empty()) return;  // stop requested and nothing queued
+        job = std::move(ln.queue.front());
+        ln.queue.pop_front();
+      }
+      std::string line = serve_submit(job.frame);
+      {
+        const std::lock_guard<std::mutex> lock(completion_mutex);
+        completions.emplace_back(job.conn_id, std::move(line));
+      }
+      {
+        const std::lock_guard<std::mutex> lock(ln.mutex);
+        --ln.in_flight;
+        ++ln.stats.completed;
+      }
+      wake();
+    }
+  }
+
+  /// Runs one admission and formats the response line (worker threads).
+  std::string serve_submit(SubmitFrame& frame) {
+    try {
+      PlacementRequest request;
+      request.dag = std::move(frame.dag);
+      request.variant = AlgoVariant::parse(frame.variant_spec);
+      request.model = frame.model;
+      request.period = frame.period;
+      request.headroom = frame.headroom;
+      request.comm_share = frame.comm_share;
+      const PlacementResponse resp = server->daemon_->admit(std::move(request));
+      if (!resp.ok) {
+        return format_error(WireCode::kInfeasible,
+                            resp.error.empty() ? "no feasible placement" : resp.error,
+                            frame.tag);
+      }
+      const CachedPlacement& p = *resp.placement;
+      const char* src = !resp.cache_hit ? "cold" : (p.from_snapshot ? "warm" : "hit");
+      OkBuilder ok;
+      if (!frame.tag.empty()) ok.add("tag", frame.tag);
+      ok.add("src", src)
+          .add("epoch", resp.epoch)
+          .add("fp", hex16(schedule_fingerprint(p.schedule)))
+          .add("eps", static_cast<std::uint64_t>(p.schedule.eps()))
+          .add("stages", static_cast<std::uint64_t>(num_stages(p.schedule)))
+          .add("period", p.schedule.period())
+          .add("latency", latency_upper_bound(p.schedule))
+          .add("rel", p.reliability)
+          .add("factor", p.period_factor)
+          .add("repair_comms",
+               static_cast<std::uint64_t>(p.repair.added_comms + p.event_repair_comms));
+      return ok.str();
+    } catch (const std::exception& e) {
+      return format_error(WireCode::kInternal, e.what(), frame.tag);
+    }
+  }
+
+  /// Handles one request line on the poll thread; appends any synchronous
+  /// response to `conn.out` (SUBMITs that are accepted respond later via
+  /// the completion queue).
+  void process_line(std::uint64_t conn_id, Connection& conn, const std::string& line) {
+    if (line.empty()) return;  // blank lines are keep-alive no-ops
+    Request request;
+    try {
+      request = parse_request(line);
+    } catch (const WireError& e) {
+      conn.out += format_error(e.code(), e.what());
+      conn.out += '\n';
+      return;
+    }
+    switch (request.verb) {
+      case Verb::kSubmit:
+        enqueue_submit(conn_id, conn, std::move(request.submit));
+        return;
+      case Verb::kEvent:
+        serve_event(conn, request.event);
+        return;
+      case Verb::kStats:
+        serve_stats(conn);
+        return;
+      case Verb::kShutdown:
+        conn.out += OkBuilder().add("shutdown", "draining").str();
+        conn.out += '\n';
+        draining.store(true);
+        return;
+    }
+  }
+
+  void enqueue_submit(std::uint64_t conn_id, Connection& conn, SubmitFrame frame) {
+    if (draining.load()) {
+      conn.out += format_error(WireCode::kShuttingDown, "server is draining", frame.tag);
+      conn.out += '\n';
+      return;
+    }
+    Lane& ln = lane(frame.qos);
+    {
+      const std::lock_guard<std::mutex> lock(ln.mutex);
+      if (ln.in_flight >= ln.config.bound) {
+        ++ln.stats.shed;
+        // Shed on the poll thread: BUSY costs one queue-bound check, no
+        // scheduling work — cheapest exactly when the lane is saturated.
+        conn.out += format_error(WireCode::kBusy,
+                                 std::string(qos_class_name(frame.qos)) + " lane is full",
+                                 frame.tag);
+        conn.out += '\n';
+        return;
+      }
+      ++ln.in_flight;
+      ++ln.stats.accepted;
+      ln.queue.push_back(Job{conn_id, std::move(frame)});
+    }
+    ln.cv.notify_one();
+  }
+
+  void serve_event(Connection& conn, const EventFrame& event) {
+    if (event.proc >= server->daemon_->platform().num_procs()) {
+      conn.out += format_error(WireCode::kBadRequest, "event proc out of range", event.tag);
+      conn.out += '\n';
+      return;
+    }
+    ClusterEvent cluster;
+    cluster.kind = event.failure ? ClusterEvent::Kind::kFailure : ClusterEvent::Kind::kRecovery;
+    cluster.proc = event.proc;
+    // Published through the bus, so in-process subscribers (tests, logs)
+    // observe wire events exactly like direct publishes; the daemon's
+    // repair walk runs synchronously before the response is written.
+    server->bus_.publish(cluster);
+    OkBuilder ok;
+    if (!event.tag.empty()) ok.add("tag", event.tag);
+    ok.add("kind", event.failure ? "fail" : "recover")
+        .add("proc", static_cast<std::uint64_t>(event.proc))
+        .add("epoch", server->daemon_->epoch());
+    conn.out += ok.str();
+    conn.out += '\n';
+  }
+
+  void serve_stats(Connection& conn) {
+    const DaemonStats ds = server->daemon_->stats();
+    const ScheduleCache::Stats cs = server->daemon_->cache_stats();
+    OkBuilder ok;
+    ok.add("epoch", server->daemon_->epoch())
+        .add("failed", static_cast<std::uint64_t>(server->daemon_->failed_procs()))
+        .add("cache_size", static_cast<std::uint64_t>(server->daemon_->cache_size()))
+        .add("admissions", ds.admissions)
+        .add("cold", ds.cold_schedules)
+        .add("hits", cs.hits)
+        .add("misses", cs.misses)
+        .add("evictions", cs.evictions)
+        .add("events", ds.events)
+        .add("event_repairs", ds.event_repairs)
+        .add("repair_failures", ds.repair_failures)
+        .add("verifications", ds.verifications)
+        .add("verify_failures", ds.verify_failures)
+        .add("restored", ds.restored);
+    for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
+      const std::string name = qos_class_name(static_cast<QosClass>(qi));
+      LaneStats ls;
+      {
+        const std::lock_guard<std::mutex> lock(lanes[qi].mutex);
+        ls = lanes[qi].stats;
+      }
+      ok.add(name + "_accepted", ls.accepted)
+          .add(name + "_shed", ls.shed)
+          .add(name + "_completed", ls.completed);
+    }
+    if (AsyncLogger* sink = async_logger()) ok.add("log_dropped", sink->dropped());
+    conn.out += ok.str();
+    conn.out += '\n';
+  }
+
+  void accept_from(Fd& listener) {
+    for (;;) {
+      const int fd = ::accept(listener.get(), nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+        log_warn() << "accept failed: " << std::generic_category().message(errno);
+        return;
+      }
+      set_nonblocking(fd, true);
+      conns.emplace(next_conn_id++, Connection{Fd(fd), {}, {}});
+    }
+  }
+
+  /// Reads everything available; false when the peer closed or errored.
+  bool read_from(std::uint64_t conn_id, Connection& conn) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+      if (n > 0) {
+        conn.in.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) return false;  // EOF
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = conn.in.find('\n', start);
+      if (nl == std::string::npos) break;
+      process_line(conn_id, conn, conn.in.substr(start, nl - start));
+      start = nl + 1;
+    }
+    conn.in.erase(0, start);
+    return true;
+  }
+
+  /// Flushes as much of conn.out as the socket accepts; false on error.
+  bool write_to(Connection& conn) {
+    while (!conn.out.empty()) {
+      const ssize_t n =
+          ::send(conn.fd.get(), conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        conn.out.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  void drain_completions() {
+    std::deque<std::pair<std::uint64_t, std::string>> done;
+    {
+      const std::lock_guard<std::mutex> lock(completion_mutex);
+      done.swap(completions);
+    }
+    for (auto& [conn_id, line] : done) {
+      const auto it = conns.find(conn_id);
+      if (it == conns.end()) continue;  // client went away; drop the response
+      it->second.out += line;
+      it->second.out += '\n';
+    }
+  }
+
+  [[nodiscard]] bool fully_drained() {
+    if (!draining.load()) return false;
+    for (Lane& ln : lanes) {
+      const std::lock_guard<std::mutex> lock(ln.mutex);
+      if (ln.in_flight != 0) return false;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(completion_mutex);
+      if (!completions.empty()) return false;
+    }
+    for (const auto& [id, conn] : conns) {
+      (void)id;
+      if (!conn.out.empty()) return false;
+    }
+    return true;
+  }
+
+  void run_loop() {
+    std::vector<pollfd> pfds;
+    std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
+    for (;;) {
+      drain_completions();
+      if (fully_drained()) return;
+
+      pfds.clear();
+      pfd_conn.clear();
+      const auto add = [&](int fd, short events, std::uint64_t conn_id) {
+        pfds.push_back(pollfd{fd, events, 0});
+        pfd_conn.push_back(conn_id);
+      };
+      add(wake_read.get(), POLLIN, 0);
+      if (unix_listener.valid() && !draining.load()) add(unix_listener.get(), POLLIN, 0);
+      if (tcp_listener.valid() && !draining.load()) add(tcp_listener.get(), POLLIN, 0);
+      for (const auto& [id, conn] : conns) {
+        add(conn.fd.get(), static_cast<short>(POLLIN | (conn.out.empty() ? 0 : POLLOUT)),
+            id);
+      }
+
+      const int ready = ::poll(pfds.data(), pfds.size(), -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        log_error() << "poll failed: " << std::generic_category().message(errno);
+        return;
+      }
+
+      std::vector<std::uint64_t> dead;
+      for (std::size_t i = 0; i < pfds.size(); ++i) {
+        const short revents = pfds[i].revents;
+        if (revents == 0) continue;
+        const int fd = pfds[i].fd;
+        if (fd == wake_read.get()) {
+          char buf[256];
+          while (::read(wake_read.get(), buf, sizeof buf) > 0) {
+          }
+          continue;
+        }
+        if (unix_listener.valid() && fd == unix_listener.get()) {
+          accept_from(unix_listener);
+          continue;
+        }
+        if (tcp_listener.valid() && fd == tcp_listener.get()) {
+          accept_from(tcp_listener);
+          continue;
+        }
+        const std::uint64_t conn_id = pfd_conn[i];
+        const auto it = conns.find(conn_id);
+        if (it == conns.end()) continue;
+        Connection& conn = it->second;
+        bool alive = (revents & (POLLERR | POLLNVAL)) == 0;
+        if (alive && (revents & POLLIN) != 0) alive = read_from(conn_id, conn);
+        // POLLHUP with readable data still drains above; close once the
+        // read side is exhausted.
+        if (alive && (revents & POLLHUP) != 0 && (revents & POLLIN) == 0) alive = false;
+        if (alive && !conn.out.empty()) alive = write_to(conn);
+        if (!alive) dead.push_back(conn_id);
+      }
+      for (const std::uint64_t id : dead) conns.erase(id);
+    }
+  }
+};
+
+Server::Server(Platform platform, ServerConfig config)
+    : daemon_(std::make_unique<PlacementDaemon>(std::move(platform), config.daemon, &bus_)),
+      impl_(std::make_unique<Impl>()) {
+  impl_->server = this;
+  impl_->config = std::move(config);
+  for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
+    SS_REQUIRE(impl_->config.lanes[qi].workers > 0, "QoS lane needs at least one worker");
+    SS_REQUIRE(impl_->config.lanes[qi].bound > 0, "QoS lane needs a bound >= 1");
+    impl_->lanes[qi].config = impl_->config.lanes[qi];
+  }
+
+  if (!impl_->config.snapshot_path.empty() &&
+      std::filesystem::exists(impl_->config.snapshot_path)) {
+    try {
+      (void)load_cache_snapshot(*daemon_, impl_->config.snapshot_path);
+    } catch (const SnapshotError& e) {
+      // Refuse to trust the snapshot but do not refuse to serve: log the
+      // rejection loudly and start cold.
+      log_error() << "warm-start snapshot rejected: " << e.what();
+    }
+  }
+
+  if (!impl_->config.unix_path.empty()) {
+    impl_->unix_listener = listen_unix(impl_->config.unix_path);
+    set_nonblocking(impl_->unix_listener.get(), true);
+  }
+  if (impl_->config.tcp) {
+    impl_->tcp_listener =
+        listen_tcp(impl_->config.tcp_host, impl_->config.tcp_port, &tcp_port_);
+    set_nonblocking(impl_->tcp_listener.get(), true);
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    throw std::system_error(errno, std::generic_category(), "pipe");
+  }
+  impl_->wake_read = Fd(pipe_fds[0]);
+  impl_->wake_write = Fd(pipe_fds[1]);
+  set_nonblocking(impl_->wake_read.get(), true);
+  set_nonblocking(impl_->wake_write.get(), true);
+
+  impl_->start_workers();
+  log_info() << "server up: unix="
+             << (impl_->config.unix_path.empty() ? "-" : impl_->config.unix_path)
+             << " tcp=" << (impl_->config.tcp ? std::to_string(tcp_port_) : std::string("-"))
+             << " cache=" << daemon_->cache_size();
+}
+
+Server::~Server() {
+  impl_->stop_workers();
+  if (!impl_->config.unix_path.empty()) ::unlink(impl_->config.unix_path.c_str());
+}
+
+void Server::run() {
+  impl_->run_loop();
+  impl_->stop_workers();
+  impl_->conns.clear();
+  impl_->unix_listener.close();
+  impl_->tcp_listener.close();
+  if (!impl_->config.snapshot_path.empty()) {
+    try {
+      (void)save_cache_snapshot(*daemon_, impl_->config.snapshot_path);
+    } catch (const SnapshotError& e) {
+      log_error() << "warm-start snapshot save failed: " << e.what();
+    }
+  }
+  log_info() << "server down: admissions=" << daemon_->stats().admissions
+             << " cache=" << daemon_->cache_size();
+}
+
+void Server::shutdown() {
+  impl_->draining.store(true);
+  impl_->wake();
+}
+
+LaneStats Server::lane_stats(QosClass qos) const {
+  Impl::Lane& ln = impl_->lane(qos);
+  const std::lock_guard<std::mutex> lock(ln.mutex);
+  return ln.stats;
+}
+
+}  // namespace streamsched::net

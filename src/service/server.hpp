@@ -1,0 +1,118 @@
+// Network front end of the placement daemon (the wire side of
+// scheduler-as-a-service; protocol in net/wire.hpp and docs/PROTOCOL.md).
+//
+// One Server owns an EventBus + PlacementDaemon and serves the
+// line-delimited protocol over unix-domain and/or TCP listeners from a
+// single poll(2) loop. Frames are dispatched by cost:
+//
+//   EVENT / STATS / SHUTDOWN   answered synchronously on the poll thread
+//                              (an event is a cache repair walk — fast and
+//                              latency-critical; stats are a field copy).
+//
+//   SUBMIT                     routed to the request's QoS class lane: a
+//                              bounded in-flight queue drained by the
+//                              lane's own worker threads. When a lane's
+//                              in-flight count (queued + running) is at
+//                              its bound, the request is shed immediately
+//                              with `ERR BUSY` — written from the poll
+//                              thread, so shedding stays cheap precisely
+//                              when the server is saturated. Interactive
+//                              and batch lanes are fully independent:
+//                              saturating batch never delays interactive
+//                              admissions (bench_server's shed phase
+//                              measures both properties).
+//
+// Workers push finished responses onto a completion queue and wake the
+// poll loop through a self-pipe; the poll thread owns all connection
+// state, so no socket is ever written from two threads. Because lanes run
+// concurrently, responses on one connection may be reordered relative to
+// submission order — clients match them by their `tag=` echo.
+//
+// Warm start: when `config.snapshot_path` is set, the constructor loads
+// the snapshot (verified entry by entry, see service/persistence.hpp) and
+// a clean shutdown saves the cache back. Restored entries serve with
+// `src=warm` provenance; a corrupted or foreign-platform snapshot is
+// logged loudly and ignored (the server starts cold rather than trusting
+// it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/wire.hpp"
+#include "platform/platform.hpp"
+#include "service/daemon.hpp"
+#include "service/event_bus.hpp"
+
+namespace streamsched::net {
+
+struct QosLaneConfig {
+  std::size_t workers = 1;  ///< dedicated admission threads of this class
+  /// Maximum in-flight SUBMITs (queued + running). Beyond it requests are
+  /// shed with `ERR BUSY` instead of queueing without bound.
+  std::size_t bound = 16;
+};
+
+struct ServerConfig {
+  /// Unix-domain listener path; empty = no unix listener.
+  std::string unix_path;
+  /// TCP listener (enabled when `tcp` is true); port 0 binds an ephemeral
+  /// port, readable via Server::tcp_port().
+  bool tcp = false;
+  std::string tcp_host = "127.0.0.1";
+  std::uint16_t tcp_port = 0;
+  /// Per-QoS-class admission lanes, indexed by QosClass.
+  std::array<QosLaneConfig, kNumQosClasses> lanes{};
+  /// Warm-start cache snapshot: loaded (and verified) on construction,
+  /// saved on clean shutdown. Empty = no persistence.
+  std::string snapshot_path;
+  DaemonConfig daemon;
+};
+
+/// Per-lane admission counters (monotonic since construction).
+struct LaneStats {
+  std::uint64_t accepted = 0;   ///< SUBMITs queued to the lane
+  std::uint64_t shed = 0;       ///< SUBMITs answered `ERR BUSY`
+  std::uint64_t completed = 0;  ///< responses produced by lane workers
+};
+
+class Server {
+ public:
+  /// Binds the configured listeners and loads the warm-start snapshot (if
+  /// any) — so tcp_port() and the daemon's cache are ready before run().
+  /// Throws std::system_error when a listener cannot bind.
+  Server(Platform platform, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Serves until a SHUTDOWN frame (or shutdown() from another thread),
+  /// then drains in-flight admissions, flushes responses, and saves the
+  /// warm-start snapshot. Call at most once.
+  void run();
+
+  /// Requests shutdown from another thread (same path as a SHUTDOWN
+  /// frame). Safe to call before or during run(); idempotent.
+  void shutdown();
+
+  /// Port actually bound by the TCP listener (after an ephemeral bind).
+  [[nodiscard]] std::uint16_t tcp_port() const { return tcp_port_; }
+
+  [[nodiscard]] const PlacementDaemon& daemon() const { return *daemon_; }
+  /// The failure/recovery bus; in-process monitors may publish directly —
+  /// wire EVENT frames and direct publishes share the same path.
+  [[nodiscard]] EventBus& bus() { return bus_; }
+  [[nodiscard]] LaneStats lane_stats(QosClass qos) const;
+
+ private:
+  struct Impl;
+  EventBus bus_;
+  std::unique_ptr<PlacementDaemon> daemon_;
+  std::uint16_t tcp_port_ = 0;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace streamsched::net

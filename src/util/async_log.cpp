@@ -1,0 +1,82 @@
+#include "util/async_log.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace streamsched {
+
+namespace {
+std::atomic<AsyncLogger*> g_async_logger{nullptr};
+}  // namespace
+
+AsyncLogger::AsyncLogger(std::size_t capacity) : slots_(capacity == 0 ? 1 : capacity) {
+  consumer_ = std::thread([this] { consume(); });
+}
+
+AsyncLogger::~AsyncLogger() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  consumer_cv_.notify_all();
+  consumer_.join();
+}
+
+bool AsyncLogger::enqueue(LogLevel level, std::string message) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (count_ == slots_.size()) {
+      ++dropped_;
+      return false;
+    }
+    Slot& slot = slots_[(head_ + count_) % slots_.size()];
+    slot.level = level;
+    slot.message = std::move(message);
+    ++count_;
+  }
+  consumer_cv_.notify_one();
+  return true;
+}
+
+void AsyncLogger::flush() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  flush_cv_.wait(lock, [this] { return count_ == 0 && !writing_; });
+}
+
+std::uint64_t AsyncLogger::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t AsyncLogger::written() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return written_;
+}
+
+void AsyncLogger::consume() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    consumer_cv_.wait(lock, [this] { return count_ > 0 || stop_; });
+    if (count_ == 0 && stop_) return;
+    // Pop one message, write it outside the lock (the whole point), then
+    // retake the lock for the next round.
+    Slot slot = std::move(slots_[head_]);
+    head_ = (head_ + 1) % slots_.size();
+    --count_;
+    writing_ = true;
+    lock.unlock();
+    write_log_line(slot.level, slot.message);
+    lock.lock();
+    writing_ = false;
+    ++written_;
+    if (count_ == 0) flush_cv_.notify_all();
+  }
+}
+
+void install_async_logger(AsyncLogger* logger) {
+  g_async_logger.store(logger, std::memory_order_release);
+}
+
+AsyncLogger* async_logger() { return g_async_logger.load(std::memory_order_acquire); }
+
+}  // namespace streamsched

@@ -1,0 +1,76 @@
+// Bounded asynchronous log sink: a fixed-size ring drained by one
+// consumer thread, so hot paths (the server's admit loop, the daemon's
+// event repair) pay an enqueue — never a write(2). The ring is bounded
+// and *lossy by design*: when producers outrun the consumer the message
+// is dropped and counted instead of blocking the producer or growing a
+// queue without bound (the same discipline the admission queues apply to
+// requests). The drop counter is part of the server's STATS response, so
+// lost diagnostics are visible, not silent.
+//
+// Install one instance as the global sink (`install_async_logger`) and
+// every log_debug()/log_info()/... call in the process routes through it;
+// uninstall restores synchronous stderr. The destructor drains what the
+// ring still holds, then joins the consumer.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace streamsched {
+
+class AsyncLogger {
+ public:
+  /// `capacity` = ring slots (messages); `out` defaults to stderr.
+  explicit AsyncLogger(std::size_t capacity = 1024);
+  ~AsyncLogger();
+
+  AsyncLogger(const AsyncLogger&) = delete;
+  AsyncLogger& operator=(const AsyncLogger&) = delete;
+
+  /// Queues one preformatted message. Returns false — and counts a drop —
+  /// when the ring is full. Never blocks on I/O (the consumer thread does
+  /// the writing).
+  bool enqueue(LogLevel level, std::string message);
+
+  /// Blocks until every message enqueued before the call is written.
+  void flush();
+
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t written() const;
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    LogLevel level = LogLevel::kInfo;
+    std::string message;
+  };
+
+  void consume();
+
+  std::vector<Slot> slots_;
+  mutable std::mutex mutex_;
+  std::condition_variable consumer_cv_;
+  std::condition_variable flush_cv_;
+  std::size_t head_ = 0;  ///< next slot to pop
+  std::size_t count_ = 0; ///< queued messages
+  std::uint64_t dropped_ = 0;
+  std::uint64_t written_ = 0;
+  bool writing_ = false;  ///< consumer holds a popped message outside the lock
+  bool stop_ = false;
+  std::thread consumer_;
+};
+
+/// Installs `logger` as the process-wide log sink (nullptr uninstalls).
+/// log_message() then enqueues instead of writing synchronously; messages
+/// that do not fit are dropped and counted, never block. The logger must
+/// outlive its installation — uninstall before destroying it.
+void install_async_logger(AsyncLogger* logger);
+[[nodiscard]] AsyncLogger* async_logger();
+
+}  // namespace streamsched

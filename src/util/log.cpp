@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/async_log.hpp"
+
 namespace streamsched {
 
 namespace {
@@ -26,10 +28,19 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
-void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+void write_log_line(LogLevel level, const std::string& message) {
   std::lock_guard<std::mutex> lock(g_mutex);
   std::cerr << "[streamsched " << level_name(level) << "] " << message << '\n';
+}
+
+void log_message(LogLevel level, const std::string& message) {
+  if (!log_enabled(level)) return;
+  if (AsyncLogger* sink = async_logger()) {
+    // Full ring: drop (counted by the sink) rather than block the caller.
+    (void)sink->enqueue(level, message);
+    return;
+  }
+  write_log_line(level, message);
 }
 
 }  // namespace streamsched

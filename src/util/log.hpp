@@ -1,5 +1,8 @@
 // Minimal leveled logging. Schedulers and the simulator are silent by
 // default; examples and benches raise the level for progress reporting.
+// Long-running services install an AsyncLogger (util/async_log.hpp) so
+// emitting never blocks on I/O; without one, messages go synchronously to
+// stderr.
 #pragma once
 
 #include <sstream>
@@ -13,25 +16,43 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 [[nodiscard]] LogLevel log_level();
 
-/// Emits `message` to stderr when `level` >= the global level.
+/// True when `level` passes the global filter.
+[[nodiscard]] inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(log_level());
+}
+
+/// Emits `message` when `level` passes the filter: enqueued on the
+/// installed AsyncLogger (dropped-and-counted when its ring is full),
+/// synchronously to stderr otherwise.
 void log_message(LogLevel level, const std::string& message);
 
+/// The synchronous stderr writer (level prefix + newline, one mutex).
+/// AsyncLogger's consumer thread calls this; everything else goes through
+/// log_message.
+void write_log_line(LogLevel level, const std::string& message);
+
 namespace detail {
+/// Streams into a buffer and emits on destruction — but only when the
+/// level passes the filter at construction time; disabled lines skip the
+/// formatting entirely, so log_debug() in a hot path costs one level load.
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, os_.str()); }
+  explicit LogLine(LogLevel level) : level_(level), enabled_(log_enabled(level)) {}
+  ~LogLine() {
+    if (enabled_) log_message(level_, os_.str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& value) {
-    os_ << value;
+    if (enabled_) os_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream os_;
 };
 }  // namespace detail

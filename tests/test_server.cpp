@@ -1,0 +1,513 @@
+// Service front-end suite: warm-start cache persistence (bit-identical
+// round trip, loud rejection of corrupted / truncated / foreign-platform
+// snapshots, per-entry drops for tampered claims and stale placements) and
+// the wire server end to end over a unix-domain socket — cold admission,
+// cache hits, failure events driving incremental repair, QoS shedding
+// under a saturated batch lane while interactive admissions keep landing,
+// drain-on-shutdown semantics, and a warm restart that serves every
+// placement bit-identically without touching the cold path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/fingerprint.hpp"
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "net/wire.hpp"
+#include "platform/generators.hpp"
+#include "schedule/survival.hpp"
+#include "service/daemon.hpp"
+#include "service/persistence.hpp"
+#include "service/server.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched {
+namespace {
+
+Dag small_dag(std::uint64_t seed, std::size_t tasks = 14) {
+  Rng rng(seed);
+  return make_random_layered(rng, tasks, 4, 0.4, WeightRanges{});
+}
+
+Platform small_platform(std::uint64_t seed = 5, std::size_t m = 8) {
+  Rng rng(seed);
+  return make_reliability_heterogeneous(rng, m, 0.02, 0.08);
+}
+
+PlacementRequest request_for(std::uint64_t seed, const FaultModel& model) {
+  PlacementRequest request;
+  request.dag = small_dag(seed);
+  request.variant = AlgoVariant("rltf");
+  request.model = model;
+  return request;
+}
+
+/// Tests may run concurrently (one ctest entry per TEST), so every socket
+/// and snapshot file gets a per-process, per-test unique relative path.
+std::string unique_path(const std::string& stem, const std::string& ext) {
+  return stem + "_" + std::to_string(::getpid()) + ext;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Removes the file in the destructor so failing tests don't leak state
+/// into reruns.
+struct FileGuard {
+  std::string path;
+  explicit FileGuard(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~FileGuard() { std::remove(path.c_str()); }
+};
+
+// ------------------------------------------------------------- persistence --
+
+TEST(CachePersistence, RoundTripIsBitIdentical) {
+  const FileGuard snap(unique_path("snap_roundtrip", ".snapshot"));
+  PlacementDaemon source(small_platform(), DaemonConfig{});
+  std::vector<PlacementResponse> admitted;
+  admitted.push_back(source.admit(request_for(101, FaultModel::count(1))));
+  admitted.push_back(source.admit(request_for(102, FaultModel::count(2))));
+  admitted.push_back(source.admit(request_for(103, FaultModel::parse("prob:R=0.9"))));
+  for (const PlacementResponse& resp : admitted) ASSERT_TRUE(resp.ok) << resp.error;
+
+  const SnapshotSaveStats saved = save_cache_snapshot(source, snap.path);
+  EXPECT_EQ(saved.entries, 3u);
+  EXPECT_GT(saved.bytes, 0u);
+
+  PlacementDaemon restored(small_platform(), DaemonConfig{});
+  const SnapshotLoadStats loaded = load_cache_snapshot(restored, snap.path);
+  EXPECT_EQ(loaded.entries, 3u);
+  EXPECT_EQ(loaded.restored, 3u);
+  EXPECT_EQ(loaded.verify_failed, 0u);
+  EXPECT_EQ(loaded.stale, 0u);
+  EXPECT_EQ(restored.stats().restored, 3u);
+
+  // Recency ordering survives: the restored cache walks LRU→MRU in the
+  // same order, and every schedule re-serializes byte for byte.
+  const auto before = source.snapshot_entries();
+  const auto after = restored.snapshot_entries();
+  ASSERT_EQ(after.size(), before.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(net::format_schedule_wire(after[i]->schedule),
+              net::format_schedule_wire(before[i]->schedule));
+    EXPECT_EQ(schedule_fingerprint(after[i]->schedule),
+              schedule_fingerprint(before[i]->schedule));
+    EXPECT_TRUE(after[i]->from_snapshot);
+    EXPECT_EQ(after[i]->variant, before[i]->variant);
+    EXPECT_EQ(after[i]->period_factor, before[i]->period_factor);
+  }
+
+  // Serving the original requests hits the restored entries — never the
+  // cold path.
+  const PlacementResponse hit = restored.admit(request_for(102, FaultModel::count(2)));
+  ASSERT_TRUE(hit.ok) << hit.error;
+  EXPECT_TRUE(hit.cache_hit);
+  EXPECT_TRUE(hit.placement->from_snapshot);
+  EXPECT_EQ(restored.stats().cold_schedules, 0u);
+}
+
+TEST(CachePersistence, RejectsCorruptedTruncatedAndForeignSnapshots) {
+  const FileGuard snap(unique_path("snap_reject", ".snapshot"));
+  const FileGuard mangled(unique_path("snap_mangled", ".snapshot"));
+  PlacementDaemon source(small_platform(), DaemonConfig{});
+  ASSERT_TRUE(source.admit(request_for(111, FaultModel::count(1))).ok);
+  (void)save_cache_snapshot(source, snap.path);
+  const std::string original = read_file(snap.path);
+
+  PlacementDaemon target(small_platform(), DaemonConfig{});
+
+  // Missing file.
+  EXPECT_THROW((void)load_cache_snapshot(target, unique_path("snap_missing", ".snapshot")),
+               SnapshotError);
+
+  // A single flipped byte fails the checksum.
+  std::string corrupted = original;
+  corrupted[corrupted.size() / 2] ^= 0x01;
+  write_file(mangled.path, corrupted);
+  EXPECT_THROW((void)load_cache_snapshot(target, mangled.path), SnapshotError);
+
+  // Truncation (torn write) fails the checksum or the framing.
+  write_file(mangled.path, original.substr(0, original.size() - 10));
+  EXPECT_THROW((void)load_cache_snapshot(target, mangled.path), SnapshotError);
+
+  // A wrong header is not a snapshot at all.
+  write_file(mangled.path, "#some-other-format v9\n" + original);
+  EXPECT_THROW((void)load_cache_snapshot(target, mangled.path), SnapshotError);
+
+  // A snapshot taken against a different cluster must not seed the cache.
+  PlacementDaemon other(small_platform(6), DaemonConfig{});
+  EXPECT_THROW((void)load_cache_snapshot(other, snap.path), SnapshotError);
+
+  // None of the rejections touched the cache.
+  EXPECT_EQ(target.cache_size(), 0u);
+  EXPECT_EQ(other.cache_size(), 0u);
+
+  // The pristine file still loads after all that.
+  EXPECT_EQ(load_cache_snapshot(target, snap.path).restored, 1u);
+}
+
+TEST(CachePersistence, TamperedReliabilityClaimDropsTheEntryOnly) {
+  const FileGuard snap(unique_path("snap_tamper", ".snapshot"));
+  PlacementDaemon source(small_platform(), DaemonConfig{});
+  const PlacementResponse honest = source.admit(request_for(121, FaultModel::parse("prob:R=0.9")));
+  ASSERT_TRUE(honest.ok) << honest.error;
+  ASSERT_TRUE(source.admit(request_for(122, FaultModel::count(1))).ok);
+  (void)save_cache_snapshot(source, snap.path);
+
+  // Inflate the probabilistic entry's reliability claim past anything the
+  // re-verification can reproduce, then re-seal the checksum — the framing
+  // is valid, only the claim lies.
+  std::string content = read_file(snap.path);
+  const std::size_t rel_pos = content.find(" rel=0.9");
+  ASSERT_NE(rel_pos, std::string::npos) << "expected a prob entry with rel<1 in the snapshot";
+  const std::size_t value_end = content.find(' ', rel_pos + 1);
+  ASSERT_NE(value_end, std::string::npos);
+  content.replace(rel_pos, value_end - rel_pos, " rel=0.99999999999");
+  const std::size_t checksum_pos = content.rfind("checksum ");
+  ASSERT_NE(checksum_pos, std::string::npos);
+  content.erase(checksum_pos);
+  char sealed[32];
+  std::snprintf(sealed, sizeof sealed, "checksum %016llx\n",
+                static_cast<unsigned long long>(Fnv64().str(content).value()));
+  write_file(snap.path, content + sealed);
+
+  PlacementDaemon target(small_platform(), DaemonConfig{});
+  const SnapshotLoadStats loaded = load_cache_snapshot(target, snap.path);
+  EXPECT_EQ(loaded.entries, 2u);
+  EXPECT_EQ(loaded.verify_failed, 1u);  // the liar is dropped...
+  EXPECT_EQ(loaded.restored, 1u);       // ...the honest entry warm-starts
+  EXPECT_EQ(target.cache_size(), 1u);
+}
+
+TEST(CachePersistence, EntriesKilledByTheLiveFailureSetAreStale) {
+  const FileGuard snap(unique_path("snap_stale", ".snapshot"));
+  PlacementDaemon source(small_platform(), DaemonConfig{});
+  const PlacementResponse resp = source.admit(request_for(131, FaultModel::count(1)));
+  ASSERT_TRUE(resp.ok) << resp.error;
+  (void)save_cache_snapshot(source, snap.path);
+
+  // Fail exactly the processors holding task 0's replicas: the snapshot
+  // entry cannot survive the restored daemon's live failure set.
+  EventBus bus;
+  PlacementDaemon target(small_platform(), DaemonConfig{}, &bus);
+  const Schedule& schedule = resp.placement->schedule;
+  for (CopyId c = 0; c < schedule.copies(); ++c) {
+    bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, schedule.placed(ReplicaRef{0, c}).proc});
+  }
+
+  const SnapshotLoadStats loaded = load_cache_snapshot(target, snap.path);
+  EXPECT_EQ(loaded.entries, 1u);
+  EXPECT_EQ(loaded.stale, 1u);
+  EXPECT_EQ(loaded.restored, 0u);
+  EXPECT_EQ(target.cache_size(), 0u);
+}
+
+// ------------------------------------------------------------- wire server --
+
+/// A running server on its own thread; the destructor drains and joins.
+struct ServerHandle {
+  net::Server server;
+  std::thread thread;
+
+  ServerHandle(Platform platform, net::ServerConfig config)
+      : server(std::move(platform), std::move(config)),
+        thread([this] { server.run(); }) {}
+
+  ~ServerHandle() {
+    if (thread.joinable()) {
+      server.shutdown();
+      thread.join();
+    }
+  }
+
+  void join() { thread.join(); }
+};
+
+net::SubmitFrame frame_for(std::uint64_t seed, const std::string& tag,
+                           net::QosClass qos = net::QosClass::kInteractive,
+                           std::size_t tasks = 14) {
+  net::SubmitFrame frame;
+  frame.qos = qos;
+  frame.tag = tag;
+  frame.model = FaultModel::count(2);
+  frame.dag = small_dag(seed, tasks);
+  return frame;
+}
+
+TEST(WireServer, SubmitEventRepairAndDrainOverUnixSocket) {
+  const FileGuard sock(unique_path("srv_e2e", ".sock"));
+  net::ServerConfig config;
+  config.unix_path = sock.path;
+  ServerHandle handle(small_platform(), config);
+  net::Client client = net::Client::connect_unix_path(sock.path);
+
+  // Cold admissions: full provenance in the response.
+  std::vector<std::string> fps;
+  for (std::uint64_t seed : {201u, 202u, 203u}) {
+    const net::Response resp = client.submit(frame_for(seed, "d" + std::to_string(seed)));
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.field("tag"), "d" + std::to_string(seed));
+    EXPECT_EQ(resp.field("src"), "cold");
+    EXPECT_EQ(resp.field_u64("epoch"), 0u);
+    EXPECT_EQ(resp.field("fp").size(), 16u);
+    EXPECT_EQ(resp.field_u64("eps"), 2u);
+    EXPECT_GE(resp.field_u64("stages"), 1u);
+    EXPECT_GT(resp.field_double("period"), 0.0);
+    EXPECT_GT(resp.field_double("latency"), 0.0);
+    EXPECT_TRUE(resp.has_field("rel"));
+    EXPECT_GT(resp.field_double("factor"), 0.0);
+    fps.push_back(resp.field("fp"));
+  }
+  const net::Response hit = client.submit(frame_for(201, "again"));
+  ASSERT_TRUE(hit.ok);
+  EXPECT_EQ(hit.field("src"), "hit");
+  EXPECT_EQ(hit.field("fp"), fps[0]);
+
+  // Pick a two-processor failure set no cached placement can lose a task
+  // to (ε = 2 places three replicas on distinct processors, so none can),
+  // preferring a pair that actually breaks some placement's survival so
+  // the incremental repair path runs.
+  const std::size_t m = handle.server.daemon().platform().num_procs();
+  const auto placements = handle.server.daemon().snapshot_entries();
+  ProcId fa = 0;
+  ProcId fb = 1;
+  bool found_breaking = false;
+  std::vector<std::uint64_t> scratch;
+  for (ProcId a = 0; a < m && !found_breaking; ++a) {
+    for (ProcId b = a + 1; b < m && !found_breaking; ++b) {
+      ProcSet pair(m);
+      pair.assign(std::vector<ProcId>{a, b});
+      for (const auto& placement : placements) {
+        if (!placement->oracle.survives(pair, scratch)) {
+          fa = a;
+          fb = b;
+          found_breaking = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // EVENT frames drive the daemon's repair walk synchronously; the
+  // response reports the post-event epoch.
+  net::EventFrame fail;
+  fail.failure = true;
+  fail.proc = fa;
+  net::Response event_resp = client.event(fail);
+  ASSERT_TRUE(event_resp.ok) << event_resp.message;
+  EXPECT_EQ(event_resp.field("kind"), "fail");
+  EXPECT_EQ(event_resp.field_u64("epoch"), 1u);
+  fail.proc = fb;
+  event_resp = client.event(fail);
+  ASSERT_TRUE(event_resp.ok);
+  EXPECT_EQ(event_resp.field_u64("epoch"), 2u);
+
+  // Re-SUBMIT: every placement was repairable, so all three serve from the
+  // (possibly repaired) cache — no cold reschedule.
+  for (std::uint64_t seed : {201u, 202u, 203u}) {
+    const net::Response resp = client.submit(frame_for(seed, "post"));
+    ASSERT_TRUE(resp.ok) << resp.message;
+    EXPECT_EQ(resp.field("src"), "hit");
+    EXPECT_EQ(resp.field_u64("epoch"), 2u);
+  }
+  // Every repaired placement survives the live failure set on a freshly
+  // compiled oracle (independent of the patched one the daemon serves).
+  ProcSet failed(m);
+  failed.assign(std::vector<ProcId>{fa, fb});
+  for (const auto& placement : handle.server.daemon().snapshot_entries()) {
+    SurvivalOracle fresh(placement->schedule);
+    EXPECT_TRUE(fresh.survives(failed));
+  }
+
+  net::Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.field_u64("failed"), 2u);
+  EXPECT_EQ(stats.field_u64("cache_size"), 3u);
+  EXPECT_EQ(stats.field_u64("repair_failures"), 0u);
+  // The batch-kernel re-verification ran on every repair and never failed.
+  EXPECT_EQ(stats.field_u64("verify_failures"), 0u);
+  EXPECT_EQ(stats.field_u64("verifications"), stats.field_u64("event_repairs"));
+  if (found_breaking) {
+    EXPECT_GT(stats.field_u64("event_repairs"), 0u);
+  }
+
+  // Recovery rewinds the failure set; epoch keeps counting.
+  net::EventFrame recover;
+  recover.failure = false;
+  for (ProcId p : {fb, fa}) {
+    recover.proc = p;
+    ASSERT_TRUE(client.event(recover).ok);
+  }
+  stats = client.stats();
+  EXPECT_EQ(stats.field_u64("epoch"), 4u);
+  EXPECT_EQ(stats.field_u64("failed"), 0u);
+
+  // Malformed frames fail loudly without killing the connection.
+  const net::Response bad = client.roundtrip("FROBNICATE now=please");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, net::WireCode::kBadRequest);
+  net::EventFrame out_of_range;
+  out_of_range.proc = static_cast<ProcId>(m + 10);
+  const net::Response bad_event = client.event(out_of_range);
+  EXPECT_FALSE(bad_event.ok);
+  EXPECT_EQ(bad_event.code, net::WireCode::kBadRequest);
+
+  // SHUTDOWN pipelined with a SUBMIT: the shutdown acks, the late SUBMIT
+  // is refused as SHUTTING_DOWN, and both responses flush before the
+  // server exits its loop.
+  client.send_line(net::format_shutdown() + "\n" + net::format_submit(frame_for(299, "late")));
+  const net::Response ack = client.read_response();
+  ASSERT_TRUE(ack.ok);
+  EXPECT_EQ(ack.field("shutdown"), "draining");
+  const net::Response late = client.read_response();
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.code, net::WireCode::kShuttingDown);
+  EXPECT_EQ(late.field("tag"), "late");
+  handle.join();
+}
+
+TEST(WireServer, InfeasibleRequestsReportInfeasible) {
+  const FileGuard sock(unique_path("srv_infeasible", ".sock"));
+  net::ServerConfig config;
+  config.unix_path = sock.path;
+  // One survivor on a 4-processor cluster: an ε = 1 placement (two
+  // replicas on distinct processors) always has some task with both
+  // replicas on failed processors — beyond repair, so the admission must
+  // answer INFEASIBLE rather than serve a dead placement.
+  ServerHandle handle(small_platform(5, 4), config);
+  net::Client client = net::Client::connect_unix_path(sock.path);
+  net::EventFrame fail;
+  fail.failure = true;
+  for (ProcId p : {0u, 1u, 2u}) {
+    fail.proc = p;
+    ASSERT_TRUE(client.event(fail).ok);
+  }
+  net::SubmitFrame frame = frame_for(211, "doomed");
+  frame.model = FaultModel::count(1);
+  const net::Response resp = client.submit(frame);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, net::WireCode::kInfeasible);
+  EXPECT_EQ(resp.field("tag"), "doomed");
+}
+
+TEST(WireServer, SaturatedBatchLaneShedsWhileInteractiveLands) {
+  const FileGuard sock(unique_path("srv_shed", ".sock"));
+  net::ServerConfig config;
+  config.unix_path = sock.path;
+  auto& batch = config.lanes[static_cast<std::size_t>(net::QosClass::kBatch)];
+  batch.workers = 1;
+  batch.bound = 1;
+  ServerHandle handle(small_platform(), config);
+
+  // Three heavyweight batch SUBMITs in ONE write: the poll thread frames
+  // all three from the same read, so the first fills the lane (bound 1)
+  // microseconds before the second and third arrive — they must shed with
+  // BUSY while the first is still scheduling cold.
+  net::Client blocker = net::Client::connect_unix_path(sock.path);
+  std::string burst = net::format_submit(frame_for(221, "b0", net::QosClass::kBatch, 40));
+  burst += "\n" + net::format_submit(frame_for(222, "b1", net::QosClass::kBatch, 40));
+  burst += "\n" + net::format_submit(frame_for(223, "b2", net::QosClass::kBatch, 40));
+  blocker.send_line(burst);
+
+  // Interactive rides its own lane: admitted and served while batch is
+  // saturated.
+  net::Client probe = net::Client::connect_unix_path(sock.path);
+  const net::Response interactive = probe.submit(frame_for(231, "fg"));
+  ASSERT_TRUE(interactive.ok) << interactive.message;
+  EXPECT_EQ(interactive.field("src"), "cold");
+
+  std::size_t ok_count = 0;
+  std::size_t busy_count = 0;
+  for (int i = 0; i < 3; ++i) {
+    const net::Response resp = blocker.read_response();
+    if (resp.ok) {
+      ++ok_count;
+      EXPECT_EQ(resp.field("tag"), "b0");  // the accepted head of the burst
+    } else {
+      ++busy_count;
+      EXPECT_EQ(resp.code, net::WireCode::kBusy);
+      EXPECT_TRUE(resp.field("tag") == "b1" || resp.field("tag") == "b2") << resp.field("tag");
+    }
+  }
+  EXPECT_EQ(ok_count, 1u);
+  EXPECT_EQ(busy_count, 2u);
+
+  const net::Response stats = probe.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.field_u64("batch_accepted"), 1u);
+  EXPECT_EQ(stats.field_u64("batch_shed"), 2u);
+  EXPECT_EQ(stats.field_u64("interactive_accepted"), 1u);
+  EXPECT_EQ(stats.field_u64("interactive_shed"), 0u);
+  EXPECT_EQ(handle.server.lane_stats(net::QosClass::kBatch).shed, 2u);
+}
+
+TEST(WireServer, WarmRestartServesBitIdenticalWithoutColdPath) {
+  const FileGuard sock1(unique_path("srv_warm1", ".sock"));
+  const FileGuard sock2(unique_path("srv_warm2", ".sock"));
+  const FileGuard snap(unique_path("srv_warm", ".snapshot"));
+
+  std::vector<std::string> fps;
+  {
+    net::ServerConfig config;
+    config.unix_path = sock1.path;
+    config.snapshot_path = snap.path;
+    ServerHandle first(small_platform(), config);
+    net::Client client = net::Client::connect_unix_path(sock1.path);
+    for (std::uint64_t seed : {241u, 242u}) {
+      const net::Response resp = client.submit(frame_for(seed, "warmup"));
+      ASSERT_TRUE(resp.ok) << resp.message;
+      fps.push_back(resp.field("fp"));
+    }
+    ASSERT_TRUE(client.shutdown().ok);
+    first.join();  // run() saves the snapshot on the way out
+  }
+
+  net::ServerConfig config;
+  config.unix_path = sock2.path;
+  config.snapshot_path = snap.path;
+  ServerHandle second(small_platform(), config);
+  net::Client client = net::Client::connect_unix_path(sock2.path);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const net::Response resp = client.submit(frame_for(241 + i, "restart"));
+    ASSERT_TRUE(resp.ok) << resp.message;
+    // Warm provenance and the exact fingerprint of the pre-restart serve.
+    EXPECT_EQ(resp.field("src"), "warm");
+    EXPECT_EQ(resp.field("fp"), fps[i]);
+  }
+  const net::Response stats = client.stats();
+  ASSERT_TRUE(stats.ok);
+  EXPECT_EQ(stats.field_u64("restored"), 2u);
+  EXPECT_EQ(stats.field_u64("cold"), 0u);
+  EXPECT_EQ(stats.field_u64("hits"), 2u);
+}
+
+TEST(WireServer, RejectedSnapshotStartsColdInsteadOfDying) {
+  const FileGuard snap(unique_path("srv_badsnap", ".snapshot"));
+  write_file(snap.path, "this is not a cache snapshot\n");
+  net::ServerConfig config;
+  config.snapshot_path = snap.path;
+  // No listener configured: construction alone exercises the load path.
+  net::Server server(small_platform(), config);
+  EXPECT_EQ(server.daemon().cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace streamsched

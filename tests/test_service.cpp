@@ -7,8 +7,10 @@
 // the model guarantee), and the async submit path on the shared pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <future>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/fingerprint.hpp"
@@ -184,6 +186,53 @@ TEST(EventBus, DeliversInSubscriptionOrderAndUnsubscribes) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 2}));
   EXPECT_EQ(bus.events_published(), 2u);
   EXPECT_TRUE(bus.unsubscribe(b));
+}
+
+TEST(EventBus, ConcurrentPublishersSerializeIntoATotalOrder) {
+  // The wire server's poll thread and in-process monitors may publish
+  // concurrently; the bus contract is a total order — the handler never
+  // runs against itself, no event is lost, and each publisher's events
+  // arrive in its own program order.
+  EventBus bus;
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kPerThread = 64;
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  std::vector<ProcId> observed;  // handler-local: serialized by the bus
+  const auto id = bus.subscribe([&](const ClusterEvent& event) {
+    if (inside.fetch_add(1) != 0) overlapped.store(true);
+    observed.push_back(event.proc);
+    inside.fetch_sub(1);
+  });
+
+  std::vector<std::thread> publishers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    publishers.emplace_back([&bus, t] {
+      for (std::size_t s = 0; s < kPerThread; ++s) {
+        // proc encodes (publisher, sequence) so the observer can recover
+        // each publisher's program order.
+        bus.publish(ClusterEvent{s % 2 == 0 ? ClusterEvent::Kind::kFailure
+                                            : ClusterEvent::Kind::kRecovery,
+                                 static_cast<ProcId>(t * kPerThread + s)});
+      }
+    });
+  }
+  for (std::thread& thread : publishers) thread.join();
+
+  EXPECT_FALSE(overlapped.load()) << "handler ran concurrently with itself";
+  ASSERT_EQ(observed.size(), kThreads * kPerThread);
+  EXPECT_EQ(bus.events_published(), kThreads * kPerThread);
+  // No event lost or duplicated, and per-publisher order preserved.
+  std::vector<std::size_t> next_seq(kThreads, 0);
+  for (const ProcId proc : observed) {
+    const std::size_t t = proc / kPerThread;
+    const std::size_t s = proc % kPerThread;
+    ASSERT_LT(t, kThreads);
+    EXPECT_EQ(s, next_seq[t]) << "publisher " << t << " events reordered";
+    ++next_seq[t];
+  }
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_EQ(next_seq[t], kPerThread);
+  EXPECT_TRUE(bus.unsubscribe(id));
 }
 
 // ---------------------------------------------------------------- daemon --

@@ -1,0 +1,250 @@
+// Wire-protocol suite (net/wire.hpp): exact double round trips, DagWire /
+// ScheduleWire serialization that preserves fingerprints bit-identically,
+// strict request parsing (unknown verbs/fields/values fail loudly), and
+// response formatting/parsing including the tag echo on errors.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "core/fingerprint.hpp"
+#include "core/rltf.hpp"
+#include "graph/generators.hpp"
+#include "net/wire.hpp"
+#include "platform/generators.hpp"
+#include "util/rng.hpp"
+
+namespace streamsched::net {
+namespace {
+
+Dag layered_dag(std::uint64_t seed, std::size_t tasks = 16) {
+  Rng rng(seed);
+  return make_random_layered(rng, tasks, 4, 0.4, WeightRanges{});
+}
+
+// ----------------------------------------------------------------- doubles --
+
+TEST(WireDouble, ExactRoundTripIncludingAwkwardValues) {
+  for (double v : {1.0 / 3.0, 0.1, 1e-300, 1e300, -2.5, 0.0,
+                   std::numeric_limits<double>::denorm_min(),
+                   std::numeric_limits<double>::max(),
+                   std::nextafter(1.0, 2.0)}) {
+    const double back = parse_wire_double(wire_double(v));
+    // Bit-for-bit, not merely approximately equal.
+    EXPECT_EQ(std::memcmp(&back, &v, sizeof v), 0) << wire_double(v);
+  }
+}
+
+TEST(WireDouble, StrictParseRejectsTrailingAndEmpty) {
+  EXPECT_THROW((void)parse_wire_double(""), WireError);
+  EXPECT_THROW((void)parse_wire_double("1.5x"), WireError);
+  EXPECT_THROW((void)parse_wire_double("1.5 "), WireError);
+}
+
+TEST(WireCodeNames, RoundTripAndRejectUnknown) {
+  for (WireCode code : {WireCode::kOk, WireCode::kBadRequest, WireCode::kBusy,
+                        WireCode::kInfeasible, WireCode::kShuttingDown, WireCode::kInternal}) {
+    EXPECT_EQ(parse_wire_code(wire_code_name(code)), code);
+  }
+  EXPECT_THROW((void)parse_wire_code("NOPE"), WireError);
+}
+
+// ----------------------------------------------------------------- DagWire --
+
+TEST(DagWire, RoundTripPreservesFingerprintAndText) {
+  const Dag dag = layered_dag(7);
+  const std::string wire = format_dag_wire(dag);
+  const Dag back = parse_dag_wire(wire);
+  EXPECT_EQ(dag_fingerprint(back), dag_fingerprint(dag));
+  // Re-serializing the parsed DAG reproduces the text byte for byte.
+  EXPECT_EQ(format_dag_wire(back), wire);
+  EXPECT_EQ(wire.find(' '), std::string::npos) << "DagWire must stay space-free";
+}
+
+TEST(DagWire, EdgelessSingleTask) {
+  Dag one;
+  one.add_task(2.5);
+  const Dag back = parse_dag_wire(format_dag_wire(one));
+  EXPECT_EQ(back.num_tasks(), 1u);
+  EXPECT_EQ(back.num_edges(), 0u);
+  EXPECT_EQ(back.work(0), 2.5);
+}
+
+TEST(DagWire, StrictRejects) {
+  EXPECT_THROW((void)parse_dag_wire(""), WireError);
+  EXPECT_THROW((void)parse_dag_wire("x2;w1,2;e"), WireError);       // bad section marker
+  EXPECT_THROW((void)parse_dag_wire("n2;w1;e"), WireError);         // work count mismatch
+  EXPECT_THROW((void)parse_dag_wire("n2;w1,2;e0-5:1"), WireError);  // endpoint out of range
+  EXPECT_THROW((void)parse_dag_wire("n2;w1,2;e0:1"), WireError);    // malformed edge
+  EXPECT_THROW((void)parse_dag_wire("n2;w1,oops;e"), WireError);    // malformed work
+  EXPECT_THROW((void)parse_dag_wire("n2;w1,2"), WireError);         // missing edge section
+}
+
+// ------------------------------------------------------------ ScheduleWire --
+
+TEST(ScheduleWire, BitIdenticalRoundTrip) {
+  const Dag dag = layered_dag(9);
+  Rng rng(5);
+  const Platform platform = make_reliability_heterogeneous(rng, 8, 0.02, 0.08);
+  SchedulerOptions options;
+  options.eps = 1;
+  options.period = std::numeric_limits<double>::infinity();
+  const ScheduleResult result = rltf_schedule(dag, platform, options);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const Schedule& original = *result.schedule;
+
+  const std::string wire = format_schedule_wire(original);
+  EXPECT_EQ(wire.find(' '), std::string::npos) << "ScheduleWire must stay space-free";
+  const Schedule back = parse_schedule_wire(wire, dag, platform);
+  // The replay is bit-identical: content fingerprint and re-serialized
+  // text both match, which is what warm-start provenance relies on.
+  EXPECT_EQ(schedule_fingerprint(back), schedule_fingerprint(original));
+  EXPECT_EQ(format_schedule_wire(back), wire);
+  EXPECT_EQ(back.eps(), original.eps());
+  EXPECT_EQ(back.period(), original.period());
+  EXPECT_EQ(back.comms().size(), original.comms().size());
+}
+
+TEST(ScheduleWire, StrictRejects) {
+  Dag dag;
+  dag.add_task(1.0);
+  dag.add_task(2.0);
+  dag.add_edge(0, 1, 1.0);
+  Rng rng(5);
+  const Platform platform = make_reliability_heterogeneous(rng, 4, 0.02, 0.08);
+
+  EXPECT_THROW((void)parse_schedule_wire("", dag, platform), WireError);
+  EXPECT_THROW((void)parse_schedule_wire("p1;r;c", dag, platform), WireError);
+  // Replica out of range (proc 9 on a 4-proc platform).
+  EXPECT_THROW((void)parse_schedule_wire("eps1;p1;r0:0:9:0:1:0;c", dag, platform), WireError);
+  // Replica with too few fields.
+  EXPECT_THROW((void)parse_schedule_wire("eps1;p1;r0:0:0;c", dag, platform), WireError);
+  // Comm referencing an edge the DAG does not have.
+  EXPECT_THROW(
+      (void)parse_schedule_wire("eps1;p1;r;c7:0:0:1:0:0:1:0", dag, platform), WireError);
+  // Repair flag must be 0/1.
+  EXPECT_THROW(
+      (void)parse_schedule_wire("eps1;p1;r;c0:0:0:1:0:0:1:2", dag, platform), WireError);
+}
+
+// ---------------------------------------------------------------- requests --
+
+TEST(RequestWire, SubmitRoundTripThroughFormatAndParse) {
+  SubmitFrame frame;
+  frame.qos = QosClass::kBatch;
+  frame.tag = "job-17";
+  frame.variant_spec = "rltf";
+  frame.model = FaultModel::count(2);
+  frame.period = 12.5;
+  frame.headroom = 3.0;
+  frame.comm_share = 0.5;
+  frame.dag = layered_dag(11);
+
+  const Request request = parse_request(format_submit(frame));
+  ASSERT_EQ(request.verb, Verb::kSubmit);
+  const SubmitFrame& back = request.submit;
+  EXPECT_EQ(back.qos, QosClass::kBatch);
+  EXPECT_EQ(back.tag, "job-17");
+  EXPECT_EQ(back.variant_spec, "rltf");
+  EXPECT_EQ(back.model.to_string(), frame.model.to_string());
+  EXPECT_EQ(back.period, 12.5);
+  EXPECT_EQ(back.headroom, 3.0);
+  EXPECT_EQ(back.comm_share, 0.5);
+  EXPECT_EQ(dag_fingerprint(back.dag), dag_fingerprint(frame.dag));
+}
+
+TEST(RequestWire, SubmitDefaultsOmitOptionalFields) {
+  SubmitFrame frame;
+  frame.dag = layered_dag(3, 6);
+  const std::string line = format_submit(frame);
+  // Defaults are not serialized: the line carries qos/algo/model/dag only.
+  EXPECT_EQ(line.find("period="), std::string::npos);
+  EXPECT_EQ(line.find("headroom="), std::string::npos);
+  EXPECT_EQ(line.find("tag="), std::string::npos);
+  const Request request = parse_request(line);
+  EXPECT_EQ(request.submit.headroom, SubmitFrame{}.headroom);
+  EXPECT_EQ(request.submit.period, 0.0);
+}
+
+TEST(RequestWire, EventAndControlVerbs) {
+  EventFrame event;
+  event.failure = true;
+  event.proc = 3;
+  event.tag = "monitor";
+  Request request = parse_request(format_event(event));
+  ASSERT_EQ(request.verb, Verb::kEvent);
+  EXPECT_TRUE(request.event.failure);
+  EXPECT_EQ(request.event.proc, 3u);
+  EXPECT_EQ(request.event.tag, "monitor");
+
+  event.failure = false;
+  request = parse_request(format_event(event));
+  EXPECT_FALSE(request.event.failure);
+
+  EXPECT_EQ(parse_request(format_stats()).verb, Verb::kStats);
+  EXPECT_EQ(parse_request(format_shutdown()).verb, Verb::kShutdown);
+}
+
+TEST(RequestWire, StrictRejects) {
+  const std::string dag = format_dag_wire(layered_dag(3, 4));
+  EXPECT_THROW((void)parse_request(""), WireError);
+  EXPECT_THROW((void)parse_request("FROB dag=" + dag), WireError);      // unknown verb
+  EXPECT_THROW((void)parse_request("SUBMIT"), WireError);               // no dag
+  EXPECT_THROW((void)parse_request("SUBMIT colour=red dag=" + dag), WireError);
+  EXPECT_THROW((void)parse_request("SUBMIT qos=express dag=" + dag), WireError);
+  EXPECT_THROW((void)parse_request("SUBMIT algo=unknown_algo dag=" + dag), WireError);
+  EXPECT_THROW((void)parse_request("SUBMIT model=count:eps=x dag=" + dag), WireError);
+  EXPECT_THROW((void)parse_request("EVENT proc=1"), WireError);         // kind missing
+  EXPECT_THROW((void)parse_request("EVENT kind=explode proc=1"), WireError);
+  EXPECT_THROW((void)parse_request("EVENT kind=fail proc=-1"), WireError);
+  EXPECT_THROW((void)parse_request("STATS now"), WireError);            // takes no fields
+  EXPECT_THROW((void)parse_request("SHUTDOWN please"), WireError);
+}
+
+// --------------------------------------------------------------- responses --
+
+TEST(ResponseWire, OkBuilderRoundTrip) {
+  const std::string line = OkBuilder()
+                               .add("tag", "t1")
+                               .add("src", "hit")
+                               .add("period", 2.5)
+                               .add("eps", std::uint64_t{2})
+                               .str();
+  const Response resp = parse_response(line);
+  EXPECT_TRUE(resp.ok);
+  EXPECT_EQ(resp.code, WireCode::kOk);
+  EXPECT_EQ(resp.field("tag"), "t1");
+  EXPECT_EQ(resp.field("src"), "hit");
+  EXPECT_EQ(resp.field_double("period"), 2.5);
+  EXPECT_EQ(resp.field_u64("eps"), 2u);
+  EXPECT_FALSE(resp.has_field("rel"));
+  EXPECT_EQ(resp.field("rel"), "");
+  EXPECT_THROW((void)resp.field_double("rel"), WireError);
+  EXPECT_THROW((void)resp.field_u64("src"), WireError);
+}
+
+TEST(ResponseWire, ErrorCarriesCodeTagAndSpacedMessage) {
+  const std::string line =
+      format_error(WireCode::kBusy, "batch lane full, retry later", "job-9");
+  const Response resp = parse_response(line);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, WireCode::kBusy);
+  EXPECT_EQ(resp.field("tag"), "job-9");
+  EXPECT_EQ(resp.message, "batch lane full, retry later");
+
+  const Response untagged = parse_response(format_error(WireCode::kInternal, "boom"));
+  EXPECT_EQ(untagged.code, WireCode::kInternal);
+  EXPECT_FALSE(untagged.has_field("tag"));
+  EXPECT_EQ(untagged.message, "boom");
+}
+
+TEST(ResponseWire, StrictRejects) {
+  EXPECT_THROW((void)parse_response(""), WireError);
+  EXPECT_THROW((void)parse_response("YES fine"), WireError);
+  EXPECT_THROW((void)parse_response("ERR"), WireError);
+  EXPECT_THROW((void)parse_response("ERR WHATEVER nope"), WireError);
+}
+
+}  // namespace
+}  // namespace streamsched::net

@@ -1,0 +1,113 @@
+// Command-line client of the placement service (docs/PROTOCOL.md).
+//
+//   streamsched_client --server=unix:/tmp/streamsched.sock --stats
+//   streamsched_client --server=tcp:127.0.0.1:7070 --submit
+//       --random-dag=24:7 --algo=rltf --model=count:eps=1
+//   streamsched_client --server=unix:... --event=fail:3
+//   streamsched_client --server=unix:... --shutdown
+//
+// Exactly one action flag per invocation. SUBMIT takes either an explicit
+// --dag=<DagWire> or --random-dag=<tasks>:<seed> (the same layered
+// generator the benches use, so smoke tests need no DAG files). The
+// response's key=value fields are printed one per line; `ERR` responses
+// print the code + message on stderr and exit 1.
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.hpp"
+#include "net/client.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace streamsched;
+
+/// `fail:3` / `recover:3` → EventFrame.
+net::EventFrame parse_event_arg(const std::string& arg) {
+  const std::size_t colon = arg.find(':');
+  if (colon == std::string::npos) {
+    throw std::invalid_argument("--event wants fail:<proc> or recover:<proc>");
+  }
+  const std::string kind = arg.substr(0, colon);
+  net::EventFrame event;
+  if (kind == "fail") {
+    event.failure = true;
+  } else if (kind == "recover") {
+    event.failure = false;
+  } else {
+    throw std::invalid_argument("--event kind must be fail or recover, got " + kind);
+  }
+  event.proc = static_cast<ProcId>(std::stoul(arg.substr(colon + 1)));
+  return event;
+}
+
+int print_response(const net::Response& resp) {
+  if (!resp.ok) {
+    std::cerr << "ERR " << net::wire_code_name(resp.code) << ": " << resp.message << '\n';
+    return 1;
+  }
+  for (const auto& [key, value] : resp.fields) std::cout << key << '=' << value << '\n';
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const std::string server = cli.get_string("server", "", "STREAMSCHED_SERVER");
+  const bool do_stats = cli.get_bool("stats", false, "");
+  const bool do_shutdown = cli.get_bool("shutdown", false, "");
+  const std::string event_arg = cli.get_string("event", "", "");
+  const bool do_submit = cli.get_bool("submit", false, "");
+  const std::string dag_wire = cli.get_string("dag", "", "");
+  const std::string random_dag = cli.get_string("random-dag", "", "");
+  net::SubmitFrame frame;
+  frame.variant_spec = cli.get_string("algo", "rltf", "STREAMSCHED_ALGO");
+  const std::string model_spec = cli.get_string("model", "count:eps=1", "");
+  const std::string qos = cli.get_string("qos", "interactive", "");
+  frame.period = cli.get_double("period", 0.0, "");
+  frame.headroom = cli.get_double("headroom", 2.0, "");
+  frame.comm_share = cli.get_double("comm-share", 1.0, "");
+  frame.tag = cli.get_string("tag", "", "");
+  cli.finish();
+
+  const int actions = static_cast<int>(do_stats) + static_cast<int>(do_shutdown) +
+                      static_cast<int>(!event_arg.empty()) + static_cast<int>(do_submit);
+  if (server.empty() || actions != 1) {
+    std::cerr << "usage: " << argv[0]
+              << " --server=unix:<path>|tcp:<host>:<port> "
+                 "(--stats | --shutdown | --event=fail:<p>|recover:<p> | "
+                 "--submit --dag=<wire>|--random-dag=<tasks>:<seed>)\n";
+    return 2;
+  }
+
+  try {
+    net::Client client = net::Client::connect(server);
+    if (do_stats) return print_response(client.stats());
+    if (do_shutdown) return print_response(client.shutdown());
+    if (!event_arg.empty()) return print_response(client.event(parse_event_arg(event_arg)));
+
+    frame.model = FaultModel::parse(model_spec);
+    frame.qos = net::parse_qos_class(qos);
+    if (!dag_wire.empty()) {
+      frame.dag = net::parse_dag_wire(dag_wire);
+    } else if (!random_dag.empty()) {
+      const std::size_t colon = random_dag.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--random-dag wants <tasks>:<seed>");
+      }
+      const auto tasks = static_cast<std::size_t>(std::stoul(random_dag.substr(0, colon)));
+      Rng rng(std::stoull(random_dag.substr(colon + 1)));
+      frame.dag = make_random_layered(rng, tasks, 4, 0.4, WeightRanges{});
+    } else {
+      std::cerr << "--submit wants --dag=<wire> or --random-dag=<tasks>:<seed>\n";
+      return 2;
+    }
+    return print_response(client.submit(frame));
+  } catch (const std::exception& e) {
+    std::cerr << "client failed: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,118 @@
+// The placement service server binary: a PlacementDaemon behind the wire
+// protocol (docs/PROTOCOL.md), serving unix-domain and/or TCP clients.
+//
+//   streamsched_server --unix=/tmp/streamsched.sock
+//   streamsched_server --tcp-port=7070 --procs=16 --snapshot=cache.snap
+//
+// The cluster itself is generated from --procs/--p-lo/--p-hi/--seed
+// (deterministic: the same flags produce the same platform, and therefore
+// the same platform fingerprint — which is what lets a warm-start
+// snapshot from a previous run of the same configuration load). SIGINT /
+// SIGTERM drain like a wire SHUTDOWN: in-flight admissions finish, the
+// snapshot is saved, the process exits 0.
+//
+// Diagnostics go through the bounded async logger (util/async_log.hpp):
+// the poll loop and admission workers never block on stderr; overflow
+// drops messages and says how many on exit.
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "service/server.hpp"
+#include "platform/generators.hpp"
+#include "util/async_log.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+streamsched::net::Server* g_server = nullptr;
+
+// Async-signal-safe: an atomic store plus one pipe write.
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->shutdown();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace streamsched;
+
+  Cli cli(argc, argv);
+  net::ServerConfig config;
+  config.unix_path = cli.get_string("unix", "", "STREAMSCHED_UNIX");
+  config.tcp_host = cli.get_string("tcp-host", "127.0.0.1", "");
+  const std::int64_t tcp_port = cli.get_int("tcp-port", -1, "STREAMSCHED_TCP_PORT");
+  config.snapshot_path = cli.get_string("snapshot", "", "STREAMSCHED_SNAPSHOT");
+  const auto procs = static_cast<std::size_t>(cli.get_int("procs", 16, "STREAMSCHED_PROCS"));
+  const double p_lo = cli.get_double("p-lo", 0.02, "");
+  const double p_hi = cli.get_double("p-hi", 0.08, "");
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, "STREAMSCHED_SEED"));
+  config.daemon.cache_capacity =
+      static_cast<std::size_t>(cli.get_int("cache", 256, "STREAMSCHED_CACHE"));
+  auto& interactive = config.lanes[static_cast<std::size_t>(net::QosClass::kInteractive)];
+  auto& batch = config.lanes[static_cast<std::size_t>(net::QosClass::kBatch)];
+  interactive.workers =
+      static_cast<std::size_t>(cli.get_int("interactive-workers", 2, ""));
+  interactive.bound = static_cast<std::size_t>(cli.get_int("interactive-bound", 64, ""));
+  batch.workers = static_cast<std::size_t>(cli.get_int("batch-workers", 1, ""));
+  batch.bound = static_cast<std::size_t>(cli.get_int("batch-bound", 16, ""));
+  const std::string level = cli.get_string("log-level", "info", "STREAMSCHED_LOG");
+  cli.finish();
+
+  if (config.unix_path.empty() && tcp_port < 0) {
+    std::cerr << "nothing to listen on: pass --unix=PATH and/or --tcp-port=PORT "
+                 "(0 = ephemeral)\n";
+    return 2;
+  }
+  if (tcp_port >= 0) {
+    config.tcp = true;
+    config.tcp_port = static_cast<std::uint16_t>(tcp_port);
+  }
+  if (level == "debug") {
+    set_log_level(LogLevel::kDebug);
+  } else if (level == "info") {
+    set_log_level(LogLevel::kInfo);
+  } else if (level == "warn") {
+    set_log_level(LogLevel::kWarn);
+  } else if (level == "error") {
+    set_log_level(LogLevel::kError);
+  } else {
+    std::cerr << "unknown --log-level=" << level << " (debug|info|warn|error)\n";
+    return 2;
+  }
+
+  AsyncLogger logger;
+  install_async_logger(&logger);
+
+  Rng rng(seed);
+  Platform platform = make_reliability_heterogeneous(rng, procs, p_lo, p_hi);
+
+  int status = 0;
+  try {
+    net::Server server(std::move(platform), config);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    if (config.tcp) {
+      // The one line scripts scrape for the ephemeral port.
+      std::cout << "listening tcp port " << server.tcp_port() << std::endl;
+    }
+    if (!config.unix_path.empty()) {
+      std::cout << "listening unix " << config.unix_path << std::endl;
+    }
+    server.run();
+    g_server = nullptr;
+  } catch (const std::exception& e) {
+    log_error() << "server failed: " << e.what();
+    status = 1;
+  }
+
+  install_async_logger(nullptr);
+  logger.flush();
+  if (logger.dropped() > 0) {
+    std::cerr << "async log overflow: " << logger.dropped() << " messages dropped\n";
+  }
+  return status;
+}
