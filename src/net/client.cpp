@@ -43,15 +43,7 @@ Response Client::roundtrip(const std::string& request_line) {
 void Client::send_line(const std::string& request_line) {
   std::string out = request_line;
   out += '\n';
-  std::size_t sent = 0;
-  while (sent < out.size()) {
-    const ssize_t n = ::send(fd_.get(), out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::system_error(errno, std::generic_category(), "send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
+  send_all(fd_.get(), out.data(), out.size());
 }
 
 Response Client::read_response() {
@@ -64,11 +56,8 @@ Response Client::read_response() {
       return parse_response(line);
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::system_error(errno, std::generic_category(), "recv");
-    }
+    const ssize_t n = recv_some(fd_.get(), chunk, sizeof(chunk));
+    if (n < 0) throw std::system_error(errno, std::generic_category(), "recv");
     if (n == 0) throw std::runtime_error("server closed the connection mid-response");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }

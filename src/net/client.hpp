@@ -20,6 +20,11 @@ class Client {
   [[nodiscard]] static Client connect_tcp_host(const std::string& host, std::uint16_t port);
   /// `unix:<path>` or `tcp:<host>:<port>`.
   [[nodiscard]] static Client connect(const std::string& target);
+  /// Wraps an already-connected socket (tests, socketpair fakes).
+  [[nodiscard]] static Client adopt(Fd fd) { return Client(std::move(fd)); }
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
 
   /// Sends one request line and blocks for one response line.
   Response roundtrip(const std::string& request_line);
@@ -27,6 +32,7 @@ class Client {
   Response submit(const SubmitFrame& frame) { return roundtrip(format_submit(frame)); }
   Response event(const EventFrame& frame) { return roundtrip(format_event(frame)); }
   Response stats() { return roundtrip(format_stats()); }
+  Response health() { return roundtrip(format_health()); }
   Response shutdown() { return roundtrip(format_shutdown()); }
 
   /// Pipelining: queue a request without waiting.

@@ -1,0 +1,151 @@
+#include "net/resilient_client.hpp"
+
+#include <time.h>
+
+#include <chrono>
+#include <system_error>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace streamsched::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// nanosleep that survives real EINTR (signals must not shorten a
+/// deterministic backoff schedule).
+void sleep_ms(std::uint64_t ms) {
+  timespec req{};
+  req.tv_sec = static_cast<time_t>(ms / 1000);
+  req.tv_nsec = static_cast<long>((ms % 1000) * 1000000L);
+  while (::nanosleep(&req, &req) != 0 && errno == EINTR) {
+  }
+}
+
+}  // namespace
+
+ResilientClient::ResilientClient(std::string target, RetryPolicy policy)
+    : target_(std::move(target)),
+      policy_(policy),
+      jitter_state_(policy.jitter_seed ^ 0x9e3779b97f4a7c15ULL) {}
+
+std::unique_ptr<Client> ResilientClient::acquire() {
+  if (!pool_.empty()) {
+    std::unique_ptr<Client> client = std::move(pool_.back());
+    pool_.pop_back();
+    return client;
+  }
+  return std::make_unique<Client>(Client::connect(target_));
+}
+
+void ResilientClient::release(std::unique_ptr<Client> client) {
+  if (pool_.size() < policy_.pool_size) pool_.push_back(std::move(client));
+}
+
+std::uint64_t ResilientClient::backoff_ms(std::uint32_t attempt, std::uint64_t hint_ms) {
+  // Exponential term: base * 2^attempt, capped (shift guarded so a huge
+  // retry budget cannot overflow).
+  std::uint64_t base = policy_.backoff_base_ms;
+  if (attempt < 32) {
+    base <<= attempt;
+  } else {
+    base = policy_.backoff_cap_ms;
+  }
+  if (base > policy_.backoff_cap_ms) base = policy_.backoff_cap_ms;
+  if (hint_ms > 0) {
+    // The server's drain estimate replaces the blind exponential term
+    // but stays under the cap — a confused server must not park us.
+    base = hint_ms < policy_.backoff_cap_ms ? hint_ms : policy_.backoff_cap_ms;
+  }
+  // Deterministic jitter in [0, base/2]: spreads concurrent clients
+  // (different seeds) without ever *shortening* the server's hint.
+  const std::uint64_t draw = splitmix64(jitter_state_);
+  const std::uint64_t jitter = base >= 2 ? draw % (base / 2 + 1) : 0;
+  return base + jitter;
+}
+
+Response ResilientClient::roundtrip(const std::string& request_line) {
+  const bool bounded = policy_.deadline_ms > 0;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(policy_.deadline_ms);
+
+  const auto remaining_ms = [&]() -> std::int64_t {
+    if (!bounded) return -1;  // unbounded
+    return std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now())
+        .count();
+  };
+
+  const auto backoff_or_throw = [&](std::uint32_t attempt, std::uint64_t hint_ms) {
+    std::uint64_t wait = backoff_ms(attempt, hint_ms);
+    if (bounded) {
+      const std::int64_t left = remaining_ms();
+      if (left <= 0) {
+        throw DeadlineExceeded("deadline exceeded after " + std::to_string(attempt + 1) +
+                               " attempt(s): " + request_line.substr(0, 64));
+      }
+      if (wait > static_cast<std::uint64_t>(left)) wait = static_cast<std::uint64_t>(left);
+    }
+    stats_.backoff_ms_total += wait;
+    sleep_ms(wait);
+  };
+
+  std::string last_error = "no attempt made";
+  for (std::uint32_t attempt = 0; attempt <= policy_.max_retries; ++attempt) {
+    if (attempt > 0) ++stats_.retries;
+    if (bounded && remaining_ms() <= 0) {
+      throw DeadlineExceeded("deadline exceeded after " + std::to_string(attempt) +
+                             " attempt(s): " + request_line.substr(0, 64));
+    }
+    std::unique_ptr<Client> client;
+    try {
+      client = acquire();
+      ++stats_.attempts;
+      Response response = client->roundtrip(request_line);
+      if (!response.ok && response.code == WireCode::kBusy) {
+        // The connection is healthy — the server shed us. Pool it and
+        // wait out the (hinted) drain interval.
+        release(std::move(client));
+        ++stats_.busy_backoffs;
+        std::uint64_t hint = 0;
+        if (response.has_field("retry_ms")) {
+          hint = response.field_u64("retry_ms");
+          ++stats_.hinted_backoffs;
+        }
+        last_error = "server busy: " + response.message;
+        backoff_or_throw(attempt, hint);
+        continue;
+      }
+      // Definitive: OK, or an error a retry cannot fix (BAD_REQUEST,
+      // INFEASIBLE, SHUTTING_DOWN, INTERNAL).
+      release(std::move(client));
+      return response;
+    } catch (const DeadlineExceeded&) {
+      throw;  // raised by the BUSY backoff above — not a transport error
+    } catch (const WireError&) {
+      // The server spoke garbage — the stream may be torn mid-line, so
+      // the connection cannot be reused. Reconnect and retry; SUBMIT
+      // idempotency makes the re-send safe even if the request landed.
+      ++stats_.reconnects;
+      last_error = "malformed response (connection discarded)";
+    } catch (const std::system_error& e) {
+      // Refused/reset/transport error, on connect or mid-stream.
+      ++stats_.reconnects;
+      last_error = e.what();
+    } catch (const std::runtime_error& e) {
+      // Client::read_response EOF: the ambiguous-drop case — the request
+      // may or may not have been admitted. Safe to re-send (idempotent).
+      ++stats_.reconnects;
+      last_error = e.what();
+    }
+    // client (if any) destructs here: failed connections never rejoin
+    // the pool.
+    client.reset();
+    if (attempt < policy_.max_retries) backoff_or_throw(attempt, 0);
+  }
+  throw RetriesExhausted("gave up after " + std::to_string(policy_.max_retries + 1) +
+                         " attempt(s); last error: " + last_error);
+}
+
+}  // namespace streamsched::net

@@ -1,0 +1,121 @@
+// Retrying wrapper over net/client.hpp for unreliable networks.
+//
+// A plain Client maps any transport hiccup — refused connect, reset,
+// EOF mid-response, `ERR BUSY` shed — straight to the caller. The
+// ResilientClient turns those into a bounded retry loop with three
+// mechanisms layered on top of one lazily-built connection pool:
+//
+//   deadline    every request carries a wall-clock budget
+//               (policy.deadline_ms); backoff sleeps are clipped to it
+//               and DeadlineExceeded is thrown the moment it runs out.
+//
+//   backoff     transport failures and BUSY sheds are retried after an
+//               exponential backoff (base * 2^attempt, capped) plus a
+//               *deterministic* jitter drawn from policy.jitter_seed —
+//               two clients with different seeds desynchronize their
+//               retry storms, and a test replaying one seed sees the
+//               exact same sleep schedule. When an `ERR BUSY` response
+//               carries the server's `retry_ms=` hint, the hint replaces
+//               the exponential term (the server knows its lane drain
+//               rate better than the client's guess).
+//
+//   reconnect   a connection that EOFs, resets, or returns garbage is
+//               discarded, and the next attempt dials fresh. Idle good
+//               connections are pooled (up to policy.pool_size) and
+//               reused.
+//
+// Retrying a SUBMIT after an *ambiguous* drop (request sent, connection
+// died before the response) is safe by protocol design: admission is
+// idempotent by DAG/variant/model/epoch fingerprint, so a re-submit of
+// work the server already admitted is a cache hit, never a second cold
+// schedule (pinned by ResilientClient tests). Non-transport errors —
+// BAD_REQUEST, INFEASIBLE, SHUTTING_DOWN, INTERNAL — are returned to the
+// caller immediately: resending a malformed or infeasible request cannot
+// help.
+//
+// Not thread-safe: one ResilientClient per thread, like Client.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/wire.hpp"
+
+namespace streamsched::net {
+
+struct RetryPolicy {
+  std::uint32_t max_retries = 5;      ///< retries after the first attempt
+  std::uint32_t deadline_ms = 10000;  ///< per-request budget; 0 = none
+  std::uint32_t backoff_base_ms = 10;
+  std::uint32_t backoff_cap_ms = 2000;
+  std::uint64_t jitter_seed = 1;  ///< deterministic jitter stream
+  std::size_t pool_size = 2;      ///< idle connections kept for reuse
+};
+
+/// The per-request deadline expired (possibly mid-backoff).
+class DeadlineExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// max_retries exhausted without a definitive response.
+class RetriesExhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Monotonic counters since construction (exact under a deterministic
+/// fault plan — chaos tests assert on them).
+struct ResilientStats {
+  std::uint64_t attempts = 0;          ///< request transmissions tried
+  std::uint64_t retries = 0;           ///< attempts beyond each first
+  std::uint64_t reconnects = 0;        ///< connections discarded + redialed
+  std::uint64_t busy_backoffs = 0;     ///< ERR BUSY sheds waited out
+  std::uint64_t hinted_backoffs = 0;   ///< of those, server retry_ms= honored
+  std::uint64_t backoff_ms_total = 0;  ///< total time slept
+};
+
+class ResilientClient {
+ public:
+  /// Remembers `target` (`unix:<path>` or `tcp:<host>:<port>`); dials
+  /// lazily on the first request, so constructing against a server that
+  /// is still starting up is fine.
+  ResilientClient(std::string target, RetryPolicy policy = {});
+
+  /// Sends the request with deadline/backoff/reconnect handling; returns
+  /// the first definitive response (OK or a non-retriable ERR). Throws
+  /// DeadlineExceeded / RetriesExhausted, or the last transport error
+  /// when no retry budget remains to absorb it.
+  Response roundtrip(const std::string& request_line);
+
+  Response submit(const SubmitFrame& frame) { return roundtrip(format_submit(frame)); }
+  Response event(const EventFrame& frame) { return roundtrip(format_event(frame)); }
+  Response stats() { return roundtrip(format_stats()); }
+  Response health() { return roundtrip(format_health()); }
+  Response shutdown() { return roundtrip(format_shutdown()); }
+
+  [[nodiscard]] const RetryPolicy& policy() const { return policy_; }
+  [[nodiscard]] const ResilientStats& resilient_stats() const { return stats_; }
+
+ private:
+  /// Pops a pooled connection or dials a fresh one (may throw
+  /// std::system_error — the caller's retry loop absorbs it).
+  std::unique_ptr<Client> acquire();
+  void release(std::unique_ptr<Client> client);
+
+  /// Backoff for `attempt` (0-based): exponential + deterministic
+  /// jitter, or the server's hint when `hint_ms` > 0.
+  [[nodiscard]] std::uint64_t backoff_ms(std::uint32_t attempt, std::uint64_t hint_ms);
+
+  std::string target_;
+  RetryPolicy policy_;
+  ResilientStats stats_;
+  std::uint64_t jitter_state_;
+  std::vector<std::unique_ptr<Client>> pool_;
+};
+
+}  // namespace streamsched::net

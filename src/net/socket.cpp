@@ -3,13 +3,17 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 #include <system_error>
+
+#include "util/fault_inject.hpp"
 
 namespace streamsched::net {
 
@@ -40,10 +44,80 @@ sockaddr_in tcp_address(const std::string& host, std::uint16_t port) {
   return addr;
 }
 
+void sleep_us(std::uint32_t us) {
+  timespec ts{static_cast<time_t>(us / 1000000), static_cast<long>(us % 1000000) * 1000};
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
+/// Injected EINTRs are bounded so a probability-1 spec cannot spin a call
+/// site forever; real EINTRs stay unbounded (they are always progress).
+constexpr int kMaxInjectedEintrs = 16;
+
+/// Consults the calling thread's FaultPlan before an I/O step. Returns
+/// false with errno set when the step must fail (reset/refuse); otherwise
+/// applies delays, simulated EINTRs, and short-IO length clamping.
+bool apply_fault(FaultSite site, std::size_t* len) {
+  FaultPlan* plan = fault_plan();
+  if (plan == nullptr) return true;
+  for (int injected_eintrs = 0; injected_eintrs < kMaxInjectedEintrs; ++injected_eintrs) {
+    const FaultAction action = plan->next(site);
+    switch (action.kind) {
+      case FaultAction::Kind::kNone:
+        return true;
+      case FaultAction::Kind::kEintr:
+        continue;  // "the syscall returned EINTR" — the retry loop is here
+      case FaultAction::Kind::kDelay:
+        sleep_us(action.delay_us);
+        return true;
+      case FaultAction::Kind::kShortIo:
+        if (len != nullptr && *len > 1) *len = 1;
+        return true;
+      case FaultAction::Kind::kReset:
+        errno = ECONNRESET;
+        return false;
+      case FaultAction::Kind::kRefuse:
+        errno = ECONNREFUSED;
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Blocking connect with correct EINTR semantics: an interrupted connect
+/// keeps completing in the background, so re-calling connect is wrong
+/// (EALREADY) — wait for writability and read SO_ERROR instead.
+void connect_checked(int fd, const sockaddr* addr, socklen_t addr_len,
+                     const std::string& what) {
+  if (!apply_fault(FaultSite::kConnect, nullptr)) throw_errno(what);
+  if (::connect(fd, addr, addr_len) == 0) return;
+  if (errno != EINTR) throw_errno(what);
+  for (;;) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int ready = ::poll(&pfd, 1, -1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      throw_errno(what + " (poll)");
+    }
+    break;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+    throw_errno(what + " (SO_ERROR)");
+  }
+  if (err != 0) {
+    errno = err;
+    throw_errno(what);
+  }
+}
+
 }  // namespace
 
 void Fd::close() {
   if (fd_ >= 0) {
+    // Linux never leaves the fd open after EINTR; retrying close would
+    // race a concurrent reuse of the descriptor number.
     ::close(fd_);
     fd_ = -1;
   }
@@ -88,9 +162,8 @@ Fd connect_unix(const std::string& path) {
   const sockaddr_un addr = unix_address(path);
   Fd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket(AF_UNIX)");
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("connect(" + path + ")");
-  }
+  connect_checked(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                  "connect(" + path + ")");
   return fd;
 }
 
@@ -98,9 +171,8 @@ Fd connect_tcp(const std::string& host, std::uint16_t port) {
   const sockaddr_in addr = tcp_address(host, port);
   Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) throw_errno("socket(AF_INET)");
-  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    throw_errno("connect(" + host + ":" + std::to_string(port) + ")");
-  }
+  connect_checked(fd.get(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                  "connect(" + host + ":" + std::to_string(port) + ")");
   return fd;
 }
 
@@ -109,6 +181,34 @@ void set_nonblocking(int fd, bool nonblocking) {
   if (flags < 0) throw_errno("fcntl(F_GETFL)");
   const int next = nonblocking ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
   if (::fcntl(fd, F_SETFL, next) != 0) throw_errno("fcntl(F_SETFL)");
+}
+
+ssize_t recv_some(int fd, void* buf, std::size_t len) {
+  std::size_t step = len;
+  if (!apply_fault(FaultSite::kRead, &step)) return -1;
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, step, 0);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+ssize_t send_some(int fd, const void* buf, std::size_t len) {
+  std::size_t step = len;
+  if (!apply_fault(FaultSite::kWrite, &step)) return -1;
+  for (;;) {
+    const ssize_t n = ::send(fd, buf, step, MSG_NOSIGNAL);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+void send_all(int fd, const void* buf, std::size_t len) {
+  const char* data = static_cast<const char*>(buf);
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = send_some(fd, data + sent, len - sent);
+    if (n < 0) throw_errno("send");
+    sent += static_cast<std::size_t>(n);
+  }
 }
 
 }  // namespace streamsched::net

@@ -1,10 +1,19 @@
 // Thin POSIX socket wrappers for the placement service front end: an fd
-// RAII handle plus unix-domain and TCP listen/connect helpers. Everything
-// throws std::system_error with the failing call's errno — callers (the
-// server loop, the client library) translate or die loudly; nothing here
-// retries silently. Linux-only (the CI and bench environments), like the
-// poll(2) loop in service/server.cpp.
+// RAII handle, unix-domain and TCP listen/connect helpers, and the
+// hardened I/O primitives every byte of the service tier moves through —
+// recv_some/send_some/send_all retry EINTR, never raise SIGPIPE
+// (MSG_NOSIGNAL), and carry the deterministic fault-injection points
+// (util/fault_inject.hpp): short reads/writes, spurious EINTR,
+// connection resets, fixed delays and refused connects are all injected
+// here, below the protocol layer, so chaos tests exercise the real retry
+// loops. Everything that fails hard throws std::system_error with the
+// failing call's errno — callers (the server loop, the client library)
+// translate or die loudly; nothing here retries silently beyond EINTR.
+// Linux-only (the CI and bench environments), like the poll(2) loop in
+// service/server.cpp.
 #pragma once
+
+#include <sys/types.h>
 
 #include <cstdint>
 #include <string>
@@ -50,10 +59,36 @@ class Fd {
 [[nodiscard]] Fd listen_tcp(const std::string& host, std::uint16_t port,
                             std::uint16_t* bound_port = nullptr);
 
+/// Connect helpers: retry EINTR correctly (an interrupted connect
+/// completes asynchronously — they wait for writability and check
+/// SO_ERROR instead of re-calling connect) and honor injected
+/// refusals/delays from the calling thread's FaultPlan.
 [[nodiscard]] Fd connect_unix(const std::string& path);
 [[nodiscard]] Fd connect_tcp(const std::string& host, std::uint16_t port);
 
 /// O_NONBLOCK on/off.
 void set_nonblocking(int fd, bool nonblocking);
+
+// ------------------------------------------------------------ hardened I/O --
+//
+// All three primitives retry EINTR internally (real or injected) and are
+// the only places the service tier calls recv/send. Return conventions
+// match the raw syscalls otherwise: callers still see EAGAIN/EWOULDBLOCK
+// on non-blocking sockets, 0 on EOF, and hard errors via errno —
+// including injected ECONNRESET, which is indistinguishable from a real
+// peer reset by design.
+
+/// One recv step: >0 bytes read, 0 on EOF, -1 with errno on
+/// EAGAIN/EWOULDBLOCK or a hard error. Never returns -1/EINTR.
+[[nodiscard]] ssize_t recv_some(int fd, void* buf, std::size_t len);
+
+/// One send step with MSG_NOSIGNAL (a dead peer yields EPIPE, never
+/// SIGPIPE): >0 bytes written (possibly short), -1 with errno on
+/// EAGAIN/EWOULDBLOCK or a hard error. Never returns -1/EINTR.
+[[nodiscard]] ssize_t send_some(int fd, const void* buf, std::size_t len);
+
+/// Blocking write of the whole buffer (loops over partial writes).
+/// Throws std::system_error on any hard error.
+void send_all(int fd, const void* buf, std::size_t len);
 
 }  // namespace streamsched::net

@@ -259,9 +259,11 @@ Request parse_request(const std::string& line) {
   if (tokens.empty() || tokens[0].empty()) bad("empty request");
   Request request;
   const std::string& verb = tokens[0];
-  if (verb == "STATS" || verb == "SHUTDOWN") {
+  if (verb == "STATS" || verb == "HEALTH" || verb == "SHUTDOWN") {
     if (tokens.size() > 1) bad(verb + " takes no fields");
-    request.verb = verb == "STATS" ? Verb::kStats : Verb::kShutdown;
+    request.verb = verb == "STATS"    ? Verb::kStats
+                   : verb == "HEALTH" ? Verb::kHealth
+                                      : Verb::kShutdown;
     return request;
   }
   const auto fields = parse_fields(tokens, 1);
@@ -360,6 +362,8 @@ std::string format_event(const EventFrame& frame) {
 
 std::string format_stats() { return "STATS"; }
 
+std::string format_health() { return "HEALTH"; }
+
 std::string format_shutdown() { return "SHUTDOWN"; }
 
 // --------------------------------------------------------------- responses --
@@ -410,9 +414,11 @@ OkBuilder& OkBuilder::add(const std::string& key, std::uint64_t value) {
 
 std::string OkBuilder::str() const { return line_; }
 
-std::string format_error(WireCode code, const std::string& message, const std::string& tag) {
+std::string format_error(WireCode code, const std::string& message, const std::string& tag,
+                         std::uint64_t retry_ms) {
   std::string out = std::string("ERR ") + wire_code_name(code);
   if (!tag.empty()) out += " tag=" + tag;
+  if (retry_ms > 0) out += " retry_ms=" + std::to_string(retry_ms);
   if (!message.empty()) out += " " + message;
   return out;
 }
@@ -434,9 +440,13 @@ Response parse_response(const std::string& line) {
     resp.ok = false;
     resp.code = parse_wire_code(tokens[1]);
     std::size_t first_message = 2;
-    if (tokens.size() > 2 && tokens[2].rfind("tag=", 0) == 0) {
-      resp.fields.emplace_back("tag", tokens[2].substr(4));
-      first_message = 3;
+    if (tokens.size() > first_message && tokens[first_message].rfind("tag=", 0) == 0) {
+      resp.fields.emplace_back("tag", tokens[first_message].substr(4));
+      ++first_message;
+    }
+    if (tokens.size() > first_message && tokens[first_message].rfind("retry_ms=", 0) == 0) {
+      resp.fields.emplace_back("retry_ms", tokens[first_message].substr(9));
+      ++first_message;
     }
     for (std::size_t i = first_message; i < tokens.size(); ++i) {
       if (i > first_message) resp.message += ' ';

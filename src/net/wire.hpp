@@ -9,12 +9,16 @@
 //   SUBMIT qos=interactive algo=rltf[chunk=4] model=count:eps=1 dag=<wire>
 //   EVENT  kind=fail proc=3
 //   STATS
+//   HEALTH
 //   SHUTDOWN
 //
 // Responses are `OK key=value ...` or `ERR <CODE> <message>`; see
 // WireCode for the error codes. A client-chosen `tag=` field on SUBMIT /
 // EVENT is echoed verbatim in the response, which is what lets clients
 // pipeline: SUBMIT responses may be reordered by QoS-class scheduling.
+// `ERR BUSY` responses carry a `retry_ms=` backpressure hint — the
+// server's estimate of when the shed lane will have drained — which the
+// resilient client (net/resilient_client.hpp) honors before re-submitting.
 //
 // DagWire is the space-free text serialization of a task graph
 // (`n2;w1,2;e0-1:2.5`): task count, per-task works, edge src-dst:volume
@@ -117,7 +121,7 @@ inline constexpr std::size_t kNumQosClasses = 2;
 
 // ---------------------------------------------------------------- requests --
 
-enum class Verb { kSubmit, kEvent, kStats, kShutdown };
+enum class Verb { kSubmit, kEvent, kStats, kHealth, kShutdown };
 
 struct SubmitFrame {
   QosClass qos = QosClass::kInteractive;
@@ -152,13 +156,15 @@ struct Request {
 [[nodiscard]] std::string format_submit(const SubmitFrame& frame);
 [[nodiscard]] std::string format_event(const EventFrame& frame);
 [[nodiscard]] std::string format_stats();
+[[nodiscard]] std::string format_health();
 [[nodiscard]] std::string format_shutdown();
 
 // --------------------------------------------------------------- responses --
 
 /// A parsed response line. `ok` responses carry ordered key=value fields;
 /// errors carry the code and the free-text message (which may contain
-/// spaces — it is the rest of the line).
+/// spaces — it is the rest of the line). An `ERR` line's leading `tag=`
+/// and `retry_ms=` tokens are lifted into `fields` before the message.
 struct Response {
   bool ok = false;
   WireCode code = WireCode::kInternal;
@@ -187,8 +193,11 @@ class OkBuilder {
   std::string line_ = "OK";
 };
 
+/// `retry_ms` > 0 adds a `retry_ms=<n>` backpressure hint after the tag
+/// (used by `ERR BUSY`; see docs/PROTOCOL.md).
 [[nodiscard]] std::string format_error(WireCode code, const std::string& message,
-                                       const std::string& tag = "");
+                                       const std::string& tag = "",
+                                       std::uint64_t retry_ms = 0);
 
 /// Parses one response line. Throws WireError (kBadRequest) on anything
 /// that is neither `OK ...` nor `ERR <CODE> ...`.

@@ -1,7 +1,15 @@
 #include "service/persistence.hpp"
 
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -155,6 +163,62 @@ std::shared_ptr<CachedPlacement> verify_entry(const SnapshotEntry& entry,
   return placement;
 }
 
+/// Directory part of `path` ("." when none) — for fsync after rename.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// Writes `body` to `path` atomically: `<path>.tmp` + fsync + rename +
+/// directory fsync. Throws SnapshotError on any failure (the tmp file is
+/// unlinked best-effort on the way out).
+void write_file_atomic(const std::string& path, const std::string& body) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw SnapshotError("cannot open cache snapshot for writing: " + tmp + " (" +
+                        std::strerror(errno) + ")");
+  }
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int err = errno;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw SnapshotError("cache snapshot write failed: " + tmp + " (" + std::strerror(err) +
+                          ")");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw SnapshotError("cache snapshot fsync failed: " + tmp + " (" + std::strerror(err) +
+                        ")");
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    ::unlink(tmp.c_str());
+    throw SnapshotError("cache snapshot rename failed: " + path + " (" + std::strerror(err) +
+                        ")");
+  }
+  // Persist the rename itself; failure here is not a torn file, so log only.
+  const int dfd = ::open(dir_of(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    if (::fsync(dfd) != 0) {
+      log_warn() << "cache snapshot directory fsync failed: " << dir_of(path) << " ("
+                 << std::strerror(errno) << ")";
+    }
+    ::close(dfd);
+  }
+}
+
 }  // namespace
 
 SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::string& path) {
@@ -175,11 +239,7 @@ SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::
   }
   body += "checksum " + hex16(Fnv64().str(body).value()) + '\n';
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw SnapshotError("cannot open cache snapshot for writing: " + path);
-  out.write(body.data(), static_cast<std::streamsize>(body.size()));
-  out.flush();
-  if (!out) throw SnapshotError("cache snapshot write failed: " + path);
+  write_file_atomic(path, body);
   stats.bytes = body.size();
   log_info() << "cache snapshot saved: " << path << " entries=" << stats.entries
              << " bytes=" << stats.bytes;
@@ -191,7 +251,11 @@ SnapshotLoadStats load_cache_snapshot(PlacementDaemon& daemon, const std::string
   if (!in) throw SnapshotError("cannot open cache snapshot: " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string content = buffer.str();
+  return load_cache_snapshot_text(daemon, buffer.str(), path);
+}
+
+SnapshotLoadStats load_cache_snapshot_text(PlacementDaemon& daemon, const std::string& content,
+                                           const std::string& path) {
 
   // Split into lines, tracking the byte offset of each, so the checksum
   // can be recomputed over exactly the bytes preceding its own line.
@@ -276,6 +340,91 @@ SnapshotLoadStats load_cache_snapshot(PlacementDaemon& daemon, const std::string
              << " restored=" << stats.restored << " verify_failed=" << stats.verify_failed
              << " stale=" << stats.stale;
   return stats;
+}
+
+std::vector<SnapshotGeneration> list_snapshot_generations(const std::string& base) {
+  std::vector<SnapshotGeneration> generations;
+  const std::string dir = dir_of(base);
+  const std::string stem =
+      (base.rfind('/') == std::string::npos) ? base : base.substr(base.rfind('/') + 1);
+  const std::string prefix = stem + ".g";
+
+  if (DIR* dp = ::opendir(dir.c_str())) {
+    while (const dirent* ent = ::readdir(dp)) {
+      const std::string name = ent->d_name;
+      if (name.rfind(prefix, 0) != 0 || name.size() == prefix.size()) continue;
+      std::uint64_t seq = 0;
+      bool numeric = true;
+      for (std::size_t i = prefix.size(); i < name.size(); ++i) {
+        if (name[i] < '0' || name[i] > '9') {
+          numeric = false;
+          break;
+        }
+        seq = seq * 10 + static_cast<std::uint64_t>(name[i] - '0');
+      }
+      if (!numeric) continue;  // e.g. a stale <base>.g<seq>.tmp from a crash
+      // Rebuild the path from the caller's base so relative bases stay
+      // relative ("cache.snap.g3", not "./cache.snap.g3").
+      generations.push_back({seq, base + name.substr(stem.size())});
+    }
+    ::closedir(dp);
+  }
+  std::sort(generations.begin(), generations.end(),
+            [](const SnapshotGeneration& a, const SnapshotGeneration& b) {
+              return a.seq > b.seq;
+            });
+
+  // A bare legacy file under the base name loads last, as generation 0.
+  struct stat st{};
+  if (::stat(base.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+    generations.push_back({0, base});
+  }
+  return generations;
+}
+
+SnapshotSaveStats save_cache_generation(const PlacementDaemon& daemon, const std::string& base,
+                                        std::size_t keep) {
+  if (keep == 0) keep = 1;
+  const std::vector<SnapshotGeneration> existing = list_snapshot_generations(base);
+  std::uint64_t newest = 0;
+  for (const auto& gen : existing) newest = std::max(newest, gen.seq);
+
+  const std::uint64_t seq = newest + 1;
+  const SnapshotSaveStats stats =
+      save_cache_snapshot(daemon, base + ".g" + std::to_string(seq));
+
+  // Prune beyond `keep`, oldest first, counting the one just written. The
+  // legacy bare file (seq 0, no ".g" suffix) is pruned like any other once
+  // enough rotated generations exist.
+  std::size_t kept = 1;
+  for (const auto& gen : existing) {
+    if (kept < keep) {
+      ++kept;
+      continue;
+    }
+    if (::unlink(gen.path.c_str()) != 0 && errno != ENOENT) {
+      log_warn() << "cache snapshot prune failed: " << gen.path << " ("
+                 << std::strerror(errno) << ")";
+    }
+  }
+  return stats;
+}
+
+GenerationLoadResult load_newest_cache_generation(PlacementDaemon& daemon,
+                                                  const std::string& base) {
+  GenerationLoadResult result;
+  for (const SnapshotGeneration& gen : list_snapshot_generations(base)) {
+    try {
+      result.stats = load_cache_snapshot(daemon, gen.path);
+      result.loaded = true;
+      result.path = gen.path;
+      return result;
+    } catch (const SnapshotError& e) {
+      ++result.rejected;
+      log_warn() << "cache snapshot generation rejected (falling back): " << e.what();
+    }
+  }
+  return result;
 }
 
 }  // namespace streamsched

@@ -28,11 +28,22 @@
 // reliability falling below the entry's claim — are dropped individually
 // (logged, counted in `verify_failed`), because one bad entry should not
 // cost the warm start of the rest.
+//
+// Crash safety: snapshots are written atomically (`<path>.tmp`, fsync,
+// rename, fsync of the directory), so a crash mid-write leaves at worst
+// a stale `.tmp` beside the previous intact file — never a torn file
+// under the live name. Long-running servers write rotated *generations*
+// (`<base>.g<seq>`, monotonically increasing seq, oldest pruned beyond a
+// keep bound) on a timer from the poll loop; load walks generations
+// newest→oldest past corrupt/truncated files to the first intact one.
+// `kill -9` at any instant therefore loses at most one snapshot interval
+// of cache warmth and never the ability to warm-start.
 #pragma once
 
 #include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace streamsched {
 
@@ -58,10 +69,10 @@ struct SnapshotLoadStats {
   std::size_t stale = 0;          ///< dropped: daemon's live failure set kills them
 };
 
-/// Writes the daemon's cached placements to `path` (atomic enough for the
-/// single-writer server: written to `path` directly, checksum last, so a
-/// torn write fails the checksum on load). Throws SnapshotError on I/O
-/// failure.
+/// Writes the daemon's cached placements to `path` atomically: the bytes
+/// go to `<path>.tmp`, are fsync'ed, and replace `path` via rename (the
+/// containing directory is fsync'ed too) — a crash mid-save never leaves
+/// a torn file under `path`. Throws SnapshotError on I/O failure.
 SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::string& path);
 
 /// Loads `path` into the daemon's cache. Every entry is re-verified from
@@ -72,5 +83,47 @@ SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::
 /// SnapshotError when the file as a whole is unusable (see class doc);
 /// individually bad entries are dropped and counted instead.
 SnapshotLoadStats load_cache_snapshot(PlacementDaemon& daemon, const std::string& path);
+
+/// load_cache_snapshot on in-memory bytes (`label` names the source in
+/// diagnostics). The file variant reads and delegates here; the fuzz
+/// harness (tests/fuzz/fuzz_snapshot.cpp) calls it directly.
+SnapshotLoadStats load_cache_snapshot_text(PlacementDaemon& daemon, const std::string& content,
+                                           const std::string& label);
+
+// ------------------------------------------------------------- generations --
+
+/// One rotated snapshot file `<base>.g<seq>`.
+struct SnapshotGeneration {
+  std::uint64_t seq = 0;
+  std::string path;
+};
+
+/// Existing generations of `base`, newest (highest seq) first. A bare
+/// legacy `base` file (pre-rotation format) is listed last as seq 0.
+[[nodiscard]] std::vector<SnapshotGeneration> list_snapshot_generations(
+    const std::string& base);
+
+/// Atomically writes the next generation `<base>.g<newest+1>` and prunes
+/// the oldest generations beyond `keep` (keep >= 1). Returns the stats of
+/// the written file. Throws SnapshotError on I/O failure; pruning
+/// failures are logged, never thrown — a leftover old generation is
+/// harmless.
+SnapshotSaveStats save_cache_generation(const PlacementDaemon& daemon, const std::string& base,
+                                        std::size_t keep = 4);
+
+struct GenerationLoadResult {
+  bool loaded = false;        ///< some generation loaded intact
+  std::string path;           ///< the generation that loaded
+  std::size_t rejected = 0;   ///< corrupt/foreign generations skipped on the way
+  SnapshotLoadStats stats;    ///< of the loaded generation
+};
+
+/// Walks the generations of `base` newest→oldest, loading the first one
+/// that is intact (whole-file rejections — corrupt, truncated, foreign
+/// platform — are logged and skipped; that is the crash-recovery path).
+/// Returns loaded=false when no generation exists or none is intact;
+/// never throws SnapshotError.
+GenerationLoadResult load_newest_cache_generation(PlacementDaemon& daemon,
+                                                  const std::string& base);
 
 }  // namespace streamsched

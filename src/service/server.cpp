@@ -6,11 +6,12 @@
 
 #include <atomic>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
+#include <climits>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
-#include <filesystem>
 #include <mutex>
 #include <system_error>
 #include <thread>
@@ -24,6 +25,7 @@
 #include "service/persistence.hpp"
 #include "util/assert.hpp"
 #include "util/async_log.hpp"
+#include "util/fault_inject.hpp"
 #include "util/log.hpp"
 
 namespace streamsched::net {
@@ -43,6 +45,14 @@ struct Server::Impl {
     Fd fd;
     std::string in;   ///< bytes read, not yet split into lines
     std::string out;  ///< response bytes not yet written
+    /// Start of the currently-pending partial frame (valid when
+    /// has_partial); drives the read-deadline sweep.
+    std::chrono::steady_clock::time_point frame_start{};
+    bool has_partial = false;
+    /// Set after a fatal protocol error (oversized line): the pending
+    /// error response flushes, then the connection is closed and no
+    /// further input is read.
+    bool close_after_flush = false;
   };
 
   struct Job {
@@ -80,12 +90,20 @@ struct Server::Impl {
   std::atomic<bool> draining{false};
   bool workers_stopped = false;
 
+  /// Poll-thread fault plan (ServerConfig::fault_spec); null = none.
+  std::unique_ptr<FaultPlan> fault_plan_obj;
+  /// Periodic snapshot timer state (poll thread only).
+  std::chrono::steady_clock::time_point next_snapshot{};
+  std::uint64_t last_snapshot_mark = 0;
+
   Lane& lane(QosClass qos) { return lanes[static_cast<std::size_t>(qos)]; }
 
   void wake() {
     const char byte = 'w';
-    // The pipe being full already guarantees a pending wakeup.
-    [[maybe_unused]] ssize_t n = ::write(wake_write.get(), &byte, 1);
+    for (;;) {
+      const ssize_t n = ::write(wake_write.get(), &byte, 1);
+      if (n >= 0 || errno != EINTR) return;  // a full pipe already wakes
+    }
   }
 
   void start_workers() {
@@ -197,6 +215,9 @@ struct Server::Impl {
       case Verb::kStats:
         serve_stats(conn);
         return;
+      case Verb::kHealth:
+        serve_health(conn);
+        return;
       case Verb::kShutdown:
         conn.out += OkBuilder().add("shutdown", "draining").str();
         conn.out += '\n';
@@ -218,9 +239,17 @@ struct Server::Impl {
         ++ln.stats.shed;
         // Shed on the poll thread: BUSY costs one queue-bound check, no
         // scheduling work — cheapest exactly when the lane is saturated.
+        // The retry_ms hint scales with queue depth: roughly one
+        // busy_retry_hint_ms per full worker-load of queued admissions,
+        // capped so a deep backlog never tells clients to sleep forever.
+        const std::size_t workers = ln.config.workers > 0 ? ln.config.workers : 1;
+        std::uint64_t hint = std::uint64_t{config.busy_retry_hint_ms} *
+                             ((ln.in_flight + workers - 1) / workers);
+        if (hint < config.busy_retry_hint_ms) hint = config.busy_retry_hint_ms;
+        if (hint > 2000) hint = 2000;
         conn.out += format_error(WireCode::kBusy,
                                  std::string(qos_class_name(frame.qos)) + " lane is full",
-                                 frame.tag);
+                                 frame.tag, hint);
         conn.out += '\n';
         return;
       }
@@ -287,6 +316,28 @@ struct Server::Impl {
     conn.out += '\n';
   }
 
+  /// Liveness probe: cheap field copies only (no cache walk, no lock
+  /// ordering beyond the lane mutexes) so monitors can poll it hard.
+  void serve_health(Connection& conn) {
+    OkBuilder ok;
+    ok.add("status", draining.load() ? "draining" : "serving")
+        .add("epoch", server->daemon_->epoch())
+        .add("failed", static_cast<std::uint64_t>(server->daemon_->failed_procs()))
+        .add("cache_size", static_cast<std::uint64_t>(server->daemon_->cache_size()));
+    for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
+      const std::string name = qos_class_name(static_cast<QosClass>(qi));
+      std::size_t in_flight;
+      {
+        const std::lock_guard<std::mutex> lock(lanes[qi].mutex);
+        in_flight = lanes[qi].in_flight;
+      }
+      ok.add(name + "_inflight", static_cast<std::uint64_t>(in_flight))
+          .add(name + "_bound", static_cast<std::uint64_t>(lanes[qi].config.bound));
+    }
+    conn.out += ok.str();
+    conn.out += '\n';
+  }
+
   void accept_from(Fd& listener) {
     for (;;) {
       const int fd = ::accept(listener.get(), nullptr, nullptr);
@@ -300,42 +351,77 @@ struct Server::Impl {
     }
   }
 
+  /// Answers an oversized request line: BAD_REQUEST, then close once the
+  /// response flushes. The buffered input is dropped — a peer that blew
+  /// the line bound gets no further parsing.
+  void reject_oversized(Connection& conn) {
+    conn.out += format_error(WireCode::kBadRequest,
+                             "request line exceeds max_line_bytes=" +
+                                 std::to_string(config.max_line_bytes));
+    conn.out += '\n';
+    conn.in.clear();
+    conn.has_partial = false;
+    conn.close_after_flush = true;
+  }
+
   /// Reads everything available; false when the peer closed or errored.
+  /// EINTR is absorbed by recv_some; injected resets surface as errors
+  /// exactly like real ones. Complete frames that arrived in the same
+  /// wakeup as the peer's FIN are still processed (a fire-and-forget
+  /// EVENT followed by close must apply) — only their responses are
+  /// undeliverable and get dropped.
   bool read_from(std::uint64_t conn_id, Connection& conn) {
     char buf[4096];
+    bool open = true;
     for (;;) {
-      const ssize_t n = ::recv(conn.fd.get(), buf, sizeof buf, 0);
+      const ssize_t n = recv_some(conn.fd.get(), buf, sizeof buf);
       if (n > 0) {
         conn.in.append(buf, static_cast<std::size_t>(n));
         continue;
       }
-      if (n == 0) return false;  // EOF
+      if (n == 0) {
+        open = false;  // EOF: drain buffered frames below, then close
+        break;
+      }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      if (errno == EINTR) continue;
-      return false;
+      return false;  // transport error: buffered bytes are suspect
     }
     std::size_t start = 0;
     for (;;) {
       const std::size_t nl = conn.in.find('\n', start);
       if (nl == std::string::npos) break;
+      if (nl - start > config.max_line_bytes) {
+        reject_oversized(conn);
+        return open;
+      }
       process_line(conn_id, conn, conn.in.substr(start, nl - start));
       start = nl + 1;
     }
     conn.in.erase(0, start);
-    return true;
+    if (conn.in.size() > config.max_line_bytes) {
+      // An unterminated line already past the bound can never become a
+      // valid frame — reject now instead of buffering a slowloris feed.
+      reject_oversized(conn);
+      return open;
+    }
+    if (conn.in.empty()) {
+      conn.has_partial = false;
+    } else if (!conn.has_partial) {
+      conn.has_partial = true;
+      conn.frame_start = std::chrono::steady_clock::now();
+    }
+    return open;
   }
 
   /// Flushes as much of conn.out as the socket accepts; false on error.
   bool write_to(Connection& conn) {
     while (!conn.out.empty()) {
-      const ssize_t n =
-          ::send(conn.fd.get(), conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+      const ssize_t n = send_some(conn.fd.get(), conn.out.data(), conn.out.size());
       if (n > 0) {
         conn.out.erase(0, static_cast<std::size_t>(n));
         continue;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
-      if (errno == EINTR) continue;
       return false;
     }
     return true;
@@ -372,7 +458,81 @@ struct Server::Impl {
     return true;
   }
 
+  /// Periodic snapshot timer active?
+  [[nodiscard]] bool snapshots_enabled() const {
+    return !config.snapshot_path.empty() && config.snapshot_interval_ms > 0;
+  }
+
+  /// A monotonic counter of cache-changing daemon activity; unchanged
+  /// mark = nothing new to persist.
+  [[nodiscard]] std::uint64_t snapshot_mark() const {
+    const DaemonStats ds = server->daemon_->stats();
+    return ds.cold_schedules + ds.event_repairs + ds.restored + ds.events;
+  }
+
+  /// Writes a rotated generation when the timer is due and the cache
+  /// changed since the last save. Poll thread only.
+  void maybe_snapshot() {
+    if (!snapshots_enabled()) return;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < next_snapshot) return;
+    next_snapshot = now + std::chrono::milliseconds(config.snapshot_interval_ms);
+    const std::uint64_t mark = snapshot_mark();
+    if (mark == last_snapshot_mark) return;
+    try {
+      (void)save_cache_generation(*server->daemon_, config.snapshot_path,
+                                  config.snapshot_keep);
+      last_snapshot_mark = mark;
+    } catch (const SnapshotError& e) {
+      log_error() << "periodic snapshot failed: " << e.what();
+    }
+  }
+
+  /// Closes connections stuck mid-frame past read_deadline_ms (the error
+  /// response is best-effort — a stalled peer may never read it).
+  void sweep_read_deadlines(std::vector<std::uint64_t>& dead) {
+    if (config.read_deadline_ms == 0) return;
+    const auto now = std::chrono::steady_clock::now();
+    const auto limit = std::chrono::milliseconds(config.read_deadline_ms);
+    for (auto& [id, conn] : conns) {
+      if (!conn.has_partial || now - conn.frame_start < limit) continue;
+      conn.out += format_error(WireCode::kBadRequest,
+                               "read deadline exceeded mid-frame (stalled client)");
+      conn.out += '\n';
+      (void)write_to(conn);
+      dead.push_back(id);
+    }
+  }
+
+  /// Milliseconds until the nearest timer (snapshot cadence, earliest
+  /// partial-frame deadline), or -1 when no timer is armed.
+  [[nodiscard]] int poll_timeout_ms() const {
+    std::int64_t timeout = -1;
+    const auto now = std::chrono::steady_clock::now();
+    const auto consider = [&](std::chrono::steady_clock::time_point due) {
+      auto ms =
+          std::chrono::duration_cast<std::chrono::milliseconds>(due - now).count();
+      if (ms < 0) ms = 0;
+      if (timeout < 0 || ms < timeout) timeout = ms;
+    };
+    if (snapshots_enabled()) consider(next_snapshot);
+    if (config.read_deadline_ms > 0) {
+      const auto limit = std::chrono::milliseconds(config.read_deadline_ms);
+      for (const auto& [id, conn] : conns) {
+        (void)id;
+        if (conn.has_partial) consider(conn.frame_start + limit);
+      }
+    }
+    if (timeout < 0) return -1;
+    return timeout > INT_MAX ? INT_MAX : static_cast<int>(timeout);
+  }
+
   void run_loop() {
+    if (snapshots_enabled()) {
+      next_snapshot = std::chrono::steady_clock::now() +
+                      std::chrono::milliseconds(config.snapshot_interval_ms);
+      last_snapshot_mark = snapshot_mark();
+    }
     std::vector<pollfd> pfds;
     std::vector<std::uint64_t> pfd_conn;  // conn id per pollfd (0 = not a conn)
     for (;;) {
@@ -389,11 +549,16 @@ struct Server::Impl {
       if (unix_listener.valid() && !draining.load()) add(unix_listener.get(), POLLIN, 0);
       if (tcp_listener.valid() && !draining.load()) add(tcp_listener.get(), POLLIN, 0);
       for (const auto& [id, conn] : conns) {
-        add(conn.fd.get(), static_cast<short>(POLLIN | (conn.out.empty() ? 0 : POLLOUT)),
-            id);
+        // A connection condemned by a protocol error only flushes; its
+        // input is never read again.
+        const short events = conn.close_after_flush
+                                 ? POLLOUT
+                                 : static_cast<short>(
+                                       POLLIN | (conn.out.empty() ? 0 : POLLOUT));
+        add(conn.fd.get(), events, id);
       }
 
-      const int ready = ::poll(pfds.data(), pfds.size(), -1);
+      const int ready = ::poll(pfds.data(), pfds.size(), poll_timeout_ms());
       if (ready < 0) {
         if (errno == EINTR) continue;
         log_error() << "poll failed: " << std::generic_category().message(errno);
@@ -429,9 +594,12 @@ struct Server::Impl {
         // read side is exhausted.
         if (alive && (revents & POLLHUP) != 0 && (revents & POLLIN) == 0) alive = false;
         if (alive && !conn.out.empty()) alive = write_to(conn);
+        if (alive && conn.close_after_flush && conn.out.empty()) alive = false;
         if (!alive) dead.push_back(conn_id);
       }
+      sweep_read_deadlines(dead);
       for (const std::uint64_t id : dead) conns.erase(id);
+      maybe_snapshot();
     }
   }
 };
@@ -447,14 +615,22 @@ Server::Server(Platform platform, ServerConfig config)
     impl_->lanes[qi].config = impl_->config.lanes[qi];
   }
 
-  if (!impl_->config.snapshot_path.empty() &&
-      std::filesystem::exists(impl_->config.snapshot_path)) {
-    try {
-      (void)load_cache_snapshot(*daemon_, impl_->config.snapshot_path);
-    } catch (const SnapshotError& e) {
-      // Refuse to trust the snapshot but do not refuse to serve: log the
-      // rejection loudly and start cold.
-      log_error() << "warm-start snapshot rejected: " << e.what();
+  if (!impl_->config.fault_spec.empty()) {
+    impl_->fault_plan_obj =
+        std::make_unique<FaultPlan>(FaultSpec::parse(impl_->config.fault_spec));
+  }
+
+  if (!impl_->config.snapshot_path.empty()) {
+    // Walk generations newest→oldest to the first intact one; rejected
+    // generations (corrupt, truncated, foreign platform) are logged
+    // loudly inside, and the server starts cold rather than trusting
+    // them. This is the kill -9 recovery path.
+    const GenerationLoadResult loaded =
+        load_newest_cache_generation(*daemon_, impl_->config.snapshot_path);
+    if (loaded.rejected > 0) {
+      log_error() << "warm-start: " << loaded.rejected << " snapshot generation(s) rejected"
+                  << (loaded.loaded ? "; fell back to " + loaded.path
+                                    : "; starting cold");
     }
   }
 
@@ -490,14 +666,17 @@ Server::~Server() {
 }
 
 void Server::run() {
+  if (impl_->fault_plan_obj) install_fault_plan(impl_->fault_plan_obj.get());
   impl_->run_loop();
+  if (impl_->fault_plan_obj) install_fault_plan(nullptr);
   impl_->stop_workers();
   impl_->conns.clear();
   impl_->unix_listener.close();
   impl_->tcp_listener.close();
   if (!impl_->config.snapshot_path.empty()) {
     try {
-      (void)save_cache_snapshot(*daemon_, impl_->config.snapshot_path);
+      (void)save_cache_generation(*daemon_, impl_->config.snapshot_path,
+                                  impl_->config.snapshot_keep);
     } catch (const SnapshotError& e) {
       log_error() << "warm-start snapshot save failed: " << e.what();
     }

@@ -29,11 +29,25 @@
 // submission order — clients match them by their `tag=` echo.
 //
 // Warm start: when `config.snapshot_path` is set, the constructor loads
-// the snapshot (verified entry by entry, see service/persistence.hpp) and
-// a clean shutdown saves the cache back. Restored entries serve with
-// `src=warm` provenance; a corrupted or foreign-platform snapshot is
-// logged loudly and ignored (the server starts cold rather than trusting
-// it).
+// the newest intact snapshot generation (verified entry by entry, see
+// service/persistence.hpp; corrupt/truncated generations are skipped
+// newest→oldest) and a clean shutdown saves a fresh generation back.
+// With `snapshot_interval_ms` set, the poll loop also writes a rotated
+// generation periodically (atomically — tmp + fsync + rename), skipped
+// when the cache hasn't changed, so `kill -9` loses at most one interval
+// of cache warmth. Restored entries serve with `src=warm` provenance; a
+// corrupted or foreign-platform snapshot is logged loudly and skipped
+// (the server starts cold rather than trusting it).
+//
+// Robustness knobs: `max_line_bytes` bounds a single request line (a
+// peer dribbling an endless unterminated line is answered BAD_REQUEST
+// and disconnected — anti-slowloris), `read_deadline_ms` bounds how long
+// a connection may sit on a *partial* frame (idle connections between
+// complete frames are fine), and `ERR BUSY` sheds carry a `retry_ms=`
+// hint derived from lane depth so well-behaved clients back off for
+// roughly one drain interval instead of hammering. `fault_spec`
+// (util/fault_inject.hpp grammar) installs a deterministic fault plan on
+// the poll thread for chaos testing.
 #pragma once
 
 #include <array>
@@ -65,9 +79,27 @@ struct ServerConfig {
   std::uint16_t tcp_port = 0;
   /// Per-QoS-class admission lanes, indexed by QosClass.
   std::array<QosLaneConfig, kNumQosClasses> lanes{};
-  /// Warm-start cache snapshot: loaded (and verified) on construction,
-  /// saved on clean shutdown. Empty = no persistence.
+  /// Warm-start snapshot base path: rotated generations `<base>.g<seq>`
+  /// are written next to it; the newest intact one is loaded (and
+  /// verified) on construction, and a clean shutdown saves a new
+  /// generation. Empty = no persistence.
   std::string snapshot_path;
+  /// Periodic snapshot cadence from the poll loop (0 = only on clean
+  /// shutdown). Saves are skipped when the cache hasn't changed.
+  std::uint32_t snapshot_interval_ms = 0;
+  /// Snapshot generations kept on disk; older ones are pruned.
+  std::size_t snapshot_keep = 4;
+  /// Hard bound on one request line; longer frames get `ERR BAD_REQUEST`
+  /// and the connection is closed once the response flushes.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Closes connections that hold a *partial* frame longer than this
+  /// (0 = never). Idle connections between complete frames are exempt.
+  std::uint32_t read_deadline_ms = 0;
+  /// Base of the `ERR BUSY` retry_ms hint, scaled by lane queue depth.
+  std::uint32_t busy_retry_hint_ms = 25;
+  /// Deterministic fault-injection spec (util/fault_inject.hpp grammar)
+  /// installed on the poll thread during run(). Empty = no injection.
+  std::string fault_spec;
   DaemonConfig daemon;
 };
 

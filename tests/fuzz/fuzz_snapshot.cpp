@@ -1,0 +1,43 @@
+// Fuzz harness: load_cache_snapshot_text must either restore entries or
+// throw SnapshotError — the loader's whole-file rejection path. The
+// warm-start path reads snapshot files straight off disk after crashes,
+// so torn, flipped, and spliced bytes are its normal diet; any other
+// escape is a finding.
+//
+// The target daemon is built once and reused: the FNV checksum rejects
+// virtually every mutated input before entry parsing, and the few that
+// get through only add cache entries (bounded by cache_capacity).
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "platform/generators.hpp"
+#include "service/daemon.hpp"
+#include "service/persistence.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+streamsched::PlacementDaemon& target() {
+  static streamsched::PlacementDaemon* daemon = [] {
+    streamsched::Rng rng(5);
+    return new streamsched::PlacementDaemon(
+        streamsched::make_reliability_heterogeneous(rng, 8, 0.02, 0.08),
+        streamsched::DaemonConfig{});
+  }();
+  return *daemon;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string content(reinterpret_cast<const char*>(data), size);
+  try {
+    (void)streamsched::load_cache_snapshot_text(target(), content, "fuzz");
+  } catch (const streamsched::SnapshotError&) {
+    // The documented rejection path.
+  } catch (...) {
+    std::abort();
+  }
+  return 0;
+}

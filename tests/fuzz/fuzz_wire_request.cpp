@@ -1,0 +1,23 @@
+// Fuzz harness: net::parse_request must either return a frame or throw
+// WireError — any other escape (segfault, uncaught exception, UB caught
+// by a sanitizer) is a finding. SUBMIT lines pull in the DAG-wire and
+// fault-model grammars, so this harness covers the full request surface
+// the server feeds from untrusted sockets.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "net/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  try {
+    const streamsched::net::Request request = streamsched::net::parse_request(line);
+    (void)request;
+  } catch (const streamsched::net::WireError&) {
+    // The documented rejection path.
+  } catch (...) {
+    std::abort();  // anything else is a parser contract violation
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fuzz harness: net::parse_response must either return a Response or
+// throw WireError. Clients (including the resilient client's retry
+// classifier) feed this parser bytes from the network, so it must never
+// crash on torn or hostile response lines.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "net/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string line(reinterpret_cast<const char*>(data), size);
+  try {
+    const streamsched::net::Response response = streamsched::net::parse_response(line);
+    (void)response;
+  } catch (const streamsched::net::WireError&) {
+    // The documented rejection path.
+  } catch (...) {
+    std::abort();
+  }
+  return 0;
+}

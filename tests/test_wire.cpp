@@ -246,5 +246,35 @@ TEST(ResponseWire, StrictRejects) {
   EXPECT_THROW((void)parse_response("ERR WHATEVER nope"), WireError);
 }
 
+TEST(RequestWire, HealthVerbRoundTrips) {
+  EXPECT_EQ(format_health(), "HEALTH");
+  const Request request = parse_request("HEALTH");
+  EXPECT_EQ(request.verb, Verb::kHealth);
+  // HEALTH takes no fields — strictness applies like everywhere else.
+  EXPECT_THROW((void)parse_request("HEALTH verbose=1"), WireError);
+}
+
+TEST(ResponseWire, BusyErrorCarriesRetryHint) {
+  const std::string line =
+      format_error(WireCode::kBusy, "interactive lane is full", "job-3", 25);
+  const Response resp = parse_response(line);
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, WireCode::kBusy);
+  EXPECT_EQ(resp.field("tag"), "job-3");
+  EXPECT_EQ(resp.field_u64("retry_ms"), 25u);
+  EXPECT_EQ(resp.message, "interactive lane is full");
+
+  // retry_ms=0 means "no hint" and the field is omitted entirely.
+  const Response unhinted =
+      parse_response(format_error(WireCode::kBusy, "shed", "job-4", 0));
+  EXPECT_FALSE(unhinted.has_field("retry_ms"));
+
+  // The hint parses without a tag too (tag is optional on every error).
+  const Response untagged =
+      parse_response(format_error(WireCode::kBusy, "shed", "", 40));
+  EXPECT_FALSE(untagged.has_field("tag"));
+  EXPECT_EQ(untagged.field_u64("retry_ms"), 40u);
+}
+
 }  // namespace
 }  // namespace streamsched::net

@@ -4,6 +4,7 @@
 //   streamsched_client --server=tcp:127.0.0.1:7070 --submit
 //       --random-dag=24:7 --algo=rltf --model=count:eps=1
 //   streamsched_client --server=unix:... --event=fail:3
+//   streamsched_client --server=unix:... --health
 //   streamsched_client --server=unix:... --shutdown
 //
 // Exactly one action flag per invocation. SUBMIT takes either an explicit
@@ -11,12 +12,18 @@
 // generator the benches use, so smoke tests need no DAG files). The
 // response's key=value fields are printed one per line; `ERR` responses
 // print the code + message on stderr and exit 1.
+//
+// Requests ride the resilient client (net/resilient_client.hpp):
+// `--retries=<n>` bounds the retry budget and `--deadline-ms=<ms>` the
+// per-request wall-clock budget (0 = unbounded). Transport failures and
+// `ERR BUSY` sheds are retried with exponential backoff, honoring the
+// server's `retry_ms=` hint; `--retries=0` restores fail-fast behavior.
 #include <cstdint>
 #include <iostream>
 #include <string>
 
 #include "graph/generators.hpp"
-#include "net/client.hpp"
+#include "net/resilient_client.hpp"
 #include "util/cli.hpp"
 #include "util/rng.hpp"
 
@@ -58,6 +65,7 @@ int main(int argc, char** argv) {
   Cli cli(argc, argv);
   const std::string server = cli.get_string("server", "", "STREAMSCHED_SERVER");
   const bool do_stats = cli.get_bool("stats", false, "");
+  const bool do_health = cli.get_bool("health", false, "");
   const bool do_shutdown = cli.get_bool("shutdown", false, "");
   const std::string event_arg = cli.get_string("event", "", "");
   const bool do_submit = cli.get_bool("submit", false, "");
@@ -71,21 +79,29 @@ int main(int argc, char** argv) {
   frame.headroom = cli.get_double("headroom", 2.0, "");
   frame.comm_share = cli.get_double("comm-share", 1.0, "");
   frame.tag = cli.get_string("tag", "", "");
+  net::RetryPolicy policy;
+  policy.max_retries = static_cast<std::uint32_t>(
+      cli.get_int("retries", static_cast<std::int64_t>(policy.max_retries), ""));
+  policy.deadline_ms = static_cast<std::uint32_t>(
+      cli.get_int("deadline-ms", static_cast<std::int64_t>(policy.deadline_ms), ""));
   cli.finish();
 
-  const int actions = static_cast<int>(do_stats) + static_cast<int>(do_shutdown) +
-                      static_cast<int>(!event_arg.empty()) + static_cast<int>(do_submit);
+  const int actions = static_cast<int>(do_stats) + static_cast<int>(do_health) +
+                      static_cast<int>(do_shutdown) + static_cast<int>(!event_arg.empty()) +
+                      static_cast<int>(do_submit);
   if (server.empty() || actions != 1) {
     std::cerr << "usage: " << argv[0]
               << " --server=unix:<path>|tcp:<host>:<port> "
-                 "(--stats | --shutdown | --event=fail:<p>|recover:<p> | "
+                 "[--retries=<n>] [--deadline-ms=<ms>] "
+                 "(--stats | --health | --shutdown | --event=fail:<p>|recover:<p> | "
                  "--submit --dag=<wire>|--random-dag=<tasks>:<seed>)\n";
     return 2;
   }
 
   try {
-    net::Client client = net::Client::connect(server);
+    net::ResilientClient client(server, policy);
     if (do_stats) return print_response(client.stats());
+    if (do_health) return print_response(client.health());
     if (do_shutdown) return print_response(client.shutdown());
     if (!event_arg.empty()) return print_response(client.event(parse_event_arg(event_arg)));
 

@@ -45,6 +45,18 @@ int main(int argc, char** argv) {
   config.tcp_host = cli.get_string("tcp-host", "127.0.0.1", "");
   const std::int64_t tcp_port = cli.get_int("tcp-port", -1, "STREAMSCHED_TCP_PORT");
   config.snapshot_path = cli.get_string("snapshot", "", "STREAMSCHED_SNAPSHOT");
+  config.snapshot_interval_ms = static_cast<std::uint32_t>(
+      cli.get_int("snapshot-interval-ms", 0, "STREAMSCHED_SNAPSHOT_INTERVAL"));
+  config.snapshot_keep =
+      static_cast<std::size_t>(cli.get_int("snapshot-keep", 4, ""));
+  config.read_deadline_ms =
+      static_cast<std::uint32_t>(cli.get_int("read-deadline-ms", 0, ""));
+  config.max_line_bytes = static_cast<std::size_t>(
+      cli.get_int("max-line-bytes", static_cast<std::int64_t>(config.max_line_bytes), ""));
+  config.busy_retry_hint_ms = static_cast<std::uint32_t>(
+      cli.get_int("busy-retry-hint-ms", static_cast<std::int64_t>(config.busy_retry_hint_ms),
+                  ""));
+  config.fault_spec = cli.get_string("faults", "", "STREAMSCHED_FAULTS");
   const auto procs = static_cast<std::size_t>(cli.get_int("procs", 16, "STREAMSCHED_PROCS"));
   const double p_lo = cli.get_double("p-lo", 0.02, "");
   const double p_hi = cli.get_double("p-hi", 0.08, "");
