@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# Golden wire-transcript smoke for the degradation ladder.
+#
+# Drives a real streamsched_server (unix socket, background re-heal
+# disabled, fixed seed) through the full degraded-provenance story with
+# the CLI client, captures every client response byte, restarts the
+# server from its shutdown snapshot mid-transcript, and byte-compares the
+# whole transcript against tests/golden/wire_transcript.txt:
+#
+#   1. SUBMIT d1 (count:eps=2)      -> src=cold
+#   2. SUBMIT d1 again              -> src=hit
+#   3. SUBMIT d2 (count:eps=0)      -> src=cold
+#   4. EVENT fail 0,1,2             -> three processors down
+#   5. HEALTH                       -> degraded=1 advertised
+#   6. SUBMIT d1 --degraded-ok      -> src=degraded, eps_have < eps_want
+#   7. SUBMIT d1 (no opt-in)        -> ERR DEGRADED refusal
+#   8. SHUTDOWN                     -> snapshot written
+#   9. restart from the snapshot
+#  10. SUBMIT d2                    -> src=warm (restored, full guarantee)
+#  11. SUBMIT d1 --degraded-ok      -> src=degraded, same fp + deficit as
+#                                      step 6: the restart never laundered
+#                                      the degraded placement
+#  12. SHUTDOWN
+#
+# The transcript pins cold/hit/warm/degraded provenance, the DEGRADED
+# refusal, the deficit fields, and (via the fp= fields) the bit-identity
+# of schedules across snapshot round trips. Usage:
+#
+#   scripts/wire_transcript_smoke.sh [--bin build] [--out wire_transcript_out]
+#       [--golden tests/golden/wire_transcript.txt] [--update]
+#
+# --update rewrites the golden file instead of comparing (for intentional
+# protocol changes; the diff then shows up in review).
+set -euo pipefail
+
+bin="build"
+out="wire_transcript_out"
+golden="tests/golden/wire_transcript.txt"
+update=0
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --bin) bin="$2"; shift 2 ;;
+    --out) out="$2"; shift 2 ;;
+    --golden) golden="$2"; shift 2 ;;
+    --update) update=1; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+server="$bin/streamsched_server"
+client="$bin/streamsched_client"
+[[ -x "$server" && -x "$client" ]] || {
+  echo "missing $server or $client (pass --bin)" >&2
+  exit 2
+}
+
+mkdir -p "$out"
+sock="$out/transcript.sock"
+snap="$out/transcript.cache"
+transcript="$out/wire_transcript.txt"
+rm -f "$out"/transcript.cache* "$sock" "$transcript"
+
+# Fixed-seed 5-processor cluster: failing 0,1,2 leaves 2 alive, which is
+# beyond an eps=2 repair — the rebuild path degrades d1 while d2 (eps=0)
+# rebuilds back to its full (empty) guarantee.
+server_flags=(--unix="$sock" --snapshot="$snap" --procs=5 --seed=42 \
+              --reheal=0 --log-level=warn)
+
+start_server() {
+  "$server" "${server_flags[@]}" >"$out/server.log" 2>&1 &
+  server_pid=$!
+  for _ in $(seq 1 100); do
+    [[ -S "$sock" ]] && return 0
+    sleep 0.1
+  done
+  echo "server did not come up; log:" >&2
+  cat "$out/server.log" >&2
+  return 1
+}
+
+# Runs one client action, capturing stdout+stderr into the transcript.
+# ERR responses exit 1 by design; the transcript records them instead of
+# aborting the script.
+say() {
+  echo "# $*" >>"$transcript"
+  "$client" --server="unix:$sock" --retries=0 "$@" >>"$transcript" 2>&1 || true
+}
+
+d1=(--submit --random-dag=14:61 --model=count:eps=2)
+d2=(--submit --random-dag=10:3 --model=count:eps=0)
+
+start_server
+say "${d1[@]}" --tag=d1-cold
+say "${d1[@]}" --tag=d1-hit
+say "${d2[@]}" --tag=d2-cold
+say --event=fail:0
+say --event=fail:1
+say --event=fail:2
+say --health
+say "${d1[@]}" --degraded-ok --tag=d1-brownout
+say "${d1[@]}" --tag=d1-refused
+say --shutdown
+wait "$server_pid"
+
+start_server
+say "${d2[@]}" --tag=d2-warm
+say "${d1[@]}" --degraded-ok --tag=d1-warm
+say --shutdown
+wait "$server_pid"
+
+if [[ "$update" -eq 1 ]]; then
+  cp "$transcript" "$golden"
+  echo "updated $golden"
+  exit 0
+fi
+
+if ! cmp "$golden" "$transcript"; then
+  echo "wire transcript diverged from $golden:" >&2
+  diff -u "$golden" "$transcript" >&2 || true
+  exit 1
+fi
+echo "wire transcript matches $golden"

@@ -63,6 +63,7 @@ const char* wire_code_name(WireCode code) {
     case WireCode::kBadRequest: return "BAD_REQUEST";
     case WireCode::kBusy: return "BUSY";
     case WireCode::kInfeasible: return "INFEASIBLE";
+    case WireCode::kDegraded: return "DEGRADED";
     case WireCode::kShuttingDown: return "SHUTTING_DOWN";
     case WireCode::kInternal: return "INTERNAL";
   }
@@ -71,7 +72,8 @@ const char* wire_code_name(WireCode code) {
 
 WireCode parse_wire_code(const std::string& name) {
   for (WireCode code : {WireCode::kOk, WireCode::kBadRequest, WireCode::kBusy,
-                        WireCode::kInfeasible, WireCode::kShuttingDown, WireCode::kInternal}) {
+                        WireCode::kInfeasible, WireCode::kDegraded, WireCode::kShuttingDown,
+                        WireCode::kInternal}) {
     if (name == wire_code_name(code)) return code;
   }
   bad("unknown wire code '" + name + "'");
@@ -178,6 +180,15 @@ Schedule parse_schedule_wire(const std::string& wire, const Dag& dag,
   }
   const std::uint64_t eps = parse_u64(sections[0].substr(3), "ScheduleWire eps");
   const double period = parse_double(sections[1].substr(1), "ScheduleWire period");
+  // Validate the header before constructing: the Schedule constructor
+  // enforces the same bounds with SS_REQUIRE, but untrusted wire input
+  // must surface as WireError, not as an assertion escape. The eps bound
+  // also rejects values a CopyId cast would silently wrap.
+  if (eps >= platform.num_procs()) {
+    bad("ScheduleWire eps" + std::to_string(eps) + " needs more than " +
+        std::to_string(platform.num_procs()) + " processors");
+  }
+  if (!(period > 0.0)) bad("ScheduleWire period must be positive");
   Schedule schedule(dag, platform, static_cast<CopyId>(eps), period);
   const std::string replicas = sections[2].substr(1);
   if (!replicas.empty()) {
@@ -190,10 +201,16 @@ Schedule parse_schedule_wire(const std::string& wire, const Dag& dag,
       if (task >= dag.num_tasks() || copy > eps || proc >= platform.num_procs()) {
         bad("ScheduleWire replica out of range: '" + item + "'");
       }
-      schedule.place(ReplicaRef{static_cast<TaskId>(task), static_cast<CopyId>(copy)},
-                     static_cast<ProcId>(proc), parse_double(f[3], "replica start"),
-                     parse_double(f[4], "replica finish"),
-                     static_cast<std::uint32_t>(parse_u64(f[5], "replica stage")));
+      try {
+        schedule.place(ReplicaRef{static_cast<TaskId>(task), static_cast<CopyId>(copy)},
+                       static_cast<ProcId>(proc), parse_double(f[3], "replica start"),
+                       parse_double(f[4], "replica finish"),
+                       static_cast<std::uint32_t>(parse_u64(f[5], "replica stage")));
+      } catch (const std::exception& e) {
+        // Duplicate replica, finish < start, zero stage, ...: the
+        // schedule's own invariants, reported as a parse rejection.
+        bad(std::string("ScheduleWire replica rejected: ") + e.what());
+      }
     }
   }
   const std::string comms = sections[3].substr(1);
@@ -295,6 +312,14 @@ Request parse_request(const std::string& line) {
         f.headroom = parse_double(value, "headroom");
       } else if (key == "comm_share") {
         f.comm_share = parse_double(value, "comm_share");
+      } else if (key == "degraded_ok") {
+        if (value == "1") {
+          f.degraded_ok = true;
+        } else if (value == "0") {
+          f.degraded_ok = false;
+        } else {
+          bad("degraded_ok must be 0|1, got '" + value + "'");
+        }
       } else if (key == "dag") {
         f.dag = parse_dag_wire(value);
         have_dag = true;
@@ -348,6 +373,7 @@ std::string format_submit(const SubmitFrame& frame) {
   if (frame.comm_share != SubmitFrame{}.comm_share) {
     out += " comm_share=" + wire_double(frame.comm_share);
   }
+  if (frame.degraded_ok) out += " degraded_ok=1";
   out += " dag=" + format_dag_wire(frame.dag);
   return out;
 }

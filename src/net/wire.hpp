@@ -63,6 +63,8 @@ enum class WireCode {
   kBadRequest,    ///< unparseable frame, unknown field, malformed value
   kBusy,          ///< QoS class queue full — request shed, retry later
   kInfeasible,    ///< admission ran and no feasible placement exists
+  kDegraded,      ///< only a below-guarantee placement exists and the
+                  ///< request did not opt in with degraded_ok=1
   kShuttingDown,  ///< server is draining; no new admissions
   kInternal,      ///< unexpected server-side failure
 };
@@ -131,6 +133,9 @@ struct SubmitFrame {
   double period = 0.0;  ///< <= 0: calibrate from the workload
   double headroom = 2.0;
   double comm_share = 1.0;
+  /// Brownout opt-in: serve a degraded placement (src=degraded, explicit
+  /// eps_have/eps_want deficit) instead of an `ERR DEGRADED` refusal.
+  bool degraded_ok = false;
   Dag dag;
 };
 

@@ -1,0 +1,54 @@
+// Deterministic churn-trace generation for the placement service.
+//
+// A ChurnTrace turns a churn FaultModel (time-varying per-processor
+// failure rates + first-class recovery, see schedule/fault_model.hpp)
+// into a concrete, replayable sequence of ClusterEvents: step by step,
+// alive processors fail with `failure_prob_at(platform, u, step)` and
+// failed processors recover with `churn_recover()`. Everything is drawn
+// from one seeded Rng in a fixed order (processors ascending, failures
+// before recoveries within a step), so the same (model, platform, seed,
+// config) always yields the same trace — the determinism bench_churn and
+// the golden churn tests rely on.
+//
+// Two liveness guards shape the trace toward the serving layer's needs:
+//   - `min_alive` suppresses failures that would drop the alive count
+//     below the floor (the daemon can always degrade instead of going
+//     dark, but a fully dead cluster is not an interesting trace), and
+//   - the final `quiet_tail` steps draw no new failures, and the very
+//     last step force-recovers every still-failed processor, so "all
+//     degraded entries re-heal by trace end" is always achievable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "schedule/fault_model.hpp"
+#include "service/event_bus.hpp"
+
+namespace streamsched {
+
+struct ChurnTraceConfig {
+  /// Number of epochs to simulate (including the quiet tail).
+  std::uint64_t steps = 64;
+  /// Never let failures reduce the alive processor count below this.
+  std::size_t min_alive = 2;
+  /// Trailing steps that only recover (no fresh failures); must be < steps.
+  std::uint64_t quiet_tail = 8;
+};
+
+/// One generated trace: `steps[i]` holds the events of epoch i, in the
+/// order they must be published.
+struct ChurnTrace {
+  std::vector<std::vector<ClusterEvent>> steps;
+
+  /// Processors failed after replaying steps [0, upto); the full trace
+  /// always ends with every processor alive (forced final recovery).
+  [[nodiscard]] std::vector<ProcId> failed_after(std::size_t upto) const;
+};
+
+/// Generates the deterministic failure/recovery trace for `model` (must be
+/// a churn model) on `platform` from `seed`.
+[[nodiscard]] ChurnTrace generate_churn_trace(const FaultModel& model, const Platform& platform,
+                                              std::uint64_t seed, const ChurnTraceConfig& config);
+
+}  // namespace streamsched

@@ -12,6 +12,24 @@
 
 namespace streamsched {
 
+namespace {
+
+/// Recomputes the degradation flags from the batch survival kernel:
+/// eps_have = best residual tolerance under `failed`, degraded while it
+/// trails the admitted eps_want.
+void certify(CachedPlacement& placement, const ProcSet& failed, BatchScratch& scratch) {
+  placement.eps_have = achieved_tolerance(placement.oracle, failed, placement.eps_want, scratch);
+  placement.degraded = placement.eps_have < placement.eps_want;
+}
+
+std::string degraded_error(const CachedPlacement& placement) {
+  return "placement degraded: eps_have=" + std::to_string(placement.eps_have) +
+         " eps_want=" + std::to_string(placement.eps_want) +
+         " (opt in with degraded_ok, or retry after re-heal)";
+}
+
+}  // namespace
+
 PlacementDaemon::PlacementDaemon(Platform platform, DaemonConfig config, EventBus* bus)
     : platform_(std::make_shared<const Platform>(std::move(platform))),
       config_(config),
@@ -24,12 +42,15 @@ PlacementDaemon::PlacementDaemon(Platform platform, DaemonConfig config, EventBu
 }
 
 PlacementDaemon::~PlacementDaemon() {
-  // Drain queued submits first: their admits may still touch the cache.
-  {
-    std::unique_lock<std::mutex> lock(pending_mutex_);
-    pending_cv_.wait(lock, [this] { return pending_ == 0; });
-  }
+  // Drain queued submits and re-heal passes first: they may still touch
+  // the cache.
+  drain();
   if (bus_ != nullptr) bus_->unsubscribe(subscription_);
+}
+
+void PlacementDaemon::drain() {
+  std::unique_lock<std::mutex> lock(pending_mutex_);
+  pending_cv_.wait(lock, [this] { return pending_ == 0; });
 }
 
 PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
@@ -44,10 +65,17 @@ PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
     ++stats_.admissions;
     key.epoch = epoch_;
     if (auto hit = cache_.find(key)) {
-      resp.ok = true;
       resp.cache_hit = true;
       resp.epoch = epoch_;
       resp.placement = std::move(hit);
+      if (resp.placement->degraded && !request.degraded_ok) {
+        // Brownout refusal: the caller learns the deficit and may retry
+        // with degraded_ok instead of being shed.
+        resp.degraded_refused = true;
+        resp.error = degraded_error(*resp.placement);
+      } else {
+        resp.ok = true;
+      }
       return resp;
     }
     snapshot_epoch = epoch_;
@@ -85,22 +113,35 @@ PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
     // the achieved reliability once here — responses report it forever.
     placement->reliability = schedule_reliability(placement->schedule).reliability;
   }
+  placement->eps_want = placement->schedule.eps();
+  placement->eps_have = placement->eps_want;
   log_info() << "cold admission: variant=" << placement->variant
              << " model=" << request.model.to_string() << " period=" << period
              << " factor=" << factor << " repair_comms=" << result.repair.added_comms;
 
   // Reconcile with the live failure set, retrying when an event moves the
-  // epoch between the repair and the publish.
+  // epoch between the repair and the publish. A live set beyond
+  // incremental repair no longer refuses: the degradation ladder rebuilds
+  // on the alive sub-platform and serves with an explicit deficit.
+  BatchScratch scratch;
+  std::uint64_t rebuilds = 0;
   for (;;) {
     if (failed.count() > 0) {
       const RepairStats live = repair_for_failure_set(placement->schedule, placement->oracle,
                                                       failed);
-      if (!live.success) {
-        resp.epoch = snapshot_epoch;
-        resp.error = "live failure set beyond repair for this request";
-        return resp;
+      if (live.success) {
+        placement->event_repair_comms += live.added_comms;
+        if (placement->degraded) certify(*placement, failed, scratch);
+      } else {
+        auto rebuilt = rebuild_degraded(*placement, failed, scratch);
+        if (rebuilt == nullptr) {
+          resp.epoch = snapshot_epoch;
+          resp.error = "live failure set beyond repair for this request";
+          return resp;
+        }
+        placement = std::move(rebuilt);
+        ++rebuilds;
       }
-      placement->event_repair_comms += live.added_comms;
     }
     const std::lock_guard<std::mutex> lock(mutex_);
     if (epoch_ == snapshot_epoch) {
@@ -109,9 +150,18 @@ PlacementResponse PlacementDaemon::admit(PlacementRequest request) {
       std::shared_ptr<const CachedPlacement> published = std::move(placement);
       cache_.insert(key, published);
       ++stats_.cold_schedules;
-      resp.ok = true;
+      stats_.rebuilds += rebuilds;
       resp.epoch = epoch_;
-      resp.placement = std::move(published);
+      resp.placement = published;
+      if (published->degraded) {
+        if (config_.auto_reheal) schedule_reheal_scan();
+        if (!request.degraded_ok) {
+          resp.degraded_refused = true;
+          resp.error = degraded_error(*published);
+          return resp;
+        }
+      }
+      resp.ok = true;
       return resp;
     }
     snapshot_epoch = epoch_;
@@ -170,51 +220,243 @@ void PlacementDaemon::on_event(const ClusterEvent& event) {
   ++epoch_;
   ++stats_.events;
   if (event.kind == ClusterEvent::Kind::kRecovery) {
+    ++stats_.recovery_events;
     failed_.reset(event.proc);
     // Survival is monotone in the failure set: every cached placement
-    // survived the pre-recovery set, so it survives the smaller one.
-    // Re-key copy-free.
-    cache_.update_all(epoch_, [](const std::shared_ptr<const CachedPlacement>& p) {
-      return p;
+    // survived the pre-recovery set, so it survives the smaller one —
+    // full-guarantee entries re-key copy-free. Degraded entries
+    // re-certify against the shrunken set (the recovered processor may
+    // raise their residual tolerance) and, when still short of the
+    // guarantee, get a re-heal scan.
+    cache_.update_all(epoch_, [this](const std::shared_ptr<const CachedPlacement>& p)
+                                  -> std::shared_ptr<const CachedPlacement> {
+      if (!p->degraded) return p;
+      auto copy = std::make_shared<CachedPlacement>(*p);
+      certify(*copy, failed_, batch_scratch_);
+      copy->epoch = epoch_;
+      if (!copy->degraded) ++stats_.reheals;
+      return copy;
     });
+    if (config_.auto_reheal && degraded_count_locked() > 0) schedule_reheal_scan();
     return;
   }
   failed_.set(event.proc);
   const std::uint64_t repairs_before = stats_.event_repairs;
+  const std::uint64_t rebuilds_before = stats_.rebuilds;
   const std::uint64_t drops_before = stats_.repair_failures;
   cache_.update_all(epoch_, [this](const std::shared_ptr<const CachedPlacement>& p)
                                 -> std::shared_ptr<const CachedPlacement> {
-    if (p->oracle.survives(failed_, survive_scratch_)) return p;  // copy-free re-key
+    if (p->oracle.survives(failed_, survive_scratch_)) {
+      if (!p->degraded) return p;  // copy-free re-key
+      // Degraded entries track their residual tolerance exactly; the new
+      // failure may have shrunk it.
+      auto copy = std::make_shared<CachedPlacement>(*p);
+      certify(*copy, failed_, batch_scratch_);
+      copy->epoch = epoch_;
+      return copy;
+    }
     // Copy-on-repair: patch a copy's schedule + warm oracle, publish the
     // copy. Holders of the old placement keep a consistent (stale) view.
     auto patched = std::make_shared<CachedPlacement>(*p);
     const RepairStats live =
         repair_for_failure_set(patched->schedule, patched->oracle, failed_);
-    if (!live.success) {
-      ++stats_.repair_failures;
-      return nullptr;  // beyond repair: drop, next admission goes cold
-    }
-    patched->event_repair_comms += live.added_comms;
-    patched->epoch = epoch_;
-    ++stats_.event_repairs;
-    if (config_.verify_repairs) {
-      // Independent check: a fresh oracle compiled from the repaired
-      // schedule must agree, through the bit-sliced batch kernel, that the
-      // live failure set is survivable.
-      ++stats_.verifications;
-      const SurvivalOracle fresh(patched->schedule);
-      BatchScratch scratch;
-      if ((fresh.survives_batch(failed_.words(), 1, scratch) & 1ULL) == 0) {
-        ++stats_.verify_failures;
-        return nullptr;
+    if (live.success) {
+      patched->event_repair_comms += live.added_comms;
+      patched->epoch = epoch_;
+      bool verified = true;
+      if (config_.verify_repairs) {
+        // Independent check: a fresh oracle compiled from the repaired
+        // schedule must agree, through the bit-sliced batch kernel, that
+        // the live failure set is survivable.
+        ++stats_.verifications;
+        const SurvivalOracle fresh(patched->schedule);
+        BatchScratch scratch;
+        if ((fresh.survives_batch(failed_.words(), 1, scratch) & 1ULL) == 0) {
+          ++stats_.verify_failures;
+          verified = false;
+        }
+      }
+      if (verified) {
+        if (patched->degraded) certify(*patched, failed_, batch_scratch_);
+        ++stats_.event_repairs;
+        return patched;
       }
     }
-    return patched;
+    // Degradation ladder: beyond incremental repair no longer drops —
+    // rebuild on the alive sub-platform (capped ε) and keep serving with
+    // the batch-kernel-certified deficit. Only a failed rebuild drops.
+    auto rebuilt = rebuild_degraded(*p, failed_, batch_scratch_);
+    if (rebuilt == nullptr) {
+      ++stats_.repair_failures;
+      return nullptr;
+    }
+    ++stats_.rebuilds;
+    rebuilt->epoch = epoch_;
+    return rebuilt;
   });
+  if (config_.auto_reheal && degraded_count_locked() > 0) schedule_reheal_scan();
   log_info() << "failure event: proc=" << event.proc << " epoch=" << epoch_
              << " repaired=" << (stats_.event_repairs - repairs_before)
+             << " rebuilt=" << (stats_.rebuilds - rebuilds_before)
              << " dropped=" << (stats_.repair_failures - drops_before)
-             << " cached=" << cache_.size();
+             << " degraded=" << degraded_count_locked() << " cached=" << cache_.size();
+}
+
+std::shared_ptr<CachedPlacement> PlacementDaemon::rebuild_degraded(const CachedPlacement& stale,
+                                                                   const ProcSet& failed,
+                                                                   BatchScratch& scratch) const {
+  const std::size_t m = platform_->num_procs();
+  std::vector<ProcId> alive;
+  alive.reserve(m);
+  for (ProcId u = 0; u < m; ++u) {
+    if (!failed.test(u)) alive.push_back(u);
+  }
+  if (alive.empty()) return nullptr;
+  const CopyId want = stale.eps_want;
+  const CopyId cap = std::min<CopyId>(want, static_cast<CopyId>(alive.size() - 1));
+
+  // Alive sub-platform preserving per-processor speeds and pairwise link
+  // delays, so replica/comm times computed on it stay valid verbatim after
+  // remapping the processor ids back onto the full cluster.
+  std::vector<double> speeds(alive.size());
+  Matrix<double> delays(alive.size(), alive.size(), 0.0);
+  for (std::size_t i = 0; i < alive.size(); ++i) {
+    speeds[i] = platform_->speed(alive[i]);
+    for (std::size_t j = 0; j < alive.size(); ++j) {
+      delays(i, j) = platform_->unit_delay(alive[i], alive[j]);
+    }
+  }
+  Platform sub(std::move(speeds), std::move(delays));
+  if (platform_->has_failure_probs()) {
+    for (std::size_t i = 0; i < alive.size(); ++i) {
+      sub.set_failure_prob(static_cast<ProcId>(i), platform_->failure_prob(alive[i]));
+    }
+  }
+
+  SchedulerOptions options;
+  options.eps = cap;  // the count guarantee the alive processors can carry
+  options.repair = true;
+  options.period = stale.schedule.period();
+  auto [result, factor] = schedule_with_period_escalation(
+      AlgoVariant(stale.variant), *stale.dag, sub, stale.schedule.period(), options);
+  if (!result.ok()) return nullptr;
+
+  Schedule remapped(*stale.dag, *platform_, cap, result.schedule->period());
+  for (TaskId t = 0; t < stale.dag->num_tasks(); ++t) {
+    for (CopyId c = 0; c <= cap; ++c) {
+      const ReplicaRef r{t, c};
+      if (!result.schedule->is_placed(r)) continue;
+      const PlacedReplica& placed = result.schedule->placed(r);
+      remapped.place(r, alive[placed.proc], placed.start, placed.finish, placed.stage);
+    }
+  }
+  for (const CommRecord& comm : result.schedule->comms()) remapped.add_comm(comm);
+
+  auto fresh = std::make_shared<CachedPlacement>(stale.dag, stale.platform, std::move(remapped));
+  fresh->model = stale.model;
+  fresh->variant = stale.variant;
+  fresh->period_factor = factor;
+  fresh->repair = result.repair;
+  fresh->reliability = -1.0;
+  if (fresh->model.is_probabilistic()) {
+    fresh->reliability = schedule_reliability(fresh->schedule).reliability;
+  }
+  fresh->epoch = stale.epoch;  // callers publish under the epoch they hold
+  fresh->eps_want = want;
+  certify(*fresh, failed, scratch);
+  return fresh;
+}
+
+void PlacementDaemon::schedule_reheal_scan() {
+  if (reheal_scheduled_) return;
+  reheal_scheduled_ = true;
+  {
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    ++pending_;
+  }
+  global_thread_pool().post([this] {
+    reheal_pass();
+    const std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (--pending_ == 0) pending_cv_.notify_all();
+  });
+}
+
+void PlacementDaemon::reheal_now() { reheal_pass(); }
+
+void PlacementDaemon::reheal_pass() {
+  // Snapshot the degraded keys once; each entry gets one reschedule
+  // attempt per pass (events that degrade more entries schedule another
+  // pass). The epoch component of a captured key goes stale the moment an
+  // event lands, so re-lookups match on the stable fingerprints only.
+  std::vector<CacheKey> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    reheal_scheduled_ = false;
+    for (const auto& [key, p] : cache_.entries_lru()) {
+      if (p->degraded) targets.push_back(key);
+    }
+  }
+  BatchScratch scratch;
+  for (const CacheKey& target : targets) {
+    for (;;) {
+      std::shared_ptr<const CachedPlacement> stale;
+      std::uint64_t snapshot_epoch = 0;
+      ProcSet failed;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto& [key, p] : cache_.entries_lru()) {
+          if (key.dag == target.dag && key.variant == target.variant &&
+              key.model == target.model) {
+            stale = p;
+            break;
+          }
+        }
+        if (stale == nullptr || !stale->degraded) break;  // evicted or healed meanwhile
+        snapshot_epoch = epoch_;
+        failed = failed_;
+      }
+      // Reschedule outside the lock — admissions and events proceed; the
+      // publish below re-checks the epoch like the cold path does.
+      auto rebuilt = rebuild_degraded(*stale, failed, scratch);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (epoch_ != snapshot_epoch) continue;  // cluster moved: retry with fresh state
+      if (rebuilt == nullptr) break;           // cannot improve under the current set
+      bool current = false;
+      for (const auto& [key, p] : cache_.entries_lru()) {
+        if (p == stale) {
+          current = true;
+          break;
+        }
+      }
+      if (!current) break;  // replaced at the same epoch (another pass): leave it
+      // Publish only strict improvements; promotions to the full
+      // guarantee are what `reheals` counts.
+      if (rebuilt->degraded && rebuilt->eps_have <= stale->eps_have) break;
+      rebuilt->epoch = epoch_;
+      CacheKey key = target;
+      key.epoch = epoch_;
+      if (!rebuilt->degraded) ++stats_.reheals;
+      log_info() << "re-heal: eps_have " << stale->eps_have << " -> " << rebuilt->eps_have
+                 << "/" << rebuilt->eps_want << (rebuilt->degraded ? " (still degraded)" : "")
+                 << " epoch=" << epoch_;
+      cache_.insert(key, std::shared_ptr<const CachedPlacement>(std::move(rebuilt)));
+      break;
+    }
+  }
+}
+
+std::size_t PlacementDaemon::degraded_count_locked() const {
+  std::size_t n = 0;
+  for (const auto& [key, p] : cache_.entries_lru()) {
+    (void)key;
+    if (p->degraded) ++n;
+  }
+  return n;
+}
+
+std::size_t PlacementDaemon::degraded_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return degraded_count_locked();
 }
 
 std::uint64_t PlacementDaemon::epoch() const {
@@ -239,7 +481,9 @@ ScheduleCache::Stats PlacementDaemon::cache_stats() const {
 
 DaemonStats PlacementDaemon::stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  DaemonStats out = stats_;
+  out.degraded = degraded_count_locked();  // gauge, not a counter
+  return out;
 }
 
 }  // namespace streamsched

@@ -24,11 +24,25 @@
 //              copy's schedule gets supply channels via
 //              repair_for_failure_set, which patches the warm
 //              SurvivalOracle through add_comm instead of recompiling —
-//              and the repaired copy replaces the entry. Placements
-//              beyond repair are dropped (the next admission reschedules
-//              cold). Repaired copies are re-verified against the live
-//              failure set on a freshly compiled oracle through the
-//              bit-sliced batch kernel when `verify_repairs` is set.
+//              and the repaired copy replaces the entry. Repaired copies
+//              are re-verified against the live failure set on a freshly
+//              compiled oracle through the bit-sliced batch kernel when
+//              `verify_repairs` is set.
+//
+// Degradation ladder (placements are never dropped while servable):
+// after every failure the batch survival kernel re-certifies each entry's
+// best residual tolerance (`achieved_tolerance`); an entry that can no
+// longer meet its admitted ε keeps serving tagged `degraded` with the
+// explicit deficit (eps_have < eps_want). When incremental repair cannot
+// even restore computability, the daemon *rebuilds* the placement on the
+// alive sub-platform (capped ε, remapped onto the full cluster) rather
+// than dropping it; only a failed rebuild drops (repair_failures). A
+// background re-heal pass on the global thread pool — epoch-drift-safe
+// like the cold path — reschedules degraded entries and atomically
+// promotes them back to full-guarantee serving; recovery events both
+// re-certify in place (a recovered processor may restore the guarantee
+// outright) and trigger re-heal scans for entries that rebuilt with fewer
+// replicas.
 //
 // Published placements are immutable: event repair copies, repairs the
 // copy, then swaps the shared_ptr, so response holders can keep reading
@@ -59,17 +73,25 @@ struct DaemonConfig {
   /// republishing it. Catches any divergence between the patched warm
   /// oracle and the schedule it claims to describe.
   bool verify_repairs = true;
+  /// Schedule background re-heal passes (global thread pool) whenever an
+  /// event or admission leaves degraded entries behind. Disable for
+  /// single-threaded determinism (benches/tests drive reheal_now()).
+  bool auto_reheal = true;
 };
 
 struct DaemonStats {
   std::uint64_t admissions = 0;       ///< admit() calls (hits + misses)
   std::uint64_t cold_schedules = 0;   ///< misses that scheduled cold
   std::uint64_t events = 0;           ///< failure/recovery events handled
+  std::uint64_t recovery_events = 0;  ///< the recovery subset of `events`
   std::uint64_t event_repairs = 0;    ///< cached placements repaired in place
   std::uint64_t repair_failures = 0;  ///< placements dropped as beyond repair
   std::uint64_t verifications = 0;    ///< fresh-oracle batch re-checks run
   std::uint64_t verify_failures = 0;  ///< re-checks that failed (must stay 0)
   std::uint64_t restored = 0;         ///< warm-start entries restored into the cache
+  std::uint64_t degraded = 0;         ///< gauge: cache entries currently degraded
+  std::uint64_t rebuilds = 0;         ///< degraded rebuilds on the alive sub-platform
+  std::uint64_t reheals = 0;          ///< degraded entries promoted to full guarantee
 };
 
 class PlacementDaemon {
@@ -92,10 +114,28 @@ class PlacementDaemon {
   [[nodiscard]] std::future<PlacementResponse> submit(PlacementRequest request);
 
   /// Failure/recovery notification (also the bus subscription target).
-  /// Bumps the epoch; failures repair or drop affected cached placements,
-  /// recoveries re-key copy-free (survival is monotone in the failure
-  /// set: whatever survived the larger set survives the smaller one).
+  /// Bumps the epoch; failures repair / degrade / rebuild affected cached
+  /// placements (see the degradation ladder above). Recoveries re-key
+  /// full-guarantee entries copy-free (survival is monotone in the failure
+  /// set: whatever survived the larger set survives the smaller one) and
+  /// re-certify degraded ones — plus schedule a re-heal scan for any that
+  /// stay degraded.
   void on_event(const ClusterEvent& event);
+
+  /// Runs one full re-heal pass synchronously: while degraded entries
+  /// remain (and the epoch holds still long enough), reschedule each and
+  /// atomically publish any strict improvement; promotions to full
+  /// guarantee count in stats().reheals. The deterministic driver for
+  /// benches/tests; the background path (auto_reheal) runs the same pass
+  /// on the global thread pool.
+  void reheal_now();
+
+  /// Blocks until every queued submit()/background re-heal job finished.
+  void drain();
+
+  /// Number of cached entries currently serving degraded (also the
+  /// stats().degraded gauge and HEALTH's backpressure signal).
+  [[nodiscard]] std::size_t degraded_count() const;
 
   /// Cached placements in LRU→MRU order, without touching recency or hit
   /// stats — the warm-start snapshot walk (service/persistence.hpp saves
@@ -127,11 +167,33 @@ class PlacementDaemon {
   EventBus* bus_ = nullptr;
   EventBus::SubscriptionId subscription_ = 0;
 
+  /// Reschedules `stale`'s DAG on the alive sub-platform (ε capped at
+  /// what the alive processors can carry), remaps the result onto the
+  /// full cluster, and returns it tolerance-certified through the batch
+  /// kernel — or nullptr when even the capped reschedule fails. Reads
+  /// only immutable daemon state (platform_), so it runs with or without
+  /// mutex_ held; the caller owns the scratch.
+  std::shared_ptr<CachedPlacement> rebuild_degraded(const CachedPlacement& stale,
+                                                    const ProcSet& failed,
+                                                    BatchScratch& scratch) const;
+
+  /// Posts a background re-heal pass unless one is already queued
+  /// (mutex_ held).
+  void schedule_reheal_scan();
+
+  /// One re-heal pass body (see reheal_now()).
+  void reheal_pass();
+
+  /// Degraded-entry count with mutex_ held.
+  [[nodiscard]] std::size_t degraded_count_locked() const;
+
   mutable std::mutex mutex_;
   ScheduleCache cache_;
   std::uint64_t epoch_ = 0;
   ProcSet failed_;
   std::vector<std::uint64_t> survive_scratch_;
+  BatchScratch batch_scratch_;
+  bool reheal_scheduled_ = false;
   DaemonStats stats_;
 
   std::mutex pending_mutex_;

@@ -64,7 +64,12 @@ std::uint32_t parse_u32_field(const std::string& value, const std::string& key) 
   return static_cast<std::uint32_t>(parsed);
 }
 
-constexpr char kMagic[] = "#streamsched-cache v1";
+// v2 appends degraded=/eps_have=/eps_want= to entry lines so a warm
+// restart never launders a degraded placement into a full-guarantee one.
+// v1 snapshots still load: their entries default to non-degraded with
+// eps_have == eps_want == the schedule's replication degree.
+constexpr char kMagic[] = "#streamsched-cache v2";
+constexpr char kMagicV1[] = "#streamsched-cache v1";
 
 /// One parsed (not yet verified) snapshot entry.
 struct SnapshotEntry {
@@ -74,6 +79,10 @@ struct SnapshotEntry {
   double reliability = -1.0;
   std::uint32_t repair_comms = 0;
   std::uint32_t event_comms = 0;
+  bool degraded = false;
+  bool have_deficit = false;  ///< v2 entry carrying eps_have/eps_want
+  std::uint32_t eps_have = 0;
+  std::uint32_t eps_want = 0;
   std::string dag_wire;
   std::string sched_wire;
 };
@@ -110,6 +119,17 @@ SnapshotEntry parse_entry_line(const std::string& line) {
       entry.repair_comms = parse_u32_field(value, key);
     } else if (key == "event_comms") {
       entry.event_comms = parse_u32_field(value, key);
+    } else if (key == "degraded") {
+      if (value != "0" && value != "1") {
+        throw SnapshotError("snapshot entry field degraded must be 0 or 1: " + value);
+      }
+      entry.degraded = value == "1";
+    } else if (key == "eps_have") {
+      entry.eps_have = parse_u32_field(value, key);
+      entry.have_deficit = true;
+    } else if (key == "eps_want") {
+      entry.eps_want = parse_u32_field(value, key);
+      entry.have_deficit = true;
     } else {
       throw SnapshotError("snapshot entry has unknown field: " + key);
     }
@@ -127,9 +147,37 @@ std::shared_ptr<CachedPlacement> verify_entry(const SnapshotEntry& entry,
   auto dag = std::make_shared<const Dag>(net::parse_dag_wire(entry.dag_wire));
   Schedule schedule = net::parse_schedule_wire(entry.sched_wire, *dag, daemon.platform());
 
+  // v1 entries carry no deficit fields: they predate degradation, so they
+  // claim the full guarantee their schedule was built for.
+  const std::uint32_t eps_want =
+      entry.have_deficit ? entry.eps_want : static_cast<std::uint32_t>(schedule.eps());
+  const std::uint32_t eps_have =
+      entry.have_deficit ? entry.eps_have : static_cast<std::uint32_t>(schedule.eps());
+  // The flag and the deficit must agree — a snapshot claiming degraded=0
+  // with eps_have < eps_want (or vice versa) is internally inconsistent,
+  // which means format skew or tampering, not bit rot: reject the file.
+  if (entry.degraded != (eps_have < eps_want)) {
+    throw SnapshotError("snapshot entry degraded flag contradicts its deficit: degraded=" +
+                        std::string(entry.degraded ? "1" : "0") +
+                        " eps_have=" + std::to_string(eps_have) +
+                        " eps_want=" + std::to_string(eps_want));
+  }
+
   // Re-check the entry's reliability claim from scratch — a fresh oracle
   // compiled from the rebuilt schedule, driven through the batch kernel.
-  if (entry.model.is_count()) {
+  // A degraded entry claims tolerance eps_have on the full platform (the
+  // achieved_tolerance certificate in schedule/survival.hpp is what makes
+  // that a plain count-tolerance claim), so it is re-proved exhaustively
+  // at eps_have instead of the model's full guarantee.
+  if (entry.degraded) {
+    const FtCheckResult check = check_fault_tolerance(schedule, eps_have);
+    if (!check.valid) {
+      log_warn() << "snapshot entry dropped: variant=" << entry.variant
+                 << " model=" << entry.model.to_string() << " claims degraded eps_have="
+                 << eps_have << " but fails the exhaustive check";
+      return nullptr;
+    }
+  } else if (entry.model.is_count()) {
     const FtCheckResult check = check_fault_tolerance(schedule, entry.model.eps());
     if (!check.valid) {
       log_warn() << "snapshot entry dropped: variant=" << entry.variant
@@ -160,6 +208,9 @@ std::shared_ptr<CachedPlacement> verify_entry(const SnapshotEntry& entry,
   placement->repair.added_comms = entry.repair_comms;
   placement->repair.reliability = entry.reliability;
   placement->event_repair_comms = entry.event_comms;
+  placement->degraded = entry.degraded;
+  placement->eps_have = eps_have;
+  placement->eps_want = eps_want;
   return placement;
 }
 
@@ -232,7 +283,10 @@ SnapshotSaveStats save_cache_snapshot(const PlacementDaemon& daemon, const std::
             " factor=" + net::wire_double(placement->period_factor) +
             " rel=" + net::wire_double(placement->reliability) +
             " repair_comms=" + std::to_string(placement->repair.added_comms) +
-            " event_comms=" + std::to_string(placement->event_repair_comms) + '\n';
+            " event_comms=" + std::to_string(placement->event_repair_comms) +
+            " degraded=" + (placement->degraded ? "1" : "0") +
+            " eps_have=" + std::to_string(placement->eps_have) +
+            " eps_want=" + std::to_string(placement->eps_want) + '\n';
     body += "dag " + net::format_dag_wire(*placement->dag) + '\n';
     body += "sched " + net::format_schedule_wire(placement->schedule) + '\n';
     ++stats.entries;
@@ -270,7 +324,7 @@ SnapshotLoadStats load_cache_snapshot_text(PlacementDaemon& daemon, const std::s
     start = end + 1;
   }
 
-  if (lines.size() < 3 || lines[0].second != kMagic) {
+  if (lines.size() < 3 || (lines[0].second != kMagic && lines[0].second != kMagicV1)) {
     throw SnapshotError("not a streamsched cache snapshot (bad header): " + path);
   }
 

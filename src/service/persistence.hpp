@@ -8,9 +8,10 @@
 //
 // Snapshot format (line-delimited text, like the wire protocol):
 //
-//   #streamsched-cache v1
+//   #streamsched-cache v2
 //   platform <hex16 platform fingerprint>
 //   entry variant=<spec> model=<spec> factor=<f> rel=<r> repair_comms=<n> event_comms=<n>
+//         degraded=<0|1> eps_have=<n> eps_want=<n>        (one line)
 //   dag <DagWire>
 //   sched <ScheduleWire>
 //   ...                                     (entry/dag/sched repeated)
@@ -18,6 +19,17 @@
 //
 // Entries are written LRU→MRU, so re-inserting them in file order
 // reproduces the cache's recency ordering.
+//
+// Degradation survives restarts: v2 entries carry the degraded flag and
+// the eps_have/eps_want deficit verbatim, and load re-proves a degraded
+// entry's claim exhaustively at eps_have (sound per the achieved_tolerance
+// certificate in schedule/survival.hpp) instead of the model's full
+// guarantee — a warm restart can therefore never launder a degraded
+// placement into a full-guarantee one. An entry whose degraded flag
+// contradicts its deficit (degraded=1 with eps_have == eps_want, or
+// degraded=0 with a deficit) rejects the whole file: that is format skew
+// or tampering, not bit rot. v1 snapshots still load; their entries
+// default to non-degraded with eps_have == eps_want.
 //
 // Trust model: the snapshot is a cache, never an oracle. Load rejects the
 // whole file loudly (SnapshotError) when the header, platform

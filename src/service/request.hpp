@@ -39,6 +39,10 @@ struct PlacementRequest {
   double period = 0.0;
   double headroom = 2.0;
   double comm_share = 1.0;
+  /// Brownout opt-in: accept a degraded placement (one currently serving
+  /// below its admitted ε/R guarantee, see CachedPlacement::degraded)
+  /// instead of being refused while the cluster churns.
+  bool degraded_ok = false;
 };
 
 /// One admitted placement, immutable once published by the daemon. The
@@ -75,6 +79,18 @@ struct CachedPlacement {
   /// Platform epoch this placement is current for (survives the daemon's
   /// live failure set as of that epoch).
   std::uint64_t epoch = 0;
+  /// Replication tolerance the admission promised (the schedule's built ε
+  /// on the cold path). The degradation ladder never lowers this — it is
+  /// what re-heal promotes back to.
+  CopyId eps_want = 0;
+  /// Best residual tolerance the batch survival kernel certifies under
+  /// the live failure set (achieved_tolerance). Equal to eps_want on a
+  /// healthy cluster; the explicit deficit when degraded.
+  CopyId eps_have = 0;
+  /// True while eps_have < eps_want: the placement keeps serving, tagged
+  /// with its reliability deficit, until background re-heal promotes a
+  /// full-guarantee replacement.
+  bool degraded = false;
 };
 
 struct PlacementResponse {
@@ -82,6 +98,10 @@ struct PlacementResponse {
   bool cache_hit = false;
   /// Daemon epoch the response was served at.
   std::uint64_t epoch = 0;
+  /// True when the only placement on offer is degraded and the request did
+  /// not opt in with `degraded_ok` — `placement` still points at the
+  /// refused entry so the caller can report the deficit.
+  bool degraded_refused = false;
   std::string error;
   std::shared_ptr<const CachedPlacement> placement;
 };

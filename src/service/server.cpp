@@ -165,14 +165,25 @@ struct Server::Impl {
       request.period = frame.period;
       request.headroom = frame.headroom;
       request.comm_share = frame.comm_share;
+      request.degraded_ok = frame.degraded_ok;
       const PlacementResponse resp = server->daemon_->admit(std::move(request));
       if (!resp.ok) {
+        if (resp.degraded_refused) {
+          return format_error(WireCode::kDegraded,
+                              resp.error.empty() ? "placement degraded" : resp.error,
+                              frame.tag);
+        }
         return format_error(WireCode::kInfeasible,
                             resp.error.empty() ? "no feasible placement" : resp.error,
                             frame.tag);
       }
       const CachedPlacement& p = *resp.placement;
-      const char* src = !resp.cache_hit ? "cold" : (p.from_snapshot ? "warm" : "hit");
+      // Degraded provenance overrides cold/hit/warm: a caller that opted
+      // into brownout serving must see the weaker contract first.
+      const char* src = p.degraded ? "degraded"
+                        : !resp.cache_hit
+                            ? "cold"
+                            : (p.from_snapshot ? "warm" : "hit");
       OkBuilder ok;
       if (!frame.tag.empty()) ok.add("tag", frame.tag);
       ok.add("src", src)
@@ -186,6 +197,11 @@ struct Server::Impl {
           .add("factor", p.period_factor)
           .add("repair_comms",
                static_cast<std::uint64_t>(p.repair.added_comms + p.event_repair_comms));
+      if (p.degraded) {
+        ok.add("degraded", std::uint64_t{1})
+            .add("eps_have", static_cast<std::uint64_t>(p.eps_have))
+            .add("eps_want", static_cast<std::uint64_t>(p.eps_want));
+      }
       return ok.str();
     } catch (const std::exception& e) {
       return format_error(WireCode::kInternal, e.what(), frame.tag);
@@ -295,11 +311,15 @@ struct Server::Impl {
         .add("misses", cs.misses)
         .add("evictions", cs.evictions)
         .add("events", ds.events)
+        .add("recovery_events", ds.recovery_events)
         .add("event_repairs", ds.event_repairs)
         .add("repair_failures", ds.repair_failures)
         .add("verifications", ds.verifications)
         .add("verify_failures", ds.verify_failures)
-        .add("restored", ds.restored);
+        .add("restored", ds.restored)
+        .add("degraded", ds.degraded)
+        .add("rebuilds", ds.rebuilds)
+        .add("reheals", ds.reheals);
     for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
       const std::string name = qos_class_name(static_cast<QosClass>(qi));
       LaneStats ls;
@@ -316,14 +336,17 @@ struct Server::Impl {
     conn.out += '\n';
   }
 
-  /// Liveness probe: cheap field copies only (no cache walk, no lock
-  /// ordering beyond the lane mutexes) so monitors can poll it hard.
+  /// Liveness probe: cheap field copies plus the bounded degraded-entry
+  /// walk (<= cache capacity pointer reads) so monitors can poll it hard.
+  /// `degraded=` is the router/backpressure signal: a cluster serving
+  /// below guarantee advertises it here before any SUBMIT is refused.
   void serve_health(Connection& conn) {
     OkBuilder ok;
     ok.add("status", draining.load() ? "draining" : "serving")
         .add("epoch", server->daemon_->epoch())
         .add("failed", static_cast<std::uint64_t>(server->daemon_->failed_procs()))
-        .add("cache_size", static_cast<std::uint64_t>(server->daemon_->cache_size()));
+        .add("cache_size", static_cast<std::uint64_t>(server->daemon_->cache_size()))
+        .add("degraded", static_cast<std::uint64_t>(server->daemon_->degraded_count()));
     for (std::size_t qi = 0; qi < kNumQosClasses; ++qi) {
       const std::string name = qos_class_name(static_cast<QosClass>(qi));
       std::size_t in_flight;

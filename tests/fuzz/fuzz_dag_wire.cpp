@@ -1,0 +1,28 @@
+// Fuzz harness: net::parse_dag_wire must either return a Dag or throw
+// WireError — any other escape (assertion, uncaught exception, UB caught
+// by a sanitizer) is a finding. The DagWire sub-parser is reached from
+// three untrusted surfaces — SUBMIT request lines, the warm-start cache
+// snapshot's `dag ` lines, and client --dag= arguments — so it gets its
+// own harness on top of the full-request one (fuzz_wire_request.cpp):
+// mutations here spend their whole budget inside the grammar instead of
+// rediscovering `SUBMIT dag=` prefixes.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "net/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string wire(reinterpret_cast<const char*>(data), size);
+  try {
+    const streamsched::Dag dag = streamsched::net::parse_dag_wire(wire);
+    // A parsed DAG must round-trip through its own formatter.
+    const std::string again = streamsched::net::format_dag_wire(dag);
+    (void)streamsched::net::parse_dag_wire(again);
+  } catch (const streamsched::net::WireError&) {
+    // The documented rejection path.
+  } catch (...) {
+    std::abort();  // anything else is a parser contract violation
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fuzz harness: net::parse_schedule_wire against a fixed small DAG and
+// platform must either return a Schedule or throw WireError — never an
+// assertion escape from Schedule's own invariants (duplicate replica,
+// finish < start, eps >= m, ...). ScheduleWire is parsed from the
+// warm-start cache snapshot's `sched ` lines, i.e. from disk bytes an
+// attacker (or bit rot) controls, so the sub-parser gets a dedicated
+// harness: the snapshot harness (fuzz_snapshot.cpp) rarely gets past the
+// whole-file checksum, while mutations here hit the grammar directly.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "net/wire.hpp"
+#include "platform/platform.hpp"
+
+namespace {
+
+/// The fixture the wires are parsed against: a 4-task diamond on 3
+/// processors, matching the seed corpus under corpus/schedule/.
+const streamsched::Dag& fixture_dag() {
+  static const streamsched::Dag dag = [] {
+    streamsched::Dag d;
+    for (double work : {1.0, 2.0, 3.0, 4.0}) d.add_task(work);
+    d.add_edge(0, 1, 1.5);
+    d.add_edge(0, 2, 2.0);
+    d.add_edge(1, 3, 1.0);
+    d.add_edge(2, 3, 0.5);
+    return d;
+  }();
+  return dag;
+}
+
+const streamsched::Platform& fixture_platform() {
+  static const streamsched::Platform platform({1.0, 2.0, 4.0}, 0.5);
+  return platform;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  const std::string wire(reinterpret_cast<const char*>(data), size);
+  try {
+    const streamsched::Schedule schedule =
+        streamsched::net::parse_schedule_wire(wire, fixture_dag(), fixture_platform());
+    // A parsed schedule must round-trip through its own formatter.
+    const std::string again = streamsched::net::format_schedule_wire(schedule);
+    (void)streamsched::net::parse_schedule_wire(again, fixture_dag(), fixture_platform());
+  } catch (const streamsched::net::WireError&) {
+    // The documented rejection path.
+  } catch (...) {
+    std::abort();  // anything else is a parser contract violation
+  }
+  return 0;
+}

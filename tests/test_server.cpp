@@ -220,6 +220,124 @@ TEST(CachePersistence, EntriesKilledByTheLiveFailureSetAreStale) {
   EXPECT_EQ(target.cache_size(), 0u);
 }
 
+TEST(CachePersistence, DegradedEntriesRoundTripWithoutLaundering) {
+  const FileGuard snap(unique_path("snap_degraded", ".snapshot"));
+  EventBus bus;
+  DaemonConfig dcfg;
+  dcfg.auto_reheal = false;
+  PlacementDaemon source(small_platform(5, 5), dcfg, &bus);
+  ASSERT_TRUE(source.admit(request_for(61, FaultModel::count(2))).ok);
+
+  // Three failures on a five-processor cluster leave two survivors: an
+  // ε = 2 guarantee needs three distinct processors, so the entry rides
+  // the degradation ladder instead of being dropped.
+  for (ProcId p : {0u, 1u, 2u}) {
+    bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, p});
+  }
+  ASSERT_EQ(source.degraded_count(), 1u);
+  PlacementRequest brownout = request_for(61, FaultModel::count(2));
+  brownout.degraded_ok = true;
+  const PlacementResponse served = source.admit(brownout);
+  ASSERT_TRUE(served.ok) << served.error;
+  ASSERT_TRUE(served.placement->degraded);
+  const std::uint64_t fp = schedule_fingerprint(served.placement->schedule);
+  (void)save_cache_snapshot(source, snap.path);
+
+  // The restored daemon (healthy cluster, empty failure set) must keep the
+  // deficit: same schedule bits, same eps_have < eps_want, still refusing
+  // callers that do not opt in.
+  PlacementDaemon target(small_platform(5, 5), dcfg);
+  const SnapshotLoadStats loaded = load_cache_snapshot(target, snap.path);
+  EXPECT_EQ(loaded.entries, 1u);
+  EXPECT_EQ(loaded.restored, 1u);
+  EXPECT_EQ(target.degraded_count(), 1u);
+
+  const PlacementResponse refused = target.admit(request_for(61, FaultModel::count(2)));
+  EXPECT_FALSE(refused.ok);
+  EXPECT_TRUE(refused.degraded_refused);
+  const PlacementResponse warm = target.admit(brownout);
+  ASSERT_TRUE(warm.ok) << warm.error;
+  ASSERT_TRUE(warm.placement->degraded);
+  EXPECT_EQ(warm.placement->eps_have, served.placement->eps_have);
+  EXPECT_EQ(warm.placement->eps_want, served.placement->eps_want);
+  EXPECT_EQ(schedule_fingerprint(warm.placement->schedule), fp);
+  EXPECT_EQ(net::format_schedule_wire(warm.placement->schedule),
+            net::format_schedule_wire(served.placement->schedule));
+}
+
+TEST(CachePersistence, LaunderedDegradedFlagRejectsTheWholeSnapshot) {
+  const FileGuard snap(unique_path("snap_launder", ".snapshot"));
+  EventBus bus;
+  DaemonConfig dcfg;
+  dcfg.auto_reheal = false;
+  PlacementDaemon source(small_platform(5, 5), dcfg, &bus);
+  ASSERT_TRUE(source.admit(request_for(61, FaultModel::count(2))).ok);
+  for (ProcId p : {0u, 1u, 2u}) {
+    bus.publish(ClusterEvent{ClusterEvent::Kind::kFailure, p});
+  }
+  ASSERT_EQ(source.degraded_count(), 1u);
+  (void)save_cache_snapshot(source, snap.path);
+
+  // Clear the degraded flag while keeping eps_have < eps_want, then
+  // re-seal the checksum. The flag now contradicts the deficit — that is
+  // format skew or tampering, not bit rot, so the whole file must be
+  // rejected rather than the entry quietly dropped (or worse, promoted).
+  std::string content = read_file(snap.path);
+  const std::size_t flag_pos = content.find(" degraded=1");
+  ASSERT_NE(flag_pos, std::string::npos) << "expected a degraded entry in the snapshot";
+  content.replace(flag_pos, std::string(" degraded=1").size(), " degraded=0");
+  const std::size_t checksum_pos = content.rfind("checksum ");
+  ASSERT_NE(checksum_pos, std::string::npos);
+  content.erase(checksum_pos);
+  char sealed[32];
+  std::snprintf(sealed, sizeof sealed, "checksum %016llx\n",
+                static_cast<unsigned long long>(Fnv64().str(content).value()));
+  write_file(snap.path, content + sealed);
+
+  PlacementDaemon target(small_platform(5, 5), dcfg);
+  EXPECT_THROW((void)load_cache_snapshot(target, snap.path), SnapshotError);
+  EXPECT_EQ(target.cache_size(), 0u);
+}
+
+TEST(CachePersistence, V1SnapshotsWithoutDeficitFieldsStillLoad) {
+  const FileGuard snap(unique_path("snap_v1", ".snapshot"));
+  PlacementDaemon source(small_platform(), DaemonConfig{});
+  ASSERT_TRUE(source.admit(request_for(161, FaultModel::count(1))).ok);
+  (void)save_cache_snapshot(source, snap.path);
+
+  // Rewrite the v2 file as the v1 format it supersedes: old magic, no
+  // degraded=/eps_have=/eps_want= entry fields, fresh checksum. Pre-ladder
+  // snapshots carried no deficits, so the loader must default their
+  // entries to the full guarantee.
+  std::string content = read_file(snap.path);
+  const std::size_t magic_pos = content.find("#streamsched-cache v2");
+  ASSERT_EQ(magic_pos, 0u) << "snapshot header is not the v2 magic";
+  content.replace(magic_pos, std::string("#streamsched-cache v2").size(),
+                  "#streamsched-cache v1");
+  const std::size_t deficit_pos = content.find(" degraded=");
+  ASSERT_NE(deficit_pos, std::string::npos);
+  const std::size_t line_end = content.find('\n', deficit_pos);
+  ASSERT_NE(line_end, std::string::npos);
+  content.erase(deficit_pos, line_end - deficit_pos);
+  ASSERT_EQ(content.find(" eps_have="), std::string::npos);
+  const std::size_t checksum_pos = content.rfind("checksum ");
+  ASSERT_NE(checksum_pos, std::string::npos);
+  content.erase(checksum_pos);
+  char sealed[32];
+  std::snprintf(sealed, sizeof sealed, "checksum %016llx\n",
+                static_cast<unsigned long long>(Fnv64().str(content).value()));
+  write_file(snap.path, content + sealed);
+
+  PlacementDaemon target(small_platform(), DaemonConfig{});
+  const SnapshotLoadStats loaded = load_cache_snapshot(target, snap.path);
+  EXPECT_EQ(loaded.entries, 1u);
+  EXPECT_EQ(loaded.restored, 1u);
+  const auto entries = target.snapshot_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_FALSE(entries[0]->degraded);
+  EXPECT_EQ(entries[0]->eps_have, entries[0]->eps_want);
+}
+
 // ------------------------------------------------------------- wire server --
 
 /// A running server on its own thread; the destructor drains and joins.
@@ -384,28 +502,50 @@ TEST(WireServer, SubmitEventRepairAndDrainOverUnixSocket) {
   handle.join();
 }
 
-TEST(WireServer, InfeasibleRequestsReportInfeasible) {
+TEST(WireServer, InfeasibleAndDegradedRefusalsAreDistinct) {
   const FileGuard sock(unique_path("srv_infeasible", ".sock"));
   net::ServerConfig config;
   config.unix_path = sock.path;
-  // One survivor on a 4-processor cluster: an ε = 1 placement (two
-  // replicas on distinct processors) always has some task with both
-  // replicas on failed processors — beyond repair, so the admission must
-  // answer INFEASIBLE rather than serve a dead placement.
+  config.daemon.auto_reheal = false;
   ServerHandle handle(small_platform(5, 4), config);
   net::Client client = net::Client::connect_unix_path(sock.path);
+
+  // Truly unschedulable: an explicit period below any task's work fails
+  // every rung of the escalation ladder — the admission answers
+  // INFEASIBLE, there is nothing to degrade to.
+  net::SubmitFrame impossible = frame_for(211, "doomed");
+  impossible.model = FaultModel::count(1);
+  impossible.period = 1e-6;
+  const net::Response infeasible = client.submit(impossible);
+  EXPECT_FALSE(infeasible.ok);
+  EXPECT_EQ(infeasible.code, net::WireCode::kInfeasible);
+  EXPECT_EQ(infeasible.field("tag"), "doomed");
+
+  // One survivor on a 4-processor cluster: an ε = 1 placement (two
+  // replicas on distinct processors) always has some task with both
+  // replicas on failed processors — beyond repair. The degradation ladder
+  // rebuilds on the lone survivor at ε = 0 instead of refusing outright:
+  // DEGRADED without the opt-in, served with a truthful deficit with it.
   net::EventFrame fail;
   fail.failure = true;
   for (ProcId p : {0u, 1u, 2u}) {
     fail.proc = p;
     ASSERT_TRUE(client.event(fail).ok);
   }
-  net::SubmitFrame frame = frame_for(211, "doomed");
+  net::SubmitFrame frame = frame_for(211, "churned");
   frame.model = FaultModel::count(1);
-  const net::Response resp = client.submit(frame);
-  EXPECT_FALSE(resp.ok);
-  EXPECT_EQ(resp.code, net::WireCode::kInfeasible);
-  EXPECT_EQ(resp.field("tag"), "doomed");
+  const net::Response refused = client.submit(frame);
+  EXPECT_FALSE(refused.ok);
+  EXPECT_EQ(refused.code, net::WireCode::kDegraded);
+  EXPECT_EQ(refused.field("tag"), "churned");
+
+  frame.tag = "brownout";
+  frame.degraded_ok = true;
+  const net::Response served = client.submit(frame);
+  ASSERT_TRUE(served.ok) << served.message;
+  EXPECT_EQ(served.field("src"), "degraded");
+  EXPECT_EQ(served.field_u64("eps_have"), 0u);
+  EXPECT_EQ(served.field_u64("eps_want"), 1u);
 }
 
 TEST(WireServer, SaturatedBatchLaneShedsWhileInteractiveLands) {
@@ -497,6 +637,95 @@ TEST(WireServer, WarmRestartServesBitIdenticalWithoutColdPath) {
   EXPECT_EQ(stats.field_u64("restored"), 2u);
   EXPECT_EQ(stats.field_u64("cold"), 0u);
   EXPECT_EQ(stats.field_u64("hits"), 2u);
+}
+
+TEST(WireServer, DegradedProvenanceBrownoutOptInAndWarmRestart) {
+  const FileGuard sock1(unique_path("srv_deg1", ".sock"));
+  const FileGuard sock2(unique_path("srv_deg2", ".sock"));
+  const FileGuard snap(unique_path("srv_deg", ".snapshot"));
+
+  std::string degraded_fp;
+  std::uint64_t eps_have = 0;
+  {
+    net::ServerConfig config;
+    config.unix_path = sock1.path;
+    config.snapshot_path = snap.path;
+    config.daemon.auto_reheal = false;  // deterministic: no background pass
+    // Five processors: failing three leaves two alive, beyond an ε = 2
+    // repair or rebuild — the entry must degrade, not drop.
+    ServerHandle first(small_platform(5, 5), config);
+    net::Client client = net::Client::connect_unix_path(sock1.path);
+    const net::Response cold = client.submit(frame_for(61, "churny"));
+    ASSERT_TRUE(cold.ok) << cold.message;
+    EXPECT_EQ(cold.field("src"), "cold");
+
+    net::EventFrame fail;
+    fail.failure = true;
+    for (ProcId p : {0u, 1u, 2u}) {
+      fail.proc = p;
+      ASSERT_TRUE(client.event(fail).ok);
+    }
+
+    // HEALTH advertises the brownout before any SUBMIT trips over it.
+    const net::Response health = client.health();
+    ASSERT_TRUE(health.ok);
+    EXPECT_EQ(health.field_u64("failed"), 3u);
+    EXPECT_EQ(health.field_u64("degraded"), 1u);
+
+    // Default callers are refused with the dedicated code; opting in gets
+    // the weaker contract served with truthful provenance.
+    const net::Response refused = client.submit(frame_for(61, "strict"));
+    EXPECT_FALSE(refused.ok);
+    EXPECT_EQ(refused.code, net::WireCode::kDegraded);
+    EXPECT_EQ(refused.field("tag"), "strict");
+
+    net::SubmitFrame brownout = frame_for(61, "brownout");
+    brownout.degraded_ok = true;
+    const net::Response served = client.submit(brownout);
+    ASSERT_TRUE(served.ok) << served.message;
+    EXPECT_EQ(served.field("src"), "degraded");
+    EXPECT_EQ(served.field_u64("degraded"), 1u);
+    EXPECT_EQ(served.field_u64("eps_want"), 2u);
+    eps_have = served.field_u64("eps_have");
+    EXPECT_LT(eps_have, 2u);
+    degraded_fp = served.field("fp");
+
+    const net::Response stats = client.stats();
+    ASSERT_TRUE(stats.ok);
+    EXPECT_EQ(stats.field_u64("degraded"), 1u);
+    EXPECT_GE(stats.field_u64("rebuilds"), 1u);
+
+    ASSERT_TRUE(client.shutdown().ok);
+    first.join();  // run() saves the snapshot on the way out
+  }
+
+  // Warm restart on a healthy cluster: the deficit must survive the
+  // snapshot round trip bit-identically — same fingerprint, same
+  // eps_have/eps_want, still refusing callers that do not opt in.
+  net::ServerConfig config;
+  config.unix_path = sock2.path;
+  config.snapshot_path = snap.path;
+  config.daemon.auto_reheal = false;
+  ServerHandle second(small_platform(5, 5), config);
+  net::Client client = net::Client::connect_unix_path(sock2.path);
+
+  const net::Response still_refused = client.submit(frame_for(61, "strict2"));
+  EXPECT_FALSE(still_refused.ok);
+  EXPECT_EQ(still_refused.code, net::WireCode::kDegraded);
+
+  net::SubmitFrame brownout = frame_for(61, "warm");
+  brownout.degraded_ok = true;
+  const net::Response warm = client.submit(brownout);
+  ASSERT_TRUE(warm.ok) << warm.message;
+  EXPECT_EQ(warm.field("src"), "degraded");
+  EXPECT_EQ(warm.field("fp"), degraded_fp);
+  EXPECT_EQ(warm.field_u64("eps_have"), eps_have);
+  EXPECT_EQ(warm.field_u64("eps_want"), 2u);
+
+  const net::Response health = client.health();
+  ASSERT_TRUE(health.ok);
+  EXPECT_EQ(health.field_u64("failed"), 0u);  // live failure set resets...
+  EXPECT_EQ(health.field_u64("degraded"), 1u);  // ...the deficit does not
 }
 
 TEST(WireServer, RejectedSnapshotStartsColdInsteadOfDying) {

@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
   frame.headroom = cli.get_double("headroom", 2.0, "");
   frame.comm_share = cli.get_double("comm-share", 1.0, "");
   frame.tag = cli.get_string("tag", "", "");
+  // Brownout opt-in: accept a degraded placement (src=degraded with an
+  // explicit eps_have/eps_want deficit) instead of an ERR DEGRADED refusal.
+  frame.degraded_ok = cli.get_bool("degraded-ok", false, "");
   net::RetryPolicy policy;
   policy.max_retries = static_cast<std::uint32_t>(
       cli.get_int("retries", static_cast<std::int64_t>(policy.max_retries), ""));
@@ -94,7 +97,7 @@ int main(int argc, char** argv) {
               << " --server=unix:<path>|tcp:<host>:<port> "
                  "[--retries=<n>] [--deadline-ms=<ms>] "
                  "(--stats | --health | --shutdown | --event=fail:<p>|recover:<p> | "
-                 "--submit --dag=<wire>|--random-dag=<tasks>:<seed>)\n";
+                 "--submit [--degraded-ok] --dag=<wire>|--random-dag=<tasks>:<seed>)\n";
     return 2;
   }
 

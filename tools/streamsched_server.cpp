@@ -63,6 +63,10 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42, "STREAMSCHED_SEED"));
   config.daemon.cache_capacity =
       static_cast<std::size_t>(cli.get_int("cache", 256, "STREAMSCHED_CACHE"));
+  // --reheal=0 disables the background re-heal task: degraded placements
+  // then only improve on recovery events or explicit re-admission, which
+  // is what deterministic transcripts and the churn bench rely on.
+  config.daemon.auto_reheal = cli.get_bool("reheal", true, "");
   auto& interactive = config.lanes[static_cast<std::size_t>(net::QosClass::kInteractive)];
   auto& batch = config.lanes[static_cast<std::size_t>(net::QosClass::kBatch)];
   interactive.workers =
